@@ -1,0 +1,443 @@
+(* Benchmark and reproduction harness.
+
+   Regenerates every table and figure of "Finding Missed Optimizations
+   through the Lens of Dead Code Elimination" (ASPLOS '22) on a freshly
+   generated corpus, prints the paper's numbers next to the measured ones,
+   and finishes with Bechamel micro-benchmarks (one per table/figure, timing
+   the computation that produces it).
+
+   Corpus size: DCE_BENCH_PROGRAMS (default 150).  The paper used 10,000
+   Csmith programs; the shapes stabilize far earlier on this corpus. *)
+
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+module Smith = Dce_smith.Smith
+module R = Dce_report
+
+let corpus_size =
+  match Sys.getenv_opt "DCE_BENCH_PROGRAMS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 150)
+  | None -> 150
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+(* ------------------------------------------------------------------ *)
+(* corpus and analysis (shared by all tables)                          *)
+(* ------------------------------------------------------------------ *)
+
+let corpus = lazy (Smith.generate_corpus ~seed:20220228 ~count:corpus_size)
+
+let analyses =
+  lazy
+    (List.map
+       (fun (prog, _kinds) -> (Core.Analysis.run prog, prog))
+       (Lazy.force corpus))
+
+let stats = lazy (R.Stats.collect (Lazy.force analyses))
+
+let instrumented_programs =
+  lazy
+    (Array.of_list
+       (List.map
+          (fun (outcome, raw) ->
+            match outcome with
+            | Core.Analysis.Analyzed a -> a.Core.Analysis.instrumented
+            | Core.Analysis.Rejected _ -> Core.Instrument.program raw)
+          (Lazy.force analyses)))
+
+(* ------------------------------------------------------------------ *)
+(* §4.1 prevalence + Tables 1/2                                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_prevalence () =
+  section "Dead-block prevalence (paper §4.1)";
+  let st = Lazy.force stats in
+  print_endline (R.Stats.prevalence st);
+  print_endline "paper: 3,109,167 blocks, 89.59% dead, 10.41% alive"
+
+let print_table1 () =
+  section "Table 1: % dead blocks that are missed";
+  print_string (R.Stats.table1 (Lazy.force stats));
+  print_endline "paper:  O0 85.21/83.82  O1 8.18/5.20  Os 5.94/4.75  O2 5.66/4.35  O3 5.60/4.31 (gcc/llvm)"
+
+let print_table2 () =
+  section "Table 2: % dead blocks that are primary missed";
+  print_string (R.Stats.table2 (Lazy.force stats));
+  print_endline "paper:  O0 15.30/4.75  O1 1.76/1.47  Os 1.56/1.43  O2 1.53/1.38  O3 1.53/1.37 (gcc/llvm)"
+
+(* ------------------------------------------------------------------ *)
+(* §4.2 differentials                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_differentials () =
+  section "Cross-compiler and cross-level differentials (paper §4.2)";
+  print_string (R.Stats.differential_summary (Lazy.force stats));
+  print_endline
+    "paper: GCC misses 39,723 (4,749 primary) that LLVM catches; LLVM misses 3,781 (396 primary);";
+  print_endline
+    "       level regressions: GCC 308 markers (24 primary), LLVM 456 (54 primary)"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3/4: bisected regression components                          *)
+(* ------------------------------------------------------------------ *)
+
+let bisect_regressions () =
+  let st = Lazy.force stats in
+  let programs = Lazy.force instrumented_programs in
+  let commits : (string, C.Version.commit list ref) Hashtbl.t = Hashtbl.create 4 in
+  let regressions : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (f : R.Stats.finding) ->
+      if f.R.Stats.f_primary && not (Hashtbl.mem seen (f.R.Stats.f_compiler, f.R.Stats.f_program, f.R.Stats.f_marker))
+      then begin
+        Hashtbl.replace seen (f.R.Stats.f_compiler, f.R.Stats.f_program, f.R.Stats.f_marker) ();
+        let compiler =
+          if f.R.Stats.f_compiler = "gcc-sim" then C.Gcc_sim.compiler else C.Llvm_sim.compiler
+        in
+        let prog = programs.(f.R.Stats.f_program) in
+        match
+          Dce_bisect.Bisect.find_regression compiler C.Level.O3 prog ~marker:f.R.Stats.f_marker
+        with
+        | Dce_bisect.Bisect.Regression r ->
+          Hashtbl.replace regressions f.R.Stats.f_compiler
+            (1 + Option.value ~default:0 (Hashtbl.find_opt regressions f.R.Stats.f_compiler));
+          let lst =
+            match Hashtbl.find_opt commits f.R.Stats.f_compiler with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.add commits f.R.Stats.f_compiler l;
+              l
+          in
+          lst := r.Dce_bisect.Bisect.offending :: !lst
+        | Dce_bisect.Bisect.Always_missed | Dce_bisect.Bisect.Not_missed -> ()
+      end)
+    st.R.Stats.regression_findings;
+  (commits, regressions)
+
+let print_tables34 () =
+  let commits, regressions = bisect_regressions () in
+  let print_for comp paper_note =
+    let name = if comp = "gcc-sim" then "Table 4 (GCC components)" else "Table 3 (LLVM components)" in
+    section name;
+    (match Hashtbl.find_opt commits comp with
+     | Some lst ->
+       let rows = Dce_bisect.Bisect.component_table !lst in
+       Printf.printf "%d primary -O3 regressions bisected to %d unique commits:\n"
+         (Option.value ~default:0 (Hashtbl.find_opt regressions comp))
+         (List.length (Dce_support.Listx.uniq (List.map (fun c -> c.C.Version.id) !lst)));
+       print_string
+         (R.Tables.render
+            ~header:[ "Component"; "# Commits"; "# Files" ]
+            (List.map
+               (fun (r : Dce_bisect.Bisect.component_row) ->
+                 [
+                   r.Dce_bisect.Bisect.component;
+                   string_of_int r.Dce_bisect.Bisect.commits;
+                   string_of_int r.Dce_bisect.Bisect.files;
+                 ])
+               rows))
+     | None -> print_endline "no -O3 regressions found in this corpus");
+    print_endline paper_note
+  in
+  print_for "llvm-sim" "paper: 38 regressions, 21 commits, 11 components, 23 files";
+  print_for "gcc-sim" "paper: 44 regressions, 23 commits, 16 components, 34 files"
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: triage                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reports = lazy begin
+  let st = Lazy.force stats in
+  let programs = Lazy.force instrumented_programs in
+  R.Triage.triage ~programs (st.R.Stats.findings @ st.R.Stats.regression_findings)
+end
+
+let print_table5 () =
+  section "Table 5: missed optimizations reported / confirmed / duplicate / fixed";
+  let reports = Lazy.force reports in
+  print_string (R.Triage.table5 reports);
+  print_endline "paper:  Reported 53/31  Confirmed 43/19  Duplicate 5/0  Fixed 12/11 (gcc/llvm)";
+  print_endline "report clusters (deduplicated by diagnosis signature):";
+  List.iter
+    (fun (r : R.Triage.report) ->
+      Printf.printf "  %-9s %-24s %-10s x%d (%s)\n" r.R.Triage.r_compiler r.R.Triage.r_signature
+        (R.Triage.status_name r.R.Triage.r_status)
+        r.R.Triage.r_occurrences
+        (Option.value ~default:"?" r.R.Triage.r_component))
+    reports
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the four-step pipeline, traced on one program             *)
+(* ------------------------------------------------------------------ *)
+
+let figure1_demo () =
+  section "Figure 1: approach overview (trace on one program)";
+  let src =
+    {|
+static int a = 0;
+int b[2] = {0, 0};
+int main(void) {
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) { use(1); }
+  if (a) { b[0] = 1; b[1] = 1; }
+  a = 0;
+  return 0;
+}
+|}
+  in
+  let prog = Dce_minic.Typecheck.check_exn (Dce_minic.Parser.parse_program src) in
+  let instr = Core.Instrument.program prog in
+  Printf.printf "step 1: instrumented %d markers\n" (Core.Instrument.marker_count instr);
+  (match Core.Ground_truth.compute instr with
+   | Core.Ground_truth.Valid truth ->
+     Printf.printf "step 2: executed; alive markers {%s}, dead {%s}\n"
+       (String.concat "," (List.map string_of_int (Ir.Iset.elements truth.Core.Ground_truth.alive)))
+       (String.concat "," (List.map string_of_int (Ir.Iset.elements truth.Core.Ground_truth.dead)));
+     let surv name compiler =
+       let cfg = { Core.Differential.compiler; level = C.Level.O3; version = None } in
+       let s = Core.Differential.surviving cfg instr in
+       Printf.printf "step 3: %s -O3 keeps {%s}\n" name
+         (String.concat "," (List.map string_of_int (Ir.Iset.elements s)));
+       s
+     in
+     let sg = surv "gcc-sim " C.Gcc_sim.compiler in
+     let sl = surv "llvm-sim" C.Llvm_sim.compiler in
+     let graph =
+       Core.Primary.build ~block_live:(Core.Ground_truth.block_live truth)
+         (Dce_ir.Lower.program instr)
+     in
+     let prim s =
+       Core.Primary.primary_missed graph ~alive:truth.Core.Ground_truth.alive
+         ~missed:(Ir.Iset.inter s truth.Core.Ground_truth.dead)
+     in
+     Printf.printf "step 4: primary missed  gcc {%s}  llvm {%s}\n"
+       (String.concat "," (List.map string_of_int (Ir.Iset.elements (prim sg))))
+       (String.concat "," (List.map string_of_int (Ir.Iset.elements (prim sl))))
+   | Core.Ground_truth.Rejected r -> Printf.printf "ground truth rejected: %s\n" r)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the nested-dead-code marker graph (paper Listing 5)       *)
+(* ------------------------------------------------------------------ *)
+
+let figure2_demo () =
+  section "Figure 2: CFG of the nested dead-code example (paper Listing 5)";
+  let src =
+    {|
+static int x = 0;
+int main(void) {
+  int expr2 = ext(1) & 1;
+  if (x) {
+    use(1);
+    if (expr2) { use(2); }
+  }
+  use(3);
+  return 0;
+}
+|}
+  in
+  let prog = Dce_minic.Typecheck.check_exn (Dce_minic.Parser.parse_program src) in
+  let instr = Core.Instrument.program prog in
+  (match Core.Ground_truth.compute instr with
+   | Core.Ground_truth.Valid truth ->
+     let graph =
+       Core.Primary.build ~block_live:(Core.Ground_truth.block_live truth)
+         (Dce_ir.Lower.program instr)
+     in
+     Ir.Iset.iter
+       (fun m ->
+         let preds = Core.Primary.predecessors graph m in
+         Printf.printf "  marker %d: %s, preds {%s}%s\n" m
+           (if Ir.Iset.mem m truth.Core.Ground_truth.alive then "live" else "dead")
+           (String.concat "," (List.map string_of_int (Ir.Iset.elements preds)))
+           (if Core.Primary.has_root_context graph m then " +root" else ""))
+       (Core.Primary.markers graph);
+     (* a compiler that misses everything: only marker(s) whose preds are all
+        live/detected are primary *)
+     let missed = truth.Core.Ground_truth.dead in
+     let prim =
+       Core.Primary.primary_missed graph ~alive:truth.Core.Ground_truth.alive ~missed
+     in
+     Printf.printf "  if all dead markers are missed, primary = {%s} (paper: only B2)\n"
+       (String.concat "," (List.map string_of_int (Ir.Iset.elements prim)))
+   | Core.Ground_truth.Rejected r -> Printf.printf "ground truth rejected: %s\n" r)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: value-check instrumentation (paper §4.4)                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_value_checks () =
+  section "Extension (§4.4): value checks after loops — % checks missed";
+  let sample = Dce_support.Listx.take 60 (Lazy.force corpus) in
+  let total = ref 0 in
+  let missed : (string * C.Level.t, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (prog, _) ->
+      match Core.Value_instrument.instrument prog with
+      | None -> ()
+      | Some (vi, stats) ->
+        if stats.Core.Value_instrument.checks_planted > 0 then begin
+          match Core.Ground_truth.compute vi with
+          | Core.Ground_truth.Rejected _ -> ()
+          | Core.Ground_truth.Valid truth ->
+            total := !total + Ir.Iset.cardinal truth.Core.Ground_truth.all;
+            List.iter
+              (fun compiler ->
+                List.iter
+                  (fun level ->
+                    let surv = C.Compiler.surviving_markers compiler level vi in
+                    let n = List.length surv in
+                    let key = (compiler.C.Compiler.name, level) in
+                    Hashtbl.replace missed key
+                      (n + Option.value ~default:0 (Hashtbl.find_opt missed key)))
+                  C.Level.all)
+              [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
+        end)
+    sample;
+  Printf.printf "%d value checks planted over %d programs (all dead by construction)
+" !total
+    (List.length sample);
+  print_string
+    (R.Tables.render
+       ~header:[ "Level"; "gcc-sim"; "llvm-sim" ]
+       (List.map
+          (fun level ->
+            let cell comp =
+              R.Tables.pct
+                (Option.value ~default:0 (Hashtbl.find_opt missed (comp, level)))
+                !total
+            in
+            [ C.Level.to_string level; cell "gcc-sim"; cell "llvm-sim" ])
+          C.Level.all));
+  print_endline
+    "(the paper proposes this mode as future work; checks probe scalar-evolution reasoning,";
+  print_endline
+    " so elimination tracks the unroll/promotion capabilities appearing at -O2)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §4)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_ablations () =
+  section "Ablation: interprocedural vs intraprocedural primary analysis";
+  let inter = ref 0 and intra = ref 0 and missed_total = ref 0 in
+  List.iter
+    (fun (outcome, _) ->
+      match outcome with
+      | Core.Analysis.Analyzed a ->
+        let truth = a.Core.Analysis.truth in
+        (match Core.Analysis.find_config a "gcc-sim" C.Level.O3 with
+         | Some pc ->
+           let ir = Dce_ir.Lower.program a.Core.Analysis.instrumented in
+           let g_intra = Core.Primary.build ~interprocedural:false ir in
+           let p_intra =
+             Core.Primary.primary_missed g_intra ~alive:truth.Core.Ground_truth.alive
+               ~missed:pc.Core.Analysis.missed
+           in
+           inter := !inter + Ir.Iset.cardinal pc.Core.Analysis.primary_missed;
+           intra := !intra + Ir.Iset.cardinal p_intra;
+           missed_total := !missed_total + Ir.Iset.cardinal pc.Core.Analysis.missed
+         | None -> ())
+      | Core.Analysis.Rejected _ -> ())
+    (Lazy.force analyses);
+  Printf.printf
+    "gcc-sim -O3: %d missed; %d primary (interprocedural) vs %d primary (intraprocedural)\n"
+    !missed_total !inter !intra;
+  print_endline "(intraprocedural over-reports primaries: callee-entry markers lose their dead callers)";
+
+  section "Ablation: edge-aware memory propagation (the modeled LLVM O3 regression)";
+  let count_missed feats_edit =
+    let total = ref 0 in
+    List.iter
+      (fun (outcome, _) ->
+        match outcome with
+        | Core.Analysis.Analyzed a ->
+          let instr = a.Core.Analysis.instrumented in
+          let feats = feats_edit (C.Compiler.features C.Llvm_sim.compiler C.Level.O2) in
+          let ir = Dce_ir.Lower.program instr in
+          let opt = C.Pipeline.run feats ir in
+          let asm = Dce_backend.Codegen.program opt in
+          let surv = Dce_backend.Asm.surviving_markers asm in
+          let dead = a.Core.Analysis.truth.Core.Ground_truth.dead in
+          total := !total + List.length (List.filter (fun m -> Ir.Iset.mem m dead) surv)
+        | Core.Analysis.Rejected _ -> ())
+      (Dce_support.Listx.take 40 (Lazy.force analyses));
+    !total
+  in
+  let with_edge = count_missed (fun f -> f) in
+  let without_edge = count_missed (fun f -> { f with C.Features.memcp_edge_aware = false }) in
+  Printf.printf "llvm-sim -O2 on 40 programs: %d missed with edge-aware memcp, %d without\n"
+    with_edge without_edge
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure                      *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  section "Bechamel micro-benchmarks (time to produce each artifact)";
+  let open Bechamel in
+  let sample_raw = fst (Smith.generate (Smith.default_config 4242)) in
+  let sample = Core.Instrument.program sample_raw in
+  let sample_ir = Dce_ir.Lower.program sample in
+  let tests =
+    [
+      Test.make ~name:"prevalence: ground truth by execution"
+        (Staged.stage (fun () -> ignore (Core.Ground_truth.compute sample)));
+      Test.make ~name:"table1: compile gcc-sim -O3"
+        (Staged.stage (fun () ->
+             ignore (C.Compiler.surviving_markers C.Gcc_sim.compiler C.Level.O3 sample)));
+      Test.make ~name:"table1: compile llvm-sim -O3"
+        (Staged.stage (fun () ->
+             ignore (C.Compiler.surviving_markers C.Llvm_sim.compiler C.Level.O3 sample)));
+      Test.make ~name:"table2: primary marker graph"
+        (Staged.stage (fun () -> ignore (Core.Primary.build sample_ir)));
+      Test.make ~name:"tables: full 10-config analysis of one program"
+        (Staged.stage (fun () -> ignore (Core.Analysis.run sample_raw)));
+      Test.make ~name:"tables3/4: one bisection probe (compile at old version)"
+        (Staged.stage (fun () ->
+             ignore (C.Compiler.surviving_markers C.Gcc_sim.compiler ~version:10 C.Level.O3 sample)));
+      Test.make ~name:"table5: one diagnosis (feature flips)"
+        (Staged.stage (fun () ->
+             ignore (Core.Diagnose.run C.Gcc_sim.compiler C.Level.O3 sample ~marker:0)));
+      Test.make ~name:"corpus: generate one program (Smith)"
+        (Staged.stage (fun () -> ignore (Smith.generate (Smith.default_config 99))));
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.printf "  %-52s %10.1f us/run\n" name (est /. 1000.0)
+        | _ -> Printf.printf "  %-52s (no estimate)\n" name)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"dce" [ t ])) tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "DCE-lens reproduction harness — corpus of %d generated programs\n" corpus_size;
+  let t0 = Unix.gettimeofday () in
+  print_prevalence ();
+  print_table1 ();
+  print_table2 ();
+  print_differentials ();
+  print_tables34 ();
+  print_table5 ();
+  figure1_demo ();
+  figure2_demo ();
+  print_value_checks ();
+  print_ablations ();
+  Printf.printf "\nreproduction sections completed in %.1fs\n" (Unix.gettimeofday () -. t0);
+  micro_benchmarks ()

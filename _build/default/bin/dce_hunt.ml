@@ -1,0 +1,342 @@
+(* dce_hunt — command-line front end to the missed-optimization detector.
+
+   Subcommands mirror the paper's workflow (Figure 1):
+     generate   produce random MiniC test programs (Csmith role)
+     analyze    instrument one program, compute ground truth, compare configs
+     compile    run one simulated compiler and show IR/assembly
+     hunt       end-to-end campaign over a generated corpus
+     reduce     shrink a test case while preserving a marker difference
+     bisect     find the commit that introduced a regression
+     explain    show a configuration's feature matrix, pass schedule, history *)
+
+open Cmdliner
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+
+let read_program path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Dce_minic.Typecheck.check (Dce_minic.Parser.parse_program src) with
+  | Ok prog -> prog
+  | Error errs -> failwith (String.concat "\n" errs)
+
+let compiler_of_string = function
+  | "gcc" | "gcc-sim" -> C.Gcc_sim.compiler
+  | "llvm" | "llvm-sim" -> C.Llvm_sim.compiler
+  | other -> failwith (Printf.sprintf "unknown compiler %S (use gcc or llvm)" other)
+
+let level_of_string s =
+  match C.Level.of_string s with
+  | Some l -> l
+  | None -> failwith (Printf.sprintf "unknown level %S (use O0, O1, Os, O2, O3)" s)
+
+let iset_to_string s = String.concat "," (List.map string_of_int (Ir.Iset.elements s))
+
+(* ---------- generate ---------- *)
+
+let generate_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let count = Arg.(value & opt int 10 & info [ "count" ] ~docv:"N" ~doc:"Programs to generate.") in
+  let out = Arg.(value & opt string "corpus" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.") in
+  let run seed count out =
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iteri
+      (fun i (prog, kinds) ->
+        let path = Filename.concat out (Printf.sprintf "p%04d.c" i) in
+        let oc = open_out path in
+        output_string oc (Dce_minic.Pretty.program_to_string prog);
+        close_out oc;
+        Printf.printf "%s: %s\n" path
+          (String.concat " "
+             (List.map
+                (fun (k, n) -> Printf.sprintf "%s=%d" (Dce_smith.Smith.kind_name k) n)
+                kinds)))
+      (Dce_smith.Smith.generate_corpus ~seed ~count)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate random MiniC test programs (the Csmith role).")
+    Term.(const run $ seed $ count $ out)
+
+(* ---------- analyze ---------- *)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let analyze_cmd =
+  let diagnose =
+    Arg.(value & flag & info [ "diagnose" ] ~doc:"Root-cause each primary -O3 miss.")
+  in
+  let run path diagnose =
+    let prog = read_program path in
+    match Core.Analysis.run prog with
+    | Core.Analysis.Rejected reason -> Printf.printf "rejected: %s\n" reason
+    | Core.Analysis.Analyzed a ->
+      let truth = a.Core.Analysis.truth in
+      Printf.printf "markers: %d (%d alive, %d dead)\n"
+        (Ir.Iset.cardinal truth.Core.Ground_truth.all)
+        (Ir.Iset.cardinal truth.Core.Ground_truth.alive)
+        (Ir.Iset.cardinal truth.Core.Ground_truth.dead);
+      Printf.printf "alive: {%s}\n" (iset_to_string truth.Core.Ground_truth.alive);
+      List.iter
+        (fun pc ->
+          Printf.printf "%-9s %-4s keeps {%s}  missed {%s}  primary {%s}\n"
+            pc.Core.Analysis.cfg_compiler
+            (C.Level.to_string pc.Core.Analysis.cfg_level)
+            (iset_to_string pc.Core.Analysis.surviving)
+            (iset_to_string pc.Core.Analysis.missed)
+            (iset_to_string pc.Core.Analysis.primary_missed))
+        a.Core.Analysis.configs;
+      if diagnose then
+        List.iter
+          (fun pc ->
+            if pc.Core.Analysis.cfg_level = C.Level.O3 then
+              Ir.Iset.iter
+                (fun m ->
+                  let d =
+                    Core.Diagnose.run
+                      (compiler_of_string pc.Core.Analysis.cfg_compiler)
+                      C.Level.O3 a.Core.Analysis.instrumented ~marker:m
+                  in
+                  Printf.printf "diagnosis: %s -O3 marker %d -> %s\n"
+                    pc.Core.Analysis.cfg_compiler m (Core.Diagnose.signature d))
+                pc.Core.Analysis.primary_missed)
+          a.Core.Analysis.configs
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Instrument a program, execute it for ground truth, and compare both simulated \
+          compilers at every level.")
+    Term.(const run $ file_arg $ diagnose)
+
+(* ---------- compile ---------- *)
+
+let compile_cmd =
+  let comp = Arg.(value & opt string "gcc" & info [ "compiler" ] ~docv:"gcc|llvm") in
+  let level = Arg.(value & opt string "O2" & info [ "level" ] ~docv:"O0..O3") in
+  let version =
+    Arg.(value & opt (some int) None & info [ "at-version" ] ~docv:"N" ~doc:"Historic version.")
+  in
+  let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print optimized IR instead of assembly.") in
+  let instrument = Arg.(value & flag & info [ "instrument" ] ~doc:"Insert DCE markers first.") in
+  let run path comp level version dump_ir instrument =
+    let prog = read_program path in
+    let prog = if instrument then Core.Instrument.program prog else prog in
+    let compiler = compiler_of_string comp in
+    let level = level_of_string level in
+    let ir = C.Compiler.compile_ir compiler ?version level prog in
+    if dump_ir then print_string (Dce_ir.Printer.program_to_string ir)
+    else print_string (Dce_backend.Asm.to_string (Dce_backend.Codegen.program ir))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile one program and print assembly (or IR).")
+    Term.(const run $ file_arg $ comp $ level $ version $ dump_ir $ instrument)
+
+(* ---------- hunt ---------- *)
+
+let hunt_cmd =
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let run seed count =
+    let corpus = Dce_smith.Smith.generate_corpus ~seed ~count in
+    let outcomes = List.map (fun (p, _) -> (Core.Analysis.run p, p)) corpus in
+    let stats = Dce_report.Stats.collect outcomes in
+    print_endline (Dce_report.Stats.prevalence stats);
+    print_endline "Table 1 (% dead blocks missed):";
+    print_string (Dce_report.Stats.table1 stats);
+    print_endline "Table 2 (% dead blocks primary missed):";
+    print_string (Dce_report.Stats.table2 stats);
+    print_string (Dce_report.Stats.differential_summary stats);
+    let interesting =
+      List.filter (fun (f : Dce_report.Stats.finding) -> f.Dce_report.Stats.f_primary)
+        stats.Dce_report.Stats.findings
+    in
+    Printf.printf "%d primary cross-compiler findings; first few:\n" (List.length interesting);
+    List.iter
+      (fun (f : Dce_report.Stats.finding) ->
+        Printf.printf "  program %d marker %d: %s %s misses, %s eliminates\n"
+          f.Dce_report.Stats.f_program f.Dce_report.Stats.f_marker f.Dce_report.Stats.f_compiler
+          (C.Level.to_string f.Dce_report.Stats.f_level)
+          f.Dce_report.Stats.f_witness)
+      (Dce_support.Listx.take 10 interesting)
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Generate a corpus and run the full differential campaign over it.")
+    Term.(const run $ seed $ count)
+
+(* ---------- triage ---------- *)
+
+let triage_cmd =
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let run seed count =
+    let corpus = Dce_smith.Smith.generate_corpus ~seed ~count in
+    let outcomes = List.map (fun (p, _) -> (Core.Analysis.run p, p)) corpus in
+    let stats = Dce_report.Stats.collect outcomes in
+    let programs =
+      Array.of_list
+        (List.map
+           (fun (outcome, raw) ->
+             match outcome with
+             | Core.Analysis.Analyzed a -> a.Core.Analysis.instrumented
+             | Core.Analysis.Rejected _ -> Core.Instrument.program raw)
+           outcomes)
+    in
+    let reports =
+      Dce_report.Triage.triage ~programs
+        (stats.Dce_report.Stats.findings @ stats.Dce_report.Stats.regression_findings)
+    in
+    print_string (Dce_report.Triage.table5 reports);
+    print_endline "report clusters:";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-9s %-4s %-28s %-22s %-9s x%d (program %d, marker %d)\n"
+          r.Dce_report.Triage.r_compiler
+          (C.Level.to_string r.Dce_report.Triage.r_level)
+          r.Dce_report.Triage.r_signature
+          (match r.Dce_report.Triage.r_component with Some c -> c | None -> "-")
+          (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
+          r.Dce_report.Triage.r_occurrences r.Dce_report.Triage.r_example_program
+          r.Dce_report.Triage.r_example_marker)
+      reports
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Run the full reporting pipeline on a generated corpus: differential campaign, \
+          root-cause diagnosis, deduplication into reports, and Table-5 style statuses.")
+    Term.(const run $ seed $ count)
+
+(* ---------- value-hunt (the §4.4 extension) ---------- *)
+
+let value_hunt_cmd =
+  let run path =
+    let prog = read_program path in
+    match Core.Value_instrument.instrument prog with
+    | None -> print_endline "profiling failed (trap or non-termination)"
+    | Some (vi, stats) ->
+      Printf.printf "// %d probes, %d dead value checks planted\n"
+        stats.Core.Value_instrument.probes_inserted stats.Core.Value_instrument.checks_planted;
+      print_string (Dce_minic.Pretty.program_to_string vi);
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun level ->
+              let surv = C.Compiler.surviving_markers compiler level vi in
+              Printf.printf "%-9s %-4s keeps value checks {%s}\n" compiler.C.Compiler.name
+                (C.Level.to_string level)
+                (String.concat "," (List.map string_of_int surv)))
+            C.Level.all)
+        [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
+  in
+  Cmd.v
+    (Cmd.info "value-hunt"
+       ~doc:
+         "Plant profiled value checks after loops (the paper's future-work mode) and show which \
+          configurations prove them.")
+    Term.(const run $ file_arg)
+
+(* ---------- reduce ---------- *)
+
+let reduce_cmd =
+  let marker = Arg.(required & opt (some int) None & info [ "marker" ] ~docv:"N") in
+  let keeper = Arg.(value & opt string "gcc" & info [ "missed-by" ] ~docv:"gcc|llvm") in
+  let keeper_level = Arg.(value & opt string "O3" & info [ "missed-at" ] ~docv:"O0..O3") in
+  let elim = Arg.(value & opt string "llvm" & info [ "eliminated-by" ] ~docv:"gcc|llvm") in
+  let elim_level = Arg.(value & opt string "O3" & info [ "eliminated-at" ] ~docv:"O0..O3") in
+  let max_tests = Arg.(value & opt int 4000 & info [ "max-tests" ] ~docv:"N") in
+  let run path marker keeper keeper_level elim elim_level max_tests =
+    let prog = read_program path in
+    let prog =
+      if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
+    in
+    let mk c l = { Core.Differential.compiler = compiler_of_string c; level = level_of_string l; version = None } in
+    let predicate =
+      Dce_reduce.Reduce.marker_diff_predicate ~keep_missed_by:(mk keeper keeper_level)
+        ~eliminated_by:(mk elim elim_level) ~marker
+    in
+    let result = Dce_reduce.Reduce.reduce ~max_tests ~predicate prog in
+    Printf.printf "// reduced in %d rounds, %d predicate runs (size %d -> %d)\n"
+      result.Dce_reduce.Reduce.rounds result.Dce_reduce.Reduce.tests_run
+      result.Dce_reduce.Reduce.initial_size result.Dce_reduce.Reduce.final_size;
+    print_string (Dce_minic.Pretty.program_to_string result.Dce_reduce.Reduce.program)
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Shrink a test case while one configuration keeps the marker and another eliminates it.")
+    Term.(const run $ file_arg $ marker $ keeper $ keeper_level $ elim $ elim_level $ max_tests)
+
+(* ---------- bisect ---------- *)
+
+let bisect_cmd =
+  let marker = Arg.(required & opt (some int) None & info [ "marker" ] ~docv:"N") in
+  let comp = Arg.(value & opt string "gcc" & info [ "compiler" ] ~docv:"gcc|llvm") in
+  let level = Arg.(value & opt string "O3" & info [ "level" ] ~docv:"O0..O3") in
+  let run path marker comp level =
+    let prog = read_program path in
+    let prog =
+      if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
+    in
+    let compiler = compiler_of_string comp in
+    match
+      Dce_bisect.Bisect.find_regression compiler (level_of_string level) prog ~marker
+    with
+    | Dce_bisect.Bisect.Not_missed -> print_endline "marker is eliminated at HEAD: nothing to bisect"
+    | Dce_bisect.Bisect.Always_missed -> print_endline "missed at every version: not a regression"
+    | Dce_bisect.Bisect.Regression r ->
+      let c = r.Dce_bisect.Bisect.offending in
+      Printf.printf "regression introduced at version %d (last good %d, %d probes)\n"
+        r.Dce_bisect.Bisect.offending_index r.Dce_bisect.Bisect.last_good
+        r.Dce_bisect.Bisect.compilations;
+      Printf.printf "offending commit %s: %s\n  component: %s\n  files: %s\n" c.C.Version.id
+        c.C.Version.summary c.C.Version.component
+        (String.concat ", " c.C.Version.files)
+  in
+  Cmd.v (Cmd.info "bisect" ~doc:"Bisect a missed marker to the commit that introduced it.")
+    Term.(const run $ file_arg $ marker $ comp $ level)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let comp = Arg.(value & opt string "gcc" & info [ "compiler" ] ~docv:"gcc|llvm") in
+  let level = Arg.(value & opt string "O2" & info [ "level" ] ~docv:"O0..O3") in
+  let history = Arg.(value & flag & info [ "history" ] ~doc:"Also print the commit history.") in
+  let run comp level history =
+    let compiler = compiler_of_string comp in
+    let lv = level_of_string level in
+    let feats = C.Compiler.features compiler lv in
+    Printf.printf "%s %s features: %s\n" compiler.C.Compiler.name (C.Level.to_string lv)
+      (C.Features.describe feats);
+    Printf.printf "pass schedule: %s\n" (String.concat " -> " (C.Pipeline.stage_names feats));
+    if history then begin
+      Printf.printf "history (%d commits, HEAD at %d):\n"
+        (List.length compiler.C.Compiler.history)
+        (C.Compiler.head compiler);
+      List.iteri
+        (fun i (c : C.Version.commit) ->
+          Printf.printf "  v%-3d %s %-28s [%s]%s\n" (i + 1) c.C.Version.id
+            c.C.Version.component c.C.Version.summary
+            (if c.C.Version.post_head then " (post-HEAD fix)" else ""))
+        compiler.C.Compiler.history
+    end
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Show a configuration's features, schedule, and history.")
+    Term.(const run $ comp $ level $ history)
+
+let () =
+  let doc = "finding missed optimizations through the lens of dead code elimination" in
+  let info = Cmd.info "dce_hunt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            analyze_cmd;
+            compile_cmd;
+            hunt_cmd;
+            triage_cmd;
+            value_hunt_cmd;
+            reduce_cmd;
+            bisect_cmd;
+            explain_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/paper_listings.ml: Dce_compiler Dce_core Dce_ir Dce_minic List Printf

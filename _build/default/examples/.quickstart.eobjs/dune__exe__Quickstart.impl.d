@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dce_compiler Dce_core Dce_ir Dce_minic List Printf String

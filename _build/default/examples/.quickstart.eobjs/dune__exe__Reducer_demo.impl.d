@@ -1,0 +1,1 @@
+examples/reducer_demo.ml: Dce_compiler Dce_core Dce_ir Dce_minic Dce_reduce Dce_smith Option Printf

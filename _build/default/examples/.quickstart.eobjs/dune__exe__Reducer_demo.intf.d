@@ -1,0 +1,1 @@
+examples/reducer_demo.mli:

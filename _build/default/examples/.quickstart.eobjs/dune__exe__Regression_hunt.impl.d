@@ -1,0 +1,1 @@
+examples/regression_hunt.ml: Array Dce_bisect Dce_compiler Dce_core Dce_ir Dce_report Dce_smith Hashtbl List Printf

@@ -1,0 +1,62 @@
+(* Test-case reduction: the C-Reduce stage of the paper's workflow (§4.3).
+
+   Hunts a generated corpus for a cross-compiler finding, then shrinks the
+   program while preserving the interestingness predicate ("one compiler
+   eliminates the marker, the other keeps it") and prints the reduced test
+   case, ready to be "reported".
+
+     dune exec examples/reducer_demo.exe *)
+
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+
+let () =
+  (* hunt until a differential finding appears *)
+  let finding = ref None in
+  let seed = ref 100 in
+  while !finding = None do
+    incr seed;
+    let prog, _ = Dce_smith.Smith.generate (Dce_smith.Smith.default_config !seed) in
+    match Core.Analysis.run prog with
+    | Core.Analysis.Rejected _ -> ()
+    | Core.Analysis.Analyzed a -> (
+      match
+        ( Core.Analysis.find_config a "gcc-sim" C.Level.O3,
+          Core.Analysis.find_config a "llvm-sim" C.Level.O3 )
+      with
+      | Some gcc, Some llvm ->
+        let only_gcc = Ir.Iset.diff gcc.Core.Analysis.missed llvm.Core.Analysis.missed in
+        let primary = Ir.Iset.inter only_gcc gcc.Core.Analysis.primary_missed in
+        (match Ir.Iset.choose_opt primary with
+         | Some marker -> finding := Some (a.Core.Analysis.instrumented, marker)
+         | None -> ())
+      | _ -> ())
+  done;
+  let instrumented, marker = Option.get !finding in
+  Printf.printf "seed %d: gcc-sim -O3 misses marker %d, llvm-sim -O3 eliminates it\n" !seed marker;
+  Printf.printf "original size: %d statements\n\n" (Dce_minic.Ast.stmt_count instrumented);
+
+  let mk compiler = { Core.Differential.compiler; level = C.Level.O3; version = None } in
+  let predicate =
+    Dce_reduce.Reduce.marker_diff_predicate
+      ~keep_missed_by:(mk C.Gcc_sim.compiler)
+      ~eliminated_by:(mk C.Llvm_sim.compiler)
+      ~marker
+  in
+  let result = Dce_reduce.Reduce.reduce ~max_tests:3000 ~predicate instrumented in
+  Printf.printf "reduced in %d rounds (%d predicate evaluations): %d -> %d\n\n"
+    result.Dce_reduce.Reduce.rounds result.Dce_reduce.Reduce.tests_run
+    result.Dce_reduce.Reduce.initial_size result.Dce_reduce.Reduce.final_size;
+  print_endline "// reduced test case (the \"bug report\"):";
+  print_string (Dce_minic.Pretty.program_to_string result.Dce_reduce.Reduce.program);
+
+  (* sanity: the reduced program still shows the difference *)
+  assert (predicate result.Dce_reduce.Reduce.program);
+  print_endline "\npredicate still holds on the reduced program";
+
+  (* and diagnose it *)
+  let d =
+    Core.Diagnose.run C.Gcc_sim.compiler C.Level.O3 result.Dce_reduce.Reduce.program ~marker
+  in
+  Printf.printf "diagnosis: %s\n" (Core.Diagnose.signature d)

@@ -1,0 +1,64 @@
+(* Regression hunting: the continuous-integration scenario from the paper's
+   §4.4 ("the latest development branch can be continuously tested against
+   its previous release to monitor for new regressions").
+
+   Generates a corpus, finds markers that -O3 misses although -O1/-O2
+   eliminates them, and bisects each one to the commit that introduced it —
+   the workflow behind the paper's Tables 3 and 4.
+
+     dune exec examples/regression_hunt.exe *)
+
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+
+let () =
+  let corpus = Dce_smith.Smith.generate_corpus ~seed:7 ~count:40 in
+  let outcomes = List.map (fun (p, _) -> (Core.Analysis.run p, p)) corpus in
+  let stats = Dce_report.Stats.collect outcomes in
+  let programs =
+    Array.of_list
+      (List.map
+         (fun (o, raw) ->
+           match o with
+           | Core.Analysis.Analyzed a -> a.Core.Analysis.instrumented
+           | Core.Analysis.Rejected _ -> Core.Instrument.program raw)
+         outcomes)
+  in
+  Printf.printf "corpus: %s\n\n" (Dce_report.Stats.prevalence stats);
+  print_string (Dce_report.Stats.differential_summary stats);
+  print_newline ();
+
+  let offenders = Hashtbl.create 8 in
+  let bisected = ref 0 in
+  List.iter
+    (fun (f : Dce_report.Stats.finding) ->
+      if f.Dce_report.Stats.f_primary then begin
+        let compiler =
+          if f.Dce_report.Stats.f_compiler = "gcc-sim" then C.Gcc_sim.compiler
+          else C.Llvm_sim.compiler
+        in
+        let prog = programs.(f.Dce_report.Stats.f_program) in
+        match
+          Dce_bisect.Bisect.find_regression compiler C.Level.O3 prog
+            ~marker:f.Dce_report.Stats.f_marker
+        with
+        | Dce_bisect.Bisect.Regression r ->
+          incr bisected;
+          let c = r.Dce_bisect.Bisect.offending in
+          Printf.printf "program %d marker %d (%s): bisected in %d probes to %s\n"
+            f.Dce_report.Stats.f_program f.Dce_report.Stats.f_marker
+            f.Dce_report.Stats.f_compiler r.Dce_bisect.Bisect.compilations c.C.Version.id;
+          Printf.printf "    %s  [%s]\n" c.C.Version.summary c.C.Version.component;
+          let key = (f.Dce_report.Stats.f_compiler, c.C.Version.id) in
+          Hashtbl.replace offenders key c
+        | Dce_bisect.Bisect.Always_missed | Dce_bisect.Bisect.Not_missed -> ()
+      end)
+    stats.Dce_report.Stats.regression_findings;
+
+  Printf.printf "\n%d regressions bisected; unique offending commits:\n" !bisected;
+  Hashtbl.iter
+    (fun (comp, _) (c : C.Version.commit) ->
+      Printf.printf "  %-9s %s %-26s %s\n" comp c.C.Version.id c.C.Version.component
+        c.C.Version.summary)
+    offenders

@@ -1,0 +1,1 @@
+lib/backend/asm.ml: Buffer Dce_minic List String

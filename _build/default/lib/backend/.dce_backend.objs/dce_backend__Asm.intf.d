@@ -1,0 +1,1 @@
+lib/backend/asm.mli:

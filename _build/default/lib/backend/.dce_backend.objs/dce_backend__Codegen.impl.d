@@ -1,0 +1,1 @@
+lib/backend/codegen.ml: Asm Dce_ir Dce_minic Imap Ir List Printf

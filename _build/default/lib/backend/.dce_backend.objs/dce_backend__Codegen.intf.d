@@ -1,0 +1,1 @@
+lib/backend/codegen.mli: Asm Dce_ir

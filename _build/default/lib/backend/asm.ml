@@ -1,0 +1,34 @@
+type line = Label of string | Ins of string * string list | Directive of string
+
+type t = { lines : line list }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun line ->
+      match line with
+      | Label l -> Buffer.add_string buf (l ^ ":\n")
+      | Ins (m, ops) ->
+        Buffer.add_string buf ("\t" ^ m);
+        if ops <> [] then Buffer.add_string buf ("\t" ^ String.concat ", " ops);
+        Buffer.add_char buf '\n'
+      | Directive d -> Buffer.add_string buf ("\t." ^ d ^ "\n"))
+    t.lines;
+  Buffer.contents buf
+
+let instruction_count t =
+  List.length (List.filter (function Ins _ -> true | Label _ | Directive _ -> false) t.lines)
+
+let surviving_calls t =
+  List.filter_map
+    (function
+      | Ins ("callq", [ target ]) -> Some target
+      | Ins _ | Label _ | Directive _ -> None)
+    t.lines
+
+let surviving_markers t =
+  surviving_calls t
+  |> List.filter_map Dce_minic.Ast.marker_of_name
+  |> List.sort_uniq compare
+
+let marker_survives t n = List.mem n (surviving_markers t)

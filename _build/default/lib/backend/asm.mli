@@ -1,0 +1,28 @@
+(** Pseudo-x86 assembly: the observation channel of the whole technique.
+
+    The paper decides marker liveness by scanning the {e generated assembly}
+    for [callq DCEMarkerN] — never by asking the compiler.  This module is
+    that assembly: a flat list of labels and instructions produced by
+    {!Codegen}, with {!surviving_calls}/{!marker_survives} as the only
+    analysis anyone performs on it.  Keeping the check purely textual
+    preserves the black-box property of the approach. *)
+
+type line =
+  | Label of string
+  | Ins of string * string list  (** mnemonic, operands *)
+  | Directive of string
+
+type t = { lines : line list }
+
+val to_string : t -> string
+
+val instruction_count : t -> int
+(** Number of [Ins] lines (a code-size proxy). *)
+
+val surviving_calls : t -> string list
+(** Call targets appearing in the text, in order, with duplicates. *)
+
+val surviving_markers : t -> int list
+(** Marker ids with at least one surviving call, deduplicated, sorted. *)
+
+val marker_survives : t -> int -> bool

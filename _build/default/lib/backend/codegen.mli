@@ -1,0 +1,16 @@
+(** Code generation from (optionally optimized, SSA or pre-SSA) IR to
+    pseudo-assembly.
+
+    Substitution note (see DESIGN.md): real register allocation and
+    instruction selection are irrelevant to the technique — only {e which
+    call instructions survive} matters — so registers stay virtual ([%v12])
+    and each IR instruction maps to one or two pseudo-x86 lines.  Phi
+    definitions are lowered to moves at the end of each predecessor, so SSA
+    form needs no separate destruction pass.
+
+    Every function in the program is emitted (a compiler that did not remove
+    an unreferenced static function still carries its markers in the binary —
+    the paper's Listing 9b situation). *)
+
+val func : Dce_ir.Ir.func -> Asm.line list
+val program : Dce_ir.Ir.program -> Asm.t

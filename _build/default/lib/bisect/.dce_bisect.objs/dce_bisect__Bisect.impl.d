@@ -1,0 +1,1 @@
+lib/bisect/bisect.ml: Dce_compiler Dce_support List

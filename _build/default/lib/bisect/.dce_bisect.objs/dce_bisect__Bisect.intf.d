@@ -1,0 +1,1 @@
+lib/bisect/bisect.mli: Dce_compiler Dce_minic

@@ -1,0 +1,43 @@
+(** Regression bisection over a simulated compiler's commit history
+    (paper §4.2, "Missed optimization diversity" and Tables 3/4).
+
+    A {e regression} is a marker the compiler eliminates at some past version
+    but misses at HEAD.  Bisection finds the {e offending commit}: the first
+    commit after which the marker is missed.  As in the paper, the procedure
+    is (a) find a good (eliminating) version, (b) search the range between it
+    and HEAD.  Goodness is not globally monotone (ancient versions are simply
+    too weak), so step (a) walks backwards exponentially from HEAD and step
+    (b) assumes monotonicity only inside the found range — the same working
+    assumption the paper's shell scripts make.
+
+    Offending commits aggregate into the component/file tables the paper
+    reports (Table 3 for LLVM, Table 4 for GCC). *)
+
+type regression = {
+  offending : Dce_compiler.Version.commit;
+  offending_index : int;  (** the version at which the miss first appears *)
+  last_good : int;
+  compilations : int;     (** compile-and-check probes spent *)
+}
+
+type outcome =
+  | Regression of regression
+  | Always_missed  (** no version eliminates the marker: not a regression *)
+  | Not_missed     (** HEAD eliminates the marker: nothing to bisect *)
+
+val find_regression :
+  ?search:[ `Linear | `Exponential ] ->
+  Dce_compiler.Compiler.t ->
+  Dce_compiler.Level.t ->
+  Dce_minic.Ast.program ->
+  marker:int ->
+  outcome
+(** [find_regression compiler level instrumented ~marker]. [`Exponential]
+    (default) probes HEAD-1, HEAD-2, HEAD-4, … then binary-searches;
+    [`Linear] walks straight down (exact but more probes). *)
+
+type component_row = { component : string; commits : int; files : int }
+
+val component_table : Dce_compiler.Version.commit list -> component_row list
+(** Deduplicates commits by id, groups by component, counts distinct files —
+    the shape of the paper's Tables 3/4. Rows sorted by component name. *)

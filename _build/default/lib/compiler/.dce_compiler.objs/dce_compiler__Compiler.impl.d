@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Dce_backend Dce_ir Option Pipeline Version

@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Dce_backend Dce_ir Dce_minic Features Level Version

@@ -1,0 +1,1 @@
+lib/compiler/features.ml: Buffer Dce_opt Printf String

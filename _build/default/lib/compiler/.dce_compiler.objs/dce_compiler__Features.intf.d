@@ -1,0 +1,1 @@
+lib/compiler/features.mli: Dce_opt

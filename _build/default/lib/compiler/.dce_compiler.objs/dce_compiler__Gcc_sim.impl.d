@@ -1,0 +1,1 @@
+lib/compiler/gcc_sim.ml: Compiler Dce_opt Features Level Version

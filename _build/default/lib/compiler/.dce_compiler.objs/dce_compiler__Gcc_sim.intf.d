@@ -1,0 +1,1 @@
+lib/compiler/gcc_sim.mli: Compiler

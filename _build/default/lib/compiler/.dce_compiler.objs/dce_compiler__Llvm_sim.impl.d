@@ -1,0 +1,1 @@
+lib/compiler/llvm_sim.ml: Compiler Dce_opt Features Level Version

@@ -1,0 +1,1 @@
+lib/compiler/llvm_sim.mli: Compiler

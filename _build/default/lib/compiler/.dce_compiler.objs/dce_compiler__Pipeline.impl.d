@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Dce Dce_ir Dce_opt Dse Features Function_dce Gvn Inline Ipa_cp Jump_thread List Memcp Meminfo Peephole Printf Promote Sccp Simplify_cfg String Unroll Unswitch Vectorize Vrp

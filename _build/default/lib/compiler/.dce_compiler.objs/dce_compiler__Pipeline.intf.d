@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Dce_ir Features

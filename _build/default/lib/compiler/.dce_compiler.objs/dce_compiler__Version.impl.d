@@ -1,0 +1,1 @@
+lib/compiler/version.ml: Char Dce_support Features Level List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/version.mli: Features Level

@@ -1,0 +1,18 @@
+type t = { name : string; history : Version.commit list }
+
+let head t = Version.head t.history
+
+let features t ?version level =
+  let v = Option.value ~default:(head t) version in
+  Version.features_at t.history v level
+
+let compile_ir t ?version ?(validate = false) level ast =
+  let feats = features t ?version level in
+  let ir = Dce_ir.Lower.program ast in
+  Pipeline.run ~validate feats ir
+
+let compile t ?version ?(validate = false) level ast =
+  Dce_backend.Codegen.program (compile_ir t ?version ~validate level ast)
+
+let surviving_markers t ?version level ast =
+  Dce_backend.Asm.surviving_markers (compile t ?version level ast)

@@ -1,0 +1,29 @@
+(** A simulated compiler: a name plus a commit history.
+
+    Compilation is [MiniC AST → Lower → Pipeline(features) → Codegen], where
+    the features come from the history at the requested version (HEAD by
+    default).  This is the object the core library drives for differential
+    testing and that {!Dce_bisect} binary-searches over. *)
+
+type t = {
+  name : string;
+  history : Version.commit list;
+}
+
+val head : t -> int
+(** HEAD version index (post-HEAD fix commits excluded). *)
+
+val features : t -> ?version:int -> Level.t -> Features.t
+
+val compile_ir :
+  t -> ?version:int -> ?validate:bool -> Level.t -> Dce_minic.Ast.program -> Dce_ir.Ir.program
+(** Lower and optimize; the result is what {!Dce_backend.Codegen} consumes.
+    [version] defaults to HEAD. *)
+
+val compile :
+  t -> ?version:int -> ?validate:bool -> Level.t -> Dce_minic.Ast.program -> Dce_backend.Asm.t
+(** Full compilation to pseudo-assembly. *)
+
+val surviving_markers :
+  t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list
+(** Convenience: marker ids still present in the generated assembly. *)

@@ -1,0 +1,17 @@
+(** The GCC-flavoured simulated compiler.
+
+    Deliberate HEAD traits (each grounded in a paper observation):
+    - {b flow-insensitive} global value analysis — any store to a static,
+      even a dead re-store of the initializer, blocks folding (Listings 4,
+      6a);
+    - full pointer-comparison folding ([&a == &b\[1\]] folds — GCC gets
+      Listing 3 right);
+    - {b no} post-lifetime dead-store elimination (the [movl $0, c(%rip)]
+      GCC keeps in Listing 1c);
+    - no uniform-constant-array folding until a post-HEAD fix (Listing 9f);
+    - O3-only regressions: vectorizer claims pointer store loops (9e),
+      unreachable-function removal runs early (9b), points-to precision is
+      capped (9c), and the new aggressive jump threader replaces the old one
+      (9d). *)
+
+val compiler : Compiler.t

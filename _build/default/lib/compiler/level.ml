@@ -1,0 +1,25 @@
+type t = O0 | O1 | Os | O2 | O3
+
+let all = [ O0; O1; Os; O2; O3 ]
+
+let to_string = function
+  | O0 -> "-O0"
+  | O1 -> "-O1"
+  | Os -> "-Os"
+  | O2 -> "-O2"
+  | O3 -> "-O3"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  let s = if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  match s with
+  | "o0" -> Some O0
+  | "o1" -> Some O1
+  | "os" -> Some Os
+  | "o2" -> Some O2
+  | "o3" -> Some O3
+  | _ -> None
+
+let rank = function O0 -> 0 | O1 -> 1 | Os -> 2 | O2 -> 3 | O3 -> 4
+
+let compare_strength a b = compare (rank a) (rank b)

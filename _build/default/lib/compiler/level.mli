@@ -1,0 +1,15 @@
+(** Optimization levels, matching the paper's five configurations. *)
+
+type t = O0 | O1 | Os | O2 | O3
+
+val all : t list
+(** In the paper's order: [O0; O1; Os; O2; O3]. *)
+
+val to_string : t -> string
+(** ["-O0"] … ["-O3"]. *)
+
+val of_string : string -> t option
+(** Accepts ["O2"], ["-O2"], ["o2"], … *)
+
+val compare_strength : t -> t -> int
+(** Orders levels by nominal strength (O0 < O1 < Os < O2 < O3). *)

@@ -1,0 +1,129 @@
+open Features
+module L = Level
+
+let at_least lvl f level feats = if L.compare_strength level lvl >= 0 then f feats else feats
+let only lvl f level feats = if level = lvl then f feats else feats
+let identity _level feats = feats
+
+let c = Version.make_commit
+
+let history =
+  [
+    c ~summary:"SCCP: sparse conditional constant propagation"
+      ~component:"Value Propagation" ~files:[ "SCCP.cpp"; "SCCPSolver.cpp" ]
+      (at_least L.O1 (fun f ->
+           { f with sccp = true; addr_cmp = Dce_opt.Sccp.Cmp_zero_only; opt_rounds = 2 }));
+    c ~summary:"GlobalOpt: fold loads of internal globals with constant stores"
+      ~component:"Value Propagation" ~files:[ "GlobalOpt.cpp" ]
+      (at_least L.O1 (fun f -> { f with gva = Dce_opt.Gva.Flow_sensitive_if_const }));
+    c ~summary:"InstCombine: algebraic identity patterns"
+      ~component:"Peephole Optimizations" ~files:[ "InstructionCombining.cpp" ]
+      (at_least L.O1 (fun f -> { f with peephole_level = 1 }));
+    c ~summary:"EarlyCSE: dominator-scoped common subexpression elimination"
+      ~component:"Peephole Optimizations" ~files:[ "EarlyCSE.cpp" ]
+      (at_least L.O1 (fun f -> { f with gvn_cse = true }));
+    c ~summary:"BasicAA: object-based disambiguation rules" ~component:"Alias Analysis"
+      ~files:[ "BasicAliasAnalysis.cpp" ]
+      (at_least L.O1 (fun f -> { f with alias = Dce_opt.Alias.Basic }));
+    c ~summary:"GVN: store-to-load forwarding via MemorySSA"
+      ~component:"SSA Memory Analysis" ~files:[ "GVN.cpp"; "MemorySSA.cpp" ]
+      (at_least L.O1 (fun f -> { f with gvn_forward = true }));
+    c ~summary:"DSE: block-local dead store elimination" ~component:"SSA Memory Analysis"
+      ~files:[ "DeadStoreElimination.cpp" ]
+      (at_least L.O1 (fun f -> { f with dse_strength = 1 }));
+    c ~summary:"Inliner: bottom-up inlining with a cost model" ~component:"Inlining"
+      ~files:[ "InlineCost.cpp"; "Inliner.cpp" ]
+      (fun level f ->
+        match level with
+        | L.O0 -> f
+        | L.O1 -> { f with inline_threshold = 10 }
+        | L.Os | L.O2 | L.O3 -> { f with inline_threshold = 40 });
+    c ~summary:"GlobalDCE: drop unreferenced internal functions"
+      ~component:"Pass Management" ~files:[ "GlobalDCE.cpp" ]
+      (at_least L.O1 (fun f -> { f with function_dce = true }));
+    c ~summary:"IPSCCP: conditional propagation through memory"
+      ~component:"Value Propagation" ~files:[ "SCCPSolver.cpp"; "IPO/SCCP.cpp" ]
+      (at_least L.O1 (fun f -> { f with memcp = true; memcp_edge_aware = true }));
+    c ~summary:"FunctionAttrs: infer memory mod/ref attributes"
+      ~component:"Alias Analysis" ~files:[ "FunctionAttrs.cpp" ]
+      (at_least L.Os (fun f -> { f with call_summaries = true }));
+    c ~summary:"BasicAA: capture tracking for internal globals"
+      ~component:"Alias Analysis" ~files:[ "BasicAliasAnalysis.cpp"; "CaptureTracking.cpp" ]
+      (at_least L.Os (fun f -> { f with alias = Dce_opt.Alias.Full }));
+    c ~summary:"CVP: correlated value propagation with LVI ranges"
+      ~component:"Value Constraint Analysis"
+      ~files:[ "LazyValueInfo.cpp"; "CorrelatedValuePropagation.cpp" ]
+      (at_least L.Os (fun f -> { f with vrp = true; vrp_shift_rule = true }));
+    c ~summary:"JumpThreading: thread over constant phi conditions"
+      ~component:"Jump Threading" ~files:[ "JumpThreading.cpp" ]
+      (at_least L.Os (fun f -> { f with jump_thread = Dce_opt.Jump_thread.Conservative }));
+    c ~summary:"IPSCCP: propagate constant arguments interprocedurally"
+      ~component:"Value Propagation" ~files:[ "IPO/SCCP.cpp" ]
+      (at_least L.Os (fun f -> { f with ipa_cp = true }));
+    c ~summary:"DSE: eliminate stores past the end of object lifetime"
+      ~component:"SSA Memory Analysis" ~files:[ "DeadStoreElimination.cpp" ]
+      (at_least L.Os (fun f -> { f with dse_strength = 2 }));
+    c ~summary:"GlobalOpt: fold loads from uniform constant arrays"
+      ~component:"Value Propagation" ~files:[ "GlobalOpt.cpp" ]
+      (at_least L.O1 (fun f -> { f with uniform_arrays = true }));
+    c ~summary:"LoopUnroll: full unrolling of small trip-count loops"
+      ~component:"Loop Transformations" ~files:[ "LoopUnrollPass.cpp" ]
+      (fun level f ->
+        match level with
+        | L.O0 | L.O1 | L.Os -> f
+        | L.O2 -> { f with unroll_trip = 16 }
+        | L.O3 -> { f with unroll_trip = 32 });
+    c ~summary:"InstCombine: extended icmp and bit-manipulation patterns"
+      ~component:"Peephole Optimizations" ~files:[ "InstCombineCompares.cpp" ]
+      (at_least L.O2 (fun f -> { f with peephole_level = 2 }));
+    c ~summary:"Inliner: raise -O2/-O3 thresholds" ~component:"Inlining"
+      ~files:[ "InlineCost.cpp" ]
+      (fun level f ->
+        match level with
+        | L.O0 | L.O1 | L.Os -> f
+        | L.O2 -> { f with inline_threshold = 80 }
+        | L.O3 -> { f with inline_threshold = 150 });
+    c ~summary:"NewPM: repeat the function simplification pipeline"
+      ~component:"Pass Management" ~files:[ "PassBuilderPipelines.cpp" ]
+      (at_least L.O2 (fun f -> { f with opt_rounds = 3 }));
+    c ~summary:"InstCombine: fold comparisons through additions"
+      ~component:"Peephole Optimizations" ~files:[ "InstCombineCompares.cpp" ]
+      (at_least L.O2 (fun f -> { f with peephole_level = 3 }));
+    c ~summary:"ValueTracking: known-bits refactor" ~component:"Value Tracking"
+      ~files:[ "ValueTracking.cpp" ]
+      identity;
+    c ~summary:"InstSimplify: operand folding refactor"
+      ~component:"Instruction Operand Folding" ~files:[ "InstructionSimplify.cpp" ]
+      identity;
+    c ~summary:"X86: scheduling model update" ~component:"Target Info"
+      ~files:[ "X86SchedSkylakeServer.td"; "X86ISelLowering.cpp" ]
+      identity;
+    c ~summary:"Attributor: infer noalias on internal functions"
+      ~component:"Alias Analysis" ~files:[ "Attributor.cpp" ]
+      identity;
+    (* ---- regressions (each manifests at -O3 only) ---- *)
+    c ~summary:"LVI: cap the basic-block scan budget at -O3"
+      ~component:"Value Constraint Analysis" ~files:[ "LazyValueInfo.cpp" ]
+      (only L.O3 (fun f -> { f with vrp_block_limit = 240 }));
+    c ~summary:"SimpleLoopUnswitch: enable non-trivial unswitching at -O3"
+      ~component:"Loop Transformations" ~files:[ "SimpleLoopUnswitch.cpp" ]
+      (only L.O3 (fun f -> { f with unswitch = true }));
+    c ~summary:"NewPM: replace the late IPSCCP rerun with plain SCCP at -O3"
+      ~component:"Pass Management" ~files:[ "PassBuilderPipelines.cpp" ]
+      (only L.O3 (fun f -> { f with memcp_edge_aware = false }));
+    c ~summary:"InstCombine: cap iteration budget for compile time at -O3"
+      ~component:"Peephole Optimizations" ~files:[ "InstCombineInternal.h" ]
+      (only L.O3 (fun f -> { f with peephole_level = 2 }));
+    c ~summary:"JumpThreading: thread across blocks with side effects at -O3"
+      ~component:"Jump Threading" ~files:[ "JumpThreading.cpp" ]
+      (only L.O3 (fun f -> { f with jump_thread = Dce_opt.Jump_thread.Aggressive }));
+    (* ---- post-HEAD fixes ---- *)
+    c ~summary:"ConstantRange: fold rem of single-element ranges"
+      ~component:"Value Constraint Analysis" ~files:[ "ConstantRange.cpp" ] ~post_head:true
+      (at_least L.Os (fun f -> { f with vrp_mod_singleton = true }));
+    c ~summary:"EarlyCSE: fold address comparisons at non-zero offsets"
+      ~component:"Peephole Optimizations" ~files:[ "EarlyCSE.cpp" ] ~post_head:true
+      (at_least L.O1 (fun f -> { f with addr_cmp = Dce_opt.Sccp.Cmp_full }));
+  ]
+
+let compiler = { Compiler.name = "llvm-sim"; history }

@@ -1,0 +1,17 @@
+(** The LLVM-flavoured simulated compiler.
+
+    Deliberate HEAD traits (each grounded in a paper observation):
+    - {b flow-sensitive-if-constant} global value analysis — stores of the
+      initializer value are tolerated ([a = 0;] after the reads, Listing 4a
+      folds) but any differing store poisons the global (Listing 6a's
+      LLVM 3.8 regression is baked in);
+    - pointer-comparison folding restricted to zero offsets — EarlyCSE folds
+      [&a == &b\[0\]] but not [&a == &b\[1\]] (Listing 3);
+    - post-lifetime dead-store elimination {e is} performed (LLVM removes the
+      dead [c = 0] in Listing 1);
+    - uniform-constant-array loads fold (LLVM gets Listing 9f right);
+    - O3-only regressions: non-trivial loop unswitching plus the new pass
+      manager's cheaper constant-propagation rerun (Listings 7, 8a), an
+      instcombine iteration cap, and aggressive jump threading. *)
+
+val compiler : Compiler.t

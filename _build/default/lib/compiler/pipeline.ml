@@ -1,0 +1,210 @@
+open Dce_opt
+module Ir = Dce_ir.Ir
+
+type stage = { stage_name : string; apply : Dce_ir.Ir.program -> Dce_ir.Ir.program }
+
+let per_func name f = { stage_name = name; apply = (fun prog -> Ir.map_func f prog) }
+
+let with_info name f =
+  {
+    stage_name = name;
+    apply =
+      (fun prog ->
+        let info = Meminfo.analyze prog in
+        Ir.map_func (f info prog) prog);
+  }
+
+let sccp_stage (feats : Features.t) =
+  with_info "sccp" (fun info _prog fn ->
+      Sccp.run
+        {
+          Sccp.addr_cmp = feats.addr_cmp;
+          gva_mode = feats.gva;
+          block_limit = feats.sccp_block_limit;
+        }
+        info fn)
+
+let memcp_stage (feats : Features.t) =
+  with_info "memcp" (fun info _prog fn ->
+      Memcp.run
+        {
+          Memcp.use_call_summaries = feats.call_summaries;
+          edge_aware = feats.memcp_edge_aware;
+          uniform_arrays = feats.uniform_arrays;
+          precision = feats.alias;
+          block_limit = feats.memcp_block_limit;
+          cell_limit = 32;
+        }
+        info fn)
+
+let gvn_stage (feats : Features.t) =
+  with_info "gvn" (fun info _prog fn ->
+      Gvn.run
+        {
+          Gvn.cse = feats.gvn_cse;
+          load_forward = feats.gvn_forward;
+          precision = feats.alias;
+          use_call_summaries = feats.call_summaries;
+        }
+        info fn)
+
+let vrp_stage (feats : Features.t) =
+  per_func "vrp" (fun fn ->
+      Vrp.run
+        {
+          Vrp.shift_rule = feats.vrp_shift_rule;
+          mod_singleton = feats.vrp_mod_singleton;
+          block_limit = feats.vrp_block_limit;
+        }
+        fn)
+
+let peephole_stage (feats : Features.t) =
+  per_func "peephole" (fun fn -> Peephole.run { Peephole.level = feats.peephole_level } fn)
+
+let jump_thread_stage (feats : Features.t) =
+  per_func "jump-thread" (fun fn ->
+      Jump_thread.run
+        {
+          Jump_thread.mode = feats.jump_thread;
+          phi_cleanup = feats.jt_phi_cleanup;
+          max_threads = 16;
+        }
+        fn)
+
+let dse_stage (feats : Features.t) =
+  with_info "dse" (fun info _prog fn ->
+      Dse.run
+        {
+          Dse.strength = feats.dse_strength;
+          precision = feats.alias;
+          use_call_summaries = feats.call_summaries;
+        }
+        info ~is_main:(fn.Ir.fn_name = "main") fn)
+
+let dce_stage = per_func "dce" Dce.run
+
+let simplify_stage = per_func "simplify-cfg" Simplify_cfg.run
+
+let promote_stage (feats : Features.t) =
+  with_info "loop-promote" (fun info _prog fn ->
+      Promote.run { Promote.precision = feats.alias } info fn)
+
+let unroll_stage (feats : Features.t) =
+  per_func "unroll" (fun fn ->
+      Unroll.run
+        {
+          Unroll.max_trip = feats.unroll_trip;
+          max_body = 64;
+          (* the growth budget scales with the trip threshold so the higher
+             level can actually spend its larger limit on big functions *)
+          max_growth = 200 + (30 * feats.unroll_trip);
+        }
+        fn)
+
+let unswitch_stage (feats : Features.t) =
+  with_info "unswitch" (fun info _prog fn ->
+      Unswitch.run
+        { Unswitch.max_body = 80; max_clones = 4; licm_loads = true; precision = feats.alias }
+        info fn)
+
+let vectorize_stage =
+  { stage_name = "vectorize"; apply = Vectorize.run Vectorize.default_config }
+
+let function_dce_stage name = { stage_name = name; apply = Function_dce.run }
+
+let ipa_cp_stage = { stage_name = "ipa-cp"; apply = Ipa_cp.run }
+
+let inline_stage (feats : Features.t) =
+  {
+    stage_name = "inline";
+    apply =
+      Inline.run
+        {
+          Inline.threshold = feats.inline_threshold;
+          (* scale with the threshold: a level that inlines bigger callees
+             also tolerates more caller growth *)
+          growth_cap = 600 + (12 * feats.inline_threshold);
+        };
+  }
+
+let ssa_stage = { stage_name = "ssa"; apply = Dce_ir.Ssa.construct_program }
+
+let main_round feats =
+  List.concat
+    [
+      (if feats.Features.sccp then [ sccp_stage feats ] else []);
+      (if feats.Features.memcp then [ memcp_stage feats ] else []);
+      (if feats.Features.gvn_cse || feats.Features.gvn_forward then [ gvn_stage feats ] else []);
+      (* a second constant pass folds what forwarding just exposed, the way
+         real pipelines interleave instcombine/SCCP with GVN *)
+      (if feats.Features.sccp && (feats.Features.gvn_cse || feats.Features.gvn_forward) then
+         [ sccp_stage feats ]
+       else []);
+      (if feats.Features.vrp then [ vrp_stage feats ] else []);
+      (if feats.Features.peephole_level > 0 then [ peephole_stage feats ] else []);
+      (if feats.Features.jump_thread <> Jump_thread.Off then [ jump_thread_stage feats ] else []);
+      [ dce_stage; simplify_stage ];
+    ]
+
+let stages (feats : Features.t) =
+  if not feats.sccp then
+    (* -O0: only the front end's trivial cleanup *)
+    [ simplify_stage ]
+  else
+    List.concat
+      [
+        [ simplify_stage; ssa_stage ];
+        (if feats.function_dce && feats.function_dce_early then
+           [ function_dce_stage "function-dce-early" ]
+         else []);
+        (if feats.ipa_cp then [ ipa_cp_stage ] else []);
+        (if feats.inline_threshold > 0 then
+           (* functions orphaned by inlining itself are always cleaned up;
+              only functions orphaned by later folding depend on where the
+              unreachable-node removal sits (the Listing 9b regression) *)
+           [ inline_stage feats ]
+           @ (if feats.function_dce then [ function_dce_stage "inline-cleanup" ] else [])
+           @ [ simplify_stage ]
+         else []);
+        List.concat (List.init (max 1 feats.opt_rounds) (fun _ -> main_round feats));
+        (* promotion gives memory loop counters a register view; one folding
+           round then materializes constant preheader seeds so the loop
+           passes' trip counting can see them *)
+        (if feats.unroll_trip > 0 || feats.vectorize then
+           (promote_stage feats :: main_round feats)
+         else []);
+        (* the vectorizer claims eligible loops before the unroller *)
+        (if feats.vectorize then [ vectorize_stage ] else []);
+        (if feats.unroll_trip > 0 then (unroll_stage feats :: main_round feats) else []);
+        (if feats.unswitch then (unswitch_stage feats :: main_round feats) else []);
+        (* DSE runs once, late: module-level global analyses must not observe
+           dead-store-cleaned code (that would "fix" the paper's Listing 6a) *)
+        (if feats.dse_strength > 0 then [ dse_stage feats; dce_stage; simplify_stage ] else []);
+        (if feats.function_dce && not feats.function_dce_early then
+           [ function_dce_stage "function-dce" ]
+         else []);
+        [ dce_stage; simplify_stage ];
+      ]
+
+let stage_names feats = List.map (fun s -> s.stage_name) (stages feats)
+
+let run ?(validate = false) feats prog =
+  let prog, _mode =
+    List.fold_left
+      (fun (prog, mode) stage ->
+        let prog' = stage.apply prog in
+        (* the IR is pre-SSA until the ssa stage runs *)
+        let mode = if stage.stage_name = "ssa" then Dce_ir.Validate.Ssa else mode in
+        if validate then begin
+          match Dce_ir.Validate.program mode prog' with
+          | Ok () -> ()
+          | Error errs ->
+            failwith
+              (Printf.sprintf "pipeline stage %s broke the IR:\n%s" stage.stage_name
+                 (String.concat "\n" errs))
+        end;
+        (prog', mode))
+      (prog, Dce_ir.Validate.Pre_ssa)
+      (stages feats)
+  in
+  prog

@@ -1,0 +1,25 @@
+(** The generic optimization pipeline, instantiated by a feature matrix.
+
+    Stage order (each stage gated/configured by {!Features.t}):
+
+    + front-end simplification (the only thing [-O0] gets);
+    + SSA construction;
+    + {e early} unreachable-function removal, when [function_dce_early] —
+      the Listing 9b pass-ordering flaw: functions that later folding will
+      orphan are no longer deleted;
+    + inlining, vectorizer model;
+    + [opt_rounds] × the main round: SCCP → MemCP → GVN → VRP → peephole →
+      jump threading → DSE → DCE → SimplifyCFG;
+    + full unrolling, then another round (unrolled conditions need folding);
+    + unswitching, then another round;
+    + late unreachable-function removal, final cleanup.
+
+    [run] never changes observable behaviour: this is checked by the
+    differential-interpretation tests and the qcheck property suite. *)
+
+val run : ?validate:bool -> Features.t -> Dce_ir.Ir.program -> Dce_ir.Ir.program
+(** [validate] (default false) re-checks IR well-formedness after every
+    stage and raises [Failure] naming the offending stage. *)
+
+val stage_names : Features.t -> string list
+(** The stages [run] would execute, in order (for [--explain] and tests). *)

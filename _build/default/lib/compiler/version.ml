@@ -1,0 +1,25 @@
+type commit = {
+  id : string;
+  summary : string;
+  component : string;
+  files : string list;
+  post_head : bool;
+  apply : Level.t -> Features.t -> Features.t;
+}
+
+(* a stable pseudo-hash so commit ids look and behave like real ones *)
+let pseudo_hash summary =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0xFFFFFFFFFFF) summary;
+  Printf.sprintf "%011x" !h
+
+let make_commit ~summary ~component ~files ?(post_head = false) apply =
+  { id = pseudo_hash summary; summary; component; files; post_head; apply }
+
+let head history =
+  List.length (List.filter (fun c -> not c.post_head) history)
+
+let features_at history v level =
+  let v = max 0 (min v (List.length history)) in
+  let applied = Dce_support.Listx.take v history in
+  List.fold_left (fun feats c -> c.apply level feats) Features.nothing applied

@@ -1,0 +1,36 @@
+(** The commit/version model of a simulated compiler.
+
+    A compiler's behaviour at "version [v]" is its primitive base
+    ({!Features.nothing} at every level) with the first [v] commits of its
+    history applied in order.  Each commit edits the per-level feature matrix
+    and carries the metadata the paper's Tables 3/4 aggregate: the component
+    it belongs to and the source files it touches.
+
+    Histories may extend {e past} HEAD: commits with [post_head = true] model
+    upstream fixes that landed after the evaluation snapshot; the triage
+    pipeline uses them to decide which reported bugs count as "fixed"
+    (Table 5). *)
+
+type commit = {
+  id : string;          (** short hash, stable (derived from the summary) *)
+  summary : string;
+  component : string;   (** Tables 3/4 category *)
+  files : string list;
+  post_head : bool;
+  apply : Level.t -> Features.t -> Features.t;
+}
+
+val make_commit :
+  summary:string ->
+  component:string ->
+  files:string list ->
+  ?post_head:bool ->
+  (Level.t -> Features.t -> Features.t) ->
+  commit
+
+val head : commit list -> int
+(** Index of HEAD: the number of non-[post_head] commits. *)
+
+val features_at : commit list -> int -> Level.t -> Features.t
+(** [features_at history v level]: the matrix after the first [v] commits.
+    [v] is clamped to the history length. *)

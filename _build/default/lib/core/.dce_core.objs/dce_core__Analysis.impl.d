@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Dce_compiler Dce_ir Dce_minic Differential Ground_truth Instrument List Primary

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Dce_compiler Dce_ir Dce_minic Ground_truth Primary

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Dce_backend Dce_compiler Dce_ir Dce_opt

@@ -1,0 +1,1 @@
+lib/core/differential.ml: Dce_compiler Dce_ir List Printf

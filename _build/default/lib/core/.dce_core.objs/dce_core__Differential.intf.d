@@ -1,0 +1,1 @@
+lib/core/differential.mli: Dce_compiler Dce_ir Dce_minic

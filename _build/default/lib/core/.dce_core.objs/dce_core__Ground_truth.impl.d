@@ -1,0 +1,1 @@
+lib/core/ground_truth.ml: Dce_interp Dce_ir Dce_minic Hashtbl List

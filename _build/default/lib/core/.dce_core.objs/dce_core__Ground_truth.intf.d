@@ -1,0 +1,1 @@
+lib/core/ground_truth.mli: Dce_ir Dce_minic Hashtbl

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Dce_minic List

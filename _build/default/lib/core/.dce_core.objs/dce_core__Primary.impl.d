@@ -1,0 +1,1 @@
+lib/core/primary.ml: Cfg Dce_ir Dce_support Hashtbl Imap Ir Iset List Option

@@ -1,0 +1,1 @@
+lib/core/primary.mli: Dce_ir

@@ -1,0 +1,1 @@
+lib/core/value_instrument.ml: Dce_interp Dce_ir Dce_minic Dce_support Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/value_instrument.mli: Dce_minic

@@ -1,0 +1,66 @@
+module Ir = Dce_ir.Ir
+module C = Dce_compiler
+
+type per_config = {
+  cfg_compiler : string;
+  cfg_level : C.Level.t;
+  surviving : Ir.Iset.t;
+  missed : Ir.Iset.t;
+  primary_missed : Ir.Iset.t;
+}
+
+type t = {
+  instrumented : Dce_minic.Ast.program;
+  truth : Ground_truth.t;
+  graph : Primary.t;
+  configs : per_config list;
+}
+
+type outcome = Analyzed of t | Rejected of string
+
+let default_compilers () = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
+
+let run ?compilers ?(levels = C.Level.all) ?fuel prog =
+  let compilers = match compilers with Some cs -> cs | None -> default_compilers () in
+  let instrumented = Instrument.program prog in
+  match Ground_truth.compute ?fuel instrumented with
+  | Ground_truth.Rejected reason -> Rejected reason
+  | Ground_truth.Valid truth ->
+    let graph =
+      Primary.build
+        ~block_live:(Ground_truth.block_live truth)
+        (Dce_ir.Lower.program instrumented)
+    in
+    let configs =
+      List.concat_map
+        (fun compiler ->
+          List.map
+            (fun level ->
+              let cfg = { Differential.compiler; level; version = None } in
+              let surviving = Differential.surviving cfg instrumented in
+              let missed = Differential.missed ~surviving ~dead:truth.Ground_truth.dead in
+              let primary_missed =
+                Primary.primary_missed graph ~alive:truth.Ground_truth.alive ~missed
+              in
+              {
+                cfg_compiler = compiler.C.Compiler.name;
+                cfg_level = level;
+                surviving;
+                missed;
+                primary_missed;
+              })
+            levels)
+        compilers
+    in
+    Analyzed { instrumented; truth; graph; configs }
+
+let find_config t name level =
+  List.find_opt (fun c -> c.cfg_compiler = name && c.cfg_level = level) t.configs
+
+let soundness_violations t =
+  List.concat_map
+    (fun c ->
+      let eliminated = Ir.Iset.diff t.truth.Ground_truth.all c.surviving in
+      let bad = Ir.Iset.inter eliminated t.truth.Ground_truth.alive in
+      List.map (fun m -> (c.cfg_compiler, c.cfg_level, m)) (Ir.Iset.elements bad))
+    t.configs

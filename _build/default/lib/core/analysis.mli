@@ -1,0 +1,41 @@
+(** End-to-end analysis of one test case: the paper's full Figure-1 pipeline
+    on a single program, producing everything the evaluation aggregates.
+
+    Instrument → ground truth by execution → compile with both compilers at
+    all five levels → surviving-marker sets → missed / primary-missed sets
+    per configuration. *)
+
+type per_config = {
+  cfg_compiler : string;
+  cfg_level : Dce_compiler.Level.t;
+  surviving : Dce_ir.Ir.Iset.t;
+  missed : Dce_ir.Ir.Iset.t;          (** surviving ∩ dead *)
+  primary_missed : Dce_ir.Ir.Iset.t;
+}
+
+type t = {
+  instrumented : Dce_minic.Ast.program;
+  truth : Ground_truth.t;
+  graph : Primary.t;
+  configs : per_config list;  (** both compilers × all levels *)
+}
+
+type outcome =
+  | Analyzed of t
+  | Rejected of string  (** ground truth rejected the program *)
+
+val run :
+  ?compilers:Dce_compiler.Compiler.t list ->
+  ?levels:Dce_compiler.Level.t list ->
+  ?fuel:int ->
+  Dce_minic.Ast.program ->
+  outcome
+(** [run raw_program] — the program must be uninstrumented and type-checked.
+    Defaults: both simulated compilers at HEAD, all five levels. *)
+
+val find_config : t -> string -> Dce_compiler.Level.t -> per_config option
+
+val soundness_violations : t -> (string * Dce_compiler.Level.t * int) list
+(** Markers a configuration eliminated although they are {e alive} — must be
+    empty for correct compilers; checked by the test suite on every corpus
+    program. *)

@@ -1,0 +1,129 @@
+module C = Dce_compiler
+module F = C.Features
+
+type repair = { repair_name : string; repair_component : string; edit : F.t -> F.t }
+
+type t = { marker : int; diagnosis : repair option; tried : int }
+
+let catalogue =
+  [
+    {
+      repair_name = "gva:flow-sensitive";
+      repair_component = "Constant Propagation";
+      edit = (fun f -> { f with F.gva = Dce_opt.Gva.Flow_sensitive_if_const });
+    };
+    {
+      repair_name = "addr-cmp:full";
+      repair_component = "Peephole Optimizations";
+      edit = (fun f -> { f with F.addr_cmp = Dce_opt.Sccp.Cmp_full });
+    };
+    {
+      repair_name = "memcp:edge-aware";
+      repair_component = "Pass Management";
+      edit = (fun f -> { f with F.memcp = true; memcp_edge_aware = true });
+    };
+    {
+      repair_name = "uniform-arrays";
+      repair_component = "Constant Propagation";
+      edit = (fun f -> { f with F.uniform_arrays = true });
+    };
+    {
+      repair_name = "alias:full";
+      repair_component = "Alias Analysis";
+      edit = (fun f -> { f with F.alias = Dce_opt.Alias.Full });
+    };
+    {
+      repair_name = "vectorize:off";
+      repair_component = "Loop Transformations";
+      edit = (fun f -> { f with F.vectorize = false });
+    };
+    {
+      repair_name = "function-dce:late";
+      repair_component = "Pass Management";
+      edit = (fun f -> { f with F.function_dce_early = false });
+    };
+    {
+      repair_name = "jump-thread:conservative";
+      repair_component = "Jump Threading";
+      edit =
+        (fun f ->
+          { f with F.jump_thread = Dce_opt.Jump_thread.Conservative; jt_phi_cleanup = true });
+    };
+    {
+      repair_name = "unswitch:off";
+      repair_component = "Loop Transformations";
+      edit = (fun f -> { f with F.unswitch = false });
+    };
+    {
+      repair_name = "vrp:shift-rule";
+      repair_component = "Value Propagation";
+      edit = (fun f -> { f with F.vrp = true; vrp_shift_rule = true });
+    };
+    {
+      repair_name = "vrp:mod-singleton";
+      repair_component = "Value Constraint Analysis";
+      edit = (fun f -> { f with F.vrp = true; vrp_mod_singleton = true });
+    };
+    {
+      repair_name = "dse:lifetime";
+      repair_component = "SSA Memory Analysis";
+      edit = (fun f -> { f with F.dse_strength = 2 });
+    };
+    {
+      repair_name = "inline:larger";
+      repair_component = "Inlining";
+      edit = (fun f -> { f with F.inline_threshold = (max 30 f.F.inline_threshold) * 4 });
+    };
+    {
+      repair_name = "unroll:larger";
+      repair_component = "Loop Transformations";
+      edit = (fun f -> { f with F.unroll_trip = (max 8 f.F.unroll_trip) * 4 });
+    };
+    {
+      repair_name = "peephole:full";
+      repair_component = "Peephole Optimizations";
+      edit = (fun f -> { f with F.peephole_level = 3 });
+    };
+    {
+      repair_name = "summaries:on";
+      repair_component = "Interprocedural Analyses";
+      edit = (fun f -> { f with F.call_summaries = true });
+    };
+    {
+      repair_name = "ipa-cp:on";
+      repair_component = "Interprocedural Analyses";
+      edit = (fun f -> { f with F.ipa_cp = true });
+    };
+    {
+      repair_name = "vrp:budget";
+      repair_component = "Value Propagation";
+      edit = (fun f -> { f with F.vrp = true; vrp_block_limit = 4096 });
+    };
+    {
+      repair_name = "rounds:more";
+      repair_component = "Pass Management";
+      edit = (fun f -> { f with F.opt_rounds = f.F.opt_rounds + 2 });
+    };
+  ]
+
+let eliminates feats prog marker =
+  let ir = Dce_ir.Lower.program prog in
+  let optimized = C.Pipeline.run feats ir in
+  let asm = Dce_backend.Codegen.program optimized in
+  not (Dce_backend.Asm.marker_survives asm marker)
+
+let run compiler level prog ~marker =
+  let base = C.Compiler.features compiler level in
+  let rec try_repairs tried = function
+    | [] -> { marker; diagnosis = None; tried }
+    | r :: rest ->
+      if eliminates (r.edit base) prog marker then
+        { marker; diagnosis = Some r; tried = tried + 1 }
+      else try_repairs (tried + 1) rest
+  in
+  try_repairs 0 catalogue
+
+let signature t =
+  match t.diagnosis with
+  | Some r -> r.repair_name
+  | None -> "unknown"

@@ -1,0 +1,35 @@
+(** Root-cause diagnosis of a missed marker by single-feature flips.
+
+    The mechanical analogue of the paper's manual triage: given a
+    configuration that misses a marker, try a catalogue of single "repairs"
+    (upgrade one feature of the pipeline) and report the first that makes the
+    configuration eliminate the marker.  The repair's name doubles as a
+    deduplication signature for the reporting pipeline ({!Dce_report}). *)
+
+type repair = {
+  repair_name : string;       (** e.g. ["gva:flow-sensitive"] *)
+  repair_component : string;  (** the compiler component it belongs to *)
+  edit : Dce_compiler.Features.t -> Dce_compiler.Features.t;
+}
+
+type t = {
+  marker : int;
+  diagnosis : repair option;  (** [None]: no single-feature repair suffices *)
+  tried : int;               (** repairs attempted *)
+}
+
+val catalogue : repair list
+(** All known repairs, ordered from most specific to most generic. *)
+
+val run :
+  Dce_compiler.Compiler.t ->
+  Dce_compiler.Level.t ->
+  Dce_minic.Ast.program ->
+  marker:int ->
+  t
+(** [run compiler level instrumented ~marker]: find the first repair under
+    which the compiler (its HEAD features plus the repair) eliminates the
+    marker. *)
+
+val signature : t -> string
+(** Deduplication key: the repair name, or ["unknown"]. *)

@@ -1,0 +1,20 @@
+module Ir = Dce_ir.Ir
+module C = Dce_compiler
+
+type config = { compiler : C.Compiler.t; level : C.Level.t; version : int option }
+
+let config_name cfg =
+  let base = Printf.sprintf "%s %s" cfg.compiler.C.Compiler.name (C.Level.to_string cfg.level) in
+  match cfg.version with
+  | None -> base
+  | Some v -> Printf.sprintf "%s @v%d" base v
+
+let surviving cfg prog =
+  let markers =
+    C.Compiler.surviving_markers cfg.compiler ?version:cfg.version cfg.level prog
+  in
+  List.fold_left (fun s n -> Ir.Iset.add n s) Ir.Iset.empty markers
+
+let missed ~surviving ~dead = Ir.Iset.inter surviving dead
+
+let missed_vs_other ~mine ~other = Ir.Iset.diff mine other

@@ -1,0 +1,28 @@
+(** Differential testing over surviving markers (paper steps ②–③).
+
+    A configuration is a (compiler, level) pair; its result on an instrumented
+    program is the set of markers surviving in the generated assembly.
+    Missed-opportunity sets are plain set differences, optionally filtered by
+    ground truth (our compilers are verified sound — they never eliminate an
+    alive marker — so the filter is a safety net, not a correction). *)
+
+type config = {
+  compiler : Dce_compiler.Compiler.t;
+  level : Dce_compiler.Level.t;
+  version : int option;  (** [None] = HEAD *)
+}
+
+val config_name : config -> string
+(** e.g. ["gcc-sim -O3"] or ["llvm-sim -O2 @v17"]. *)
+
+val surviving : config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t
+(** Compile the instrumented program and scan the assembly. *)
+
+val missed :
+  surviving:Dce_ir.Ir.Iset.t -> dead:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
+(** Markers the configuration kept although they are dead. *)
+
+val missed_vs_other :
+  mine:Dce_ir.Ir.Iset.t -> other:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
+(** Paper §3.1: markers I keep that the other configuration eliminates —
+    feasibly missed opportunities for me. *)

@@ -1,0 +1,208 @@
+open Dce_ir
+open Ir
+
+type context = { ctx_markers : Iset.t; ctx_entry : bool; ctx_live : bool }
+
+let empty_ctx = { ctx_markers = Iset.empty; ctx_entry = false; ctx_live = false }
+
+let union_ctx a b =
+  {
+    ctx_markers = Iset.union a.ctx_markers b.ctx_markers;
+    ctx_entry = a.ctx_entry || b.ctx_entry;
+    ctx_live = a.ctx_live || b.ctx_live;
+  }
+
+type t = {
+  preds : Iset.t Imap.t;
+  roots : Iset.t; (* markers with an always-live root in their context *)
+  all : Iset.t;
+}
+
+(* per-block marker layout *)
+type layout = { first : int option; last : int option }
+
+let block_layout b =
+  let ms = List.filter_map (function Marker n -> Some n | _ -> None) b.b_instrs in
+  match ms with
+  | [] -> { first = None; last = None }
+  | _ -> { first = Some (List.hd ms); last = Some (List.nth ms (List.length ms - 1)) }
+
+(* context flowing INTO block [l] of [fn]: markers, live markless blocks, or
+   the entry, reachable backwards without crossing a marker block.  The walk
+   is transparent only through DEAD markless blocks: a live markless
+   predecessor is itself a satisfying "live pred" (paper §3.2). *)
+let incoming_context block_live fn layouts preds_map l =
+  let visited = Hashtbl.create 16 in
+  let ctx = ref empty_ctx in
+  let rec walk l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      let ps = Option.value ~default:[] (Imap.find_opt l preds_map) in
+      if l = fn.fn_entry then ctx := { !ctx with ctx_entry = true };
+      List.iter
+        (fun p ->
+          match (Imap.find_opt p layouts : layout option) with
+          | Some { last = Some m; _ } ->
+            ctx := { !ctx with ctx_markers = Iset.add m !ctx.ctx_markers }
+          | _ ->
+            if block_live fn.fn_name p then ctx := { !ctx with ctx_live = true }
+            else walk p)
+        ps
+    end
+  in
+  walk l;
+  !ctx
+
+(* context at instruction position (l, idx): the last marker earlier in the
+   block, or the block's incoming context *)
+let context_at block_live fn layouts preds_map l idx =
+  let b = block fn l in
+  let before = Dce_support.Listx.take idx b.b_instrs in
+  let ms = List.filter_map (function Marker n -> Some n | _ -> None) before in
+  match List.rev ms with
+  | m :: _ -> { empty_ctx with ctx_markers = Iset.singleton m }
+  | [] -> incoming_context block_live fn layouts preds_map l
+
+let build ?(interprocedural = true) ?(block_live = fun _ _ -> false) prog =
+  let fn_data =
+    List.map
+      (fun fn ->
+        let layouts = Imap.map block_layout fn.fn_blocks in
+        let preds_map = Cfg.predecessors fn in
+        (fn, layouts, preds_map))
+      prog.prog_funcs
+  in
+  (* call sites per callee: (caller data, block, index) *)
+  let callsites : (string, (func * layout Imap.t * label list Imap.t * label * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (fn, layouts, preds_map) ->
+      Imap.iter
+        (fun l b ->
+          List.iteri
+            (fun idx i ->
+              match i with
+              | Call (_, name, _) when find_func prog name <> None ->
+                let entry =
+                  match Hashtbl.find_opt callsites name with
+                  | Some r -> r
+                  | None ->
+                    let r = ref [] in
+                    Hashtbl.add callsites name r;
+                    r
+                in
+                entry := (fn, layouts, preds_map, l, idx) :: !entry
+              | _ -> ())
+            b.b_instrs)
+        fn.fn_blocks)
+    fn_data;
+  (* marker-level contexts, with function-entry expansion by fixpoint:
+     entry_ctx f = union of contexts at f's call sites; main (and functions
+     with no visible call sites) root *)
+  let entry_ctx : (string, context * bool) Hashtbl.t = Hashtbl.create 16 in
+  (* (context, is_root) *)
+  List.iter
+    (fun fn ->
+      let is_root =
+        (not interprocedural) || fn.fn_name = "main"
+        || not (Hashtbl.mem callsites fn.fn_name)
+      in
+      Hashtbl.replace entry_ctx fn.fn_name (empty_ctx, is_root))
+    prog.prog_funcs;
+  let changed = ref (interprocedural : bool) in
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun fn ->
+        match Hashtbl.find_opt callsites fn.fn_name with
+        | None -> ()
+        | Some sites ->
+          let cur, root = Hashtbl.find entry_ctx fn.fn_name in
+          let combined =
+            List.fold_left
+              (fun acc (caller, layouts, preds_map, l, idx) ->
+                let ctx = context_at block_live caller layouts preds_map l idx in
+                let acc = union_ctx acc { ctx with ctx_entry = false } in
+                if ctx.ctx_entry then begin
+                  (* the call site is reachable marker-free from the caller's
+                     entry: inherit the caller's entry context *)
+                  let caller_ctx, caller_root =
+                    Option.value ~default:(empty_ctx, true)
+                      (Hashtbl.find_opt entry_ctx caller.fn_name)
+                  in
+                  let acc = union_ctx acc caller_ctx in
+                  if caller_root then { acc with ctx_entry = true } else acc
+                end
+                else acc)
+              { cur with ctx_entry = false }
+              !sites
+          in
+          let new_root = root || combined.ctx_entry in
+          let combined = { combined with ctx_entry = false } in
+          if
+            (not (Iset.equal combined.ctx_markers cur.ctx_markers))
+            || new_root <> root
+          then begin
+            Hashtbl.replace entry_ctx fn.fn_name (combined, new_root);
+            changed := true
+          end)
+      prog.prog_funcs
+  done;
+  (* now compute each marker's predecessors *)
+  let preds = ref Imap.empty in
+  let roots = ref Iset.empty in
+  let all = ref Iset.empty in
+  List.iter
+    (fun (fn, layouts, preds_map) ->
+      Imap.iter
+        (fun l b ->
+          let prev_marker = ref None in
+          List.iter
+            (fun i ->
+              match i with
+              | Marker m ->
+                all := Iset.add m !all;
+                let ctx =
+                  match !prev_marker with
+                  | Some u -> { empty_ctx with ctx_markers = Iset.singleton u }
+                  | None -> incoming_context block_live fn layouts preds_map l
+                in
+                let ctx =
+                  if ctx.ctx_entry then begin
+                    let fctx, froot =
+                      Option.value ~default:(empty_ctx, true)
+                        (Hashtbl.find_opt entry_ctx fn.fn_name)
+                    in
+                    let merged = union_ctx { ctx with ctx_entry = false } fctx in
+                    if froot then begin
+                      roots := Iset.add m !roots;
+                      merged
+                    end
+                    else merged
+                  end
+                  else ctx
+                in
+                if ctx.ctx_live then roots := Iset.add m !roots;
+                preds := Imap.add m ctx.ctx_markers !preds;
+                prev_marker := Some m
+              | _ -> ())
+            b.b_instrs)
+        fn.fn_blocks)
+    fn_data;
+  { preds = !preds; roots = !roots; all = !all }
+
+let predecessors t m = Option.value ~default:Iset.empty (Imap.find_opt m t.preds)
+
+let has_root_context t m = Iset.mem m t.roots
+
+let markers t = t.all
+
+let primary_missed t ~alive ~missed =
+  Iset.filter
+    (fun m ->
+      let ps = predecessors t m in
+      Iset.for_all (fun u -> Iset.mem u alive || not (Iset.mem u missed)) ps)
+    missed

@@ -1,0 +1,51 @@
+(** Primary missed-marker analysis (paper §3.2, step ④).
+
+    A dead block may be dead only because a {e predecessor} dead block was
+    missed; reporting it separately would be noise.  The paper defines a
+    {b missed primary dead block} as a missed block all of whose CFG
+    predecessors are live or detected, and works on an interprocedural CFG.
+
+    Here the CFG is abstracted to a {e marker graph} over the instrumented
+    program's unoptimized IR: the predecessors of marker [m] are the markers
+    [u] from which [m]'s position is reachable without crossing a third
+    marker.  Function entries expand interprocedurally: a marker reachable
+    marker-free from its function's entry inherits the contexts of every call
+    site of that function ([main]'s entry — and entry of functions with no
+    visible callers — act as a virtual always-live root). *)
+
+type t
+
+val build :
+  ?interprocedural:bool ->
+  ?block_live:(string -> int -> bool) ->
+  Dce_ir.Ir.program ->
+  t
+(** Build from the {e unoptimized, pre-SSA} lowering of the instrumented
+    program (optimized CFGs would reflect the compiler under test, not the
+    program).
+
+    [block_live fn label] is the block-level ground truth
+    ({!Ground_truth.block_live}): the backward walk stops at {e live} markless
+    blocks and counts them as live predecessors — two sequentially dead
+    regions separated by an executed join are then independent, exactly as in
+    the paper's block-level CFG.  Without it (default: everything considered
+    not-live) markless blocks are transparent, a conservative
+    over-approximation of predecessor sets.
+
+    With [interprocedural:false] (an ablation; default true) every function
+    entry is treated as an always-live root instead of expanding through call
+    sites. *)
+
+val predecessors : t -> int -> Dce_ir.Ir.Iset.t
+(** Marker predecessors of a marker. *)
+
+val has_root_context : t -> int -> bool
+(** Whether the marker is reachable marker-free from an always-live root. *)
+
+val markers : t -> Dce_ir.Ir.Iset.t
+
+val primary_missed :
+  t -> alive:Dce_ir.Ir.Iset.t -> missed:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
+(** [primary_missed t ~alive ~missed]: the subset of [missed] whose marker
+    predecessors are each alive or detected (dead and not missed) — the
+    paper's Definition in §3.2. *)

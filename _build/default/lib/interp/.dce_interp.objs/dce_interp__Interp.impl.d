@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Char Dce_ir Dce_minic Hashtbl Imap Int64 Ir Iset List Option Printf String

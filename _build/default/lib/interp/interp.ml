@@ -1,0 +1,313 @@
+open Dce_ir
+open Ir
+module Ops = Dce_minic.Ops
+
+type value = Vint of int | Vptr of string * int * int
+
+type event = Ev_extern of string * value list | Ev_marker of int
+
+type outcome = Finished of int | Trap of string | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  events : event list;
+  executed_markers : Iset.t;
+  executed_blocks : (string * int, unit) Hashtbl.t;
+  steps : int;
+  final_globals : (string * int array) list;
+}
+
+exception Trap_exn of string
+exception Fuel_exn
+
+let trap fmt = Printf.ksprintf (fun m -> raise (Trap_exn m)) fmt
+
+type state = {
+  prog : program;
+  memory : (string * int, value array) Hashtbl.t; (* (symbol, instance) -> cells *)
+  funcs : (string, func) Hashtbl.t;
+  defined_syms : (string, symbol) Hashtbl.t;
+  mutable fuel : int;
+  mutable steps : int;
+  mutable next_instance : int;
+  mutable events : event list; (* reversed *)
+  mutable markers : Iset.t;
+  blocks_run : (string * int, unit) Hashtbl.t;
+  max_depth : int;
+}
+
+let value_of_cell = function
+  | Cint n -> Vint n
+  | Caddr (sym, off) -> Vptr (sym, 0, off)
+
+let alloc st sym instance =
+  let cells = Array.map value_of_cell sym.sym_init in
+  Hashtbl.replace st.memory (sym.sym_name, instance) cells
+
+let truthy = function
+  | Vint n -> n <> 0
+  | Vptr _ -> true
+
+let eval_binary op a b =
+  match (op, a, b) with
+  | _, Vint x, Vint y -> Vint (Ops.eval_binop op x y)
+  | Ops.Eq, Vptr (s1, i1, o1), Vptr (s2, i2, o2) ->
+    Vint (if s1 = s2 && i1 = i2 && o1 = o2 then 1 else 0)
+  | Ops.Ne, Vptr (s1, i1, o1), Vptr (s2, i2, o2) ->
+    Vint (if s1 = s2 && i1 = i2 && o1 = o2 then 0 else 1)
+  | Ops.Eq, Vptr _, Vint _ | Ops.Eq, Vint _, Vptr _ -> Vint 0 (* pointers are never null *)
+  | Ops.Ne, Vptr _, Vint _ | Ops.Ne, Vint _, Vptr _ -> Vint 1
+  | (Ops.Lt | Ops.Le | Ops.Gt | Ops.Ge), Vptr (s1, i1, o1), Vptr (s2, i2, o2) ->
+    (* total deterministic order: by symbol name, instance, then offset *)
+    let c = compare (s1, i1, o1) (s2, i2, o2) in
+    let r =
+      match op with
+      | Ops.Lt -> c < 0
+      | Ops.Le -> c <= 0
+      | Ops.Gt -> c > 0
+      | Ops.Ge -> c >= 0
+      | _ -> assert false
+    in
+    Vint (if r then 1 else 0)
+  | Ops.Add, Vptr (s, i, o), Vint k | Ops.Add, Vint k, Vptr (s, i, o) -> Vptr (s, i, o + k)
+  | Ops.Sub, Vptr (s, i, o), Vint k -> Vptr (s, i, o - k)
+  | Ops.Sub, Vptr (s1, i1, o1), Vptr (s2, i2, o2) when s1 = s2 && i1 = i2 -> Vint (o1 - o2)
+  | (Ops.Land | Ops.Lor), _, _ ->
+    let xb = truthy a and yb = truthy b in
+    Vint (Ops.eval_binop op (if xb then 1 else 0) (if yb then 1 else 0))
+  | _, _, _ -> trap "binary %s on incompatible values" (Ops.binop_symbol op)
+
+let eval_unary op v =
+  match (op, v) with
+  | _, Vint x -> Vint (Ops.eval_unop op x)
+  | Ops.Lnot, Vptr _ -> Vint 0 (* pointers are non-null, hence truthy *)
+  | (Ops.Neg | Ops.Bnot), Vptr _ -> trap "unary %s on pointer" (Ops.unop_symbol op)
+
+(* Deterministic result of an undefined external function: a stable mix of
+   the name and integer arguments.  Extern results must be deterministic for
+   ground truth to be well-defined; the mixing gives generated programs
+   opaque-but-reproducible runtime values. *)
+let extern_result name args =
+  let mix h x =
+    let h = Int64.logxor h (Int64.of_int x) in
+    let h = Int64.mul h 0x100000001B3L in
+    Int64.logxor h (Int64.shift_right_logical h 29)
+  in
+  let h = String.fold_left (fun h c -> mix h (Char.code c)) 0xCBF29CE484222325L name in
+  let h =
+    List.fold_left
+      (fun h v ->
+        match v with
+        | Vint n -> mix h n
+        | Vptr (s, _, o) -> String.fold_left (fun h c -> mix h (Char.code c)) (mix h o) s)
+      h args
+  in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+(* one function activation *)
+type frame = {
+  regs : (int, value) Hashtbl.t;
+  frame_instances : (string, int) Hashtbl.t; (* frame symbol -> instance *)
+}
+
+let rec call st depth (fn : func) (args : value list) : value =
+  if depth > st.max_depth then trap "call depth exceeded in %s" fn.fn_name;
+  let fr = { regs = Hashtbl.create 32; frame_instances = Hashtbl.create 4 } in
+  (* allocate this activation's frame symbols *)
+  List.iter
+    (fun sym ->
+      match sym.sym_kind with
+      | `Frame owner when owner = fn.fn_name ->
+        let inst = st.next_instance in
+        st.next_instance <- inst + 1;
+        Hashtbl.replace fr.frame_instances sym.sym_name inst;
+        alloc st sym inst
+      | `Frame _ | `Global -> ())
+    st.prog.prog_syms;
+  (if List.length fn.fn_params <> List.length args then
+     trap "arity mismatch calling %s" fn.fn_name);
+  List.iter2 (fun p a -> Hashtbl.replace fr.regs p a) fn.fn_params args;
+  let reg v =
+    match Hashtbl.find_opt fr.regs v with
+    | Some x -> x
+    | None -> trap "read of undefined register %%%d in %s" v fn.fn_name
+  in
+  let operand = function
+    | Const n -> Vint n
+    | Reg v -> reg v
+  in
+  let resolve_sym_instance name =
+    match Hashtbl.find_opt fr.frame_instances name with
+    | Some inst -> inst
+    | None -> 0
+  in
+  let load_ptr = function
+    | Vptr (sym, inst, off) -> (
+      match Hashtbl.find_opt st.memory (sym, inst) with
+      | None -> trap "dangling pointer to %s" sym
+      | Some cells ->
+        if off < 0 || off >= Array.length cells then
+          trap "out-of-bounds read of %s[%d]" sym off
+        else cells.(off))
+    | Vint _ -> trap "load through non-pointer value"
+  in
+  let store_ptr p v =
+    match p with
+    | Vptr (sym, inst, off) -> (
+      match Hashtbl.find_opt st.memory (sym, inst) with
+      | None -> trap "dangling pointer to %s" sym
+      | Some cells ->
+        if off < 0 || off >= Array.length cells then
+          trap "out-of-bounds write of %s[%d]" sym off
+        else cells.(off) <- v)
+    | Vint _ -> trap "store through non-pointer value"
+  in
+  let eval_rvalue prev_label rv =
+    match rv with
+    | Op a -> operand a
+    | Unary (op, a) -> eval_unary op (operand a)
+    | Binary (op, a, b) -> eval_binary op (operand a) (operand b)
+    | Addr (sym, off) -> (
+      match operand off with
+      | Vint k -> Vptr (sym, resolve_sym_instance sym, k)
+      | Vptr _ -> trap "pointer used as offset")
+    | Ptradd (p, off) -> (
+      match (operand p, operand off) with
+      | Vptr (s, i, o), Vint k -> Vptr (s, i, o + k)
+      | Vint _, _ -> trap "ptradd on non-pointer (null dereference?)"
+      | _, Vptr _ -> trap "pointer used as offset")
+    | Load p -> load_ptr (operand p)
+    | Phi args -> (
+      match prev_label with
+      | None -> trap "phi in entry block"
+      | Some prev -> (
+        match List.assoc_opt prev args with
+        | Some a -> operand a
+        | None -> trap "phi has no argument for predecessor L%d" prev))
+  in
+  let tick () =
+    st.steps <- st.steps + 1;
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then raise Fuel_exn
+  in
+  let rec exec_block prev_label l : value =
+    Hashtbl.replace st.blocks_run (fn.fn_name, l) ();
+    let b =
+      match Imap.find_opt l fn.fn_blocks with
+      | Some b -> b
+      | None -> trap "jump to missing block L%d in %s" l fn.fn_name
+    in
+    (* phis evaluate in parallel against the incoming edge *)
+    let rec split_phis acc = function
+      | (Def (v, Phi args) as _i) :: rest -> split_phis ((v, args) :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let phis, body = split_phis [] b.b_instrs in
+    let phi_values =
+      List.map
+        (fun (v, args) ->
+          tick ();
+          (v, eval_rvalue prev_label (Phi args)))
+        phis
+    in
+    List.iter (fun (v, value) -> Hashtbl.replace fr.regs v value) phi_values;
+    List.iter
+      (fun i ->
+        tick ();
+        match i with
+        | Def (v, rv) -> Hashtbl.replace fr.regs v (eval_rvalue prev_label rv)
+        | Store (p, v) -> store_ptr (operand p) (operand v)
+        | Marker n ->
+          st.events <- Ev_marker n :: st.events;
+          st.markers <- Iset.add n st.markers
+        | Call (res, name, arg_ops) ->
+          let arg_values = List.map operand arg_ops in
+          let result =
+            match Hashtbl.find_opt st.funcs name with
+            | Some callee -> call st (depth + 1) callee arg_values
+            | None ->
+              st.events <- Ev_extern (name, arg_values) :: st.events;
+              Vint (extern_result name arg_values)
+          in
+          (match res with
+           | Some v -> Hashtbl.replace fr.regs v result
+           | None -> ()))
+      body;
+    tick ();
+    match b.b_term with
+    | Jmp next -> exec_block (Some l) next
+    | Br (c, lt, lf) -> exec_block (Some l) (if truthy (operand c) then lt else lf)
+    | Switch (c, cases, dflt) -> (
+      match operand c with
+      | Vint k -> exec_block (Some l) (Option.value ~default:dflt (List.assoc_opt k cases))
+      | Vptr _ -> trap "switch on pointer")
+    | Ret None -> Vint 0
+    | Ret (Some a) -> operand a
+  in
+  let result = exec_block None fn.fn_entry in
+  (* deallocate this activation's frames: pointers into them become dangling *)
+  Hashtbl.iter (fun sym inst -> Hashtbl.remove st.memory (sym, inst)) fr.frame_instances;
+  result
+
+(* stable integer encoding of final memory cells (pointers hash by target) *)
+let cell_checksum = function
+  | Vint n -> n
+  | Vptr (sym, inst, off) -> Hashtbl.hash (sym, inst, off) lor min_int
+
+let run ?(fuel = 2_000_000) ?(max_depth = 256) prog =
+  let st =
+    {
+      prog;
+      memory = Hashtbl.create 64;
+      funcs = Hashtbl.create 16;
+      defined_syms = Hashtbl.create 64;
+      fuel;
+      steps = 0;
+      next_instance = 1;
+      events = [];
+      markers = Iset.empty;
+      blocks_run = Hashtbl.create 128;
+      max_depth;
+    }
+  in
+  List.iter (fun fn -> Hashtbl.replace st.funcs fn.fn_name fn) prog.prog_funcs;
+  List.iter
+    (fun sym ->
+      Hashtbl.replace st.defined_syms sym.sym_name sym;
+      match sym.sym_kind with `Global -> alloc st sym 0 | `Frame _ -> ())
+    prog.prog_syms;
+  let outcome =
+    match Hashtbl.find_opt st.funcs "main" with
+    | None -> Trap "no main function"
+    | Some main -> (
+      try
+        match call st 0 main [] with
+        | Vint n -> Finished n
+        | Vptr _ -> Finished 1 (* returning a pointer from main: nonzero status *)
+      with
+      | Trap_exn m -> Trap m
+      | Fuel_exn -> Out_of_fuel)
+  in
+  let final_globals =
+    List.filter_map
+      (fun sym ->
+        match sym.sym_kind with
+        | `Global -> (
+          match Hashtbl.find_opt st.memory (sym.sym_name, 0) with
+          | Some cells -> Some (sym.sym_name, Array.map cell_checksum cells)
+          | None -> None)
+        | `Frame _ -> None)
+      prog.prog_syms
+  in
+  {
+    outcome;
+    events = List.rev st.events;
+    executed_markers = st.markers;
+    executed_blocks = st.blocks_run;
+    steps = st.steps;
+    final_globals;
+  }
+
+let equivalent a b = a.outcome = b.outcome && a.events = b.events
+
+let equivalent_strict a b = equivalent a b && a.final_globals = b.final_globals

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Hashtbl Imap Ir Iset List Option

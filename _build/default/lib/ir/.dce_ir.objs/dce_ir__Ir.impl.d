@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Dce_minic Int List Map Set

@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Dce_minic Map Set

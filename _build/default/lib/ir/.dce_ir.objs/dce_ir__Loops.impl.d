@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Cfg Dce_support Dom Imap Ir Iset List Option Queue

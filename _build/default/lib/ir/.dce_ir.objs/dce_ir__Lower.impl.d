@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Dce_minic Hashtbl Imap Ir List Option Printf

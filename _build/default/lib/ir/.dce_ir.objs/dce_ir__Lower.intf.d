@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Dce_minic Ir

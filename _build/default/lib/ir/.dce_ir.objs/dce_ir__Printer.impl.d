@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Dce_minic Imap Ir List Printf String

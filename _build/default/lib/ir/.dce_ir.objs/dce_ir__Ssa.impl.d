@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Cfg Dom Hashtbl Imap Ir Iset List Map Option Printf Queue Validate

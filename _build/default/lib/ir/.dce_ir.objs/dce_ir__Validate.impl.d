@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Cfg Hashtbl Imap Ir List Option Printer Printf String

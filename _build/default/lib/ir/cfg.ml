@@ -1,0 +1,99 @@
+open Ir
+
+let predecessors fn =
+  let init = Imap.map (fun _ -> []) fn.fn_blocks in
+  let preds =
+    Imap.fold
+      (fun l b acc ->
+        List.fold_left
+          (fun acc succ ->
+            match Imap.find_opt succ acc with
+            | Some ps -> Imap.add succ (l :: ps) acc
+            | None -> acc (* dangling edge; caught by Validate *))
+          acc (successors b.b_term))
+      fn.fn_blocks init
+  in
+  Imap.map (List.sort_uniq compare) preds
+
+let postorder fn =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      (match Imap.find_opt l fn.fn_blocks with
+       | Some b -> List.iter dfs (successors b.b_term)
+       | None -> ());
+      order := l :: !order
+    end
+  in
+  dfs fn.fn_entry;
+  List.rev !order
+
+let reverse_postorder fn = List.rev (postorder fn)
+
+let reachable fn = List.fold_left (fun acc l -> Iset.add l acc) Iset.empty (postorder fn)
+
+let edge_count fn =
+  let reach = reachable fn in
+  Imap.fold
+    (fun l b acc ->
+      if Iset.mem l reach then acc + List.length (successors b.b_term) else acc)
+    fn.fn_blocks 0
+
+(* converting some phis to copies can interleave copies among phis; restore
+   the phis-first prefix (a stable partition, so relative orders survive).
+   Moving a converted copy below the remaining phis is semantically neutral:
+   its operand is a predecessor-end value, which no phi of this block can
+   redefine under SSA. *)
+let normalize_phi_prefix b =
+  let is_phi = function Def (_, Phi _) -> true | _ -> false in
+  if List.exists is_phi b.b_instrs then
+    let phis, rest = List.partition is_phi b.b_instrs in
+    { b with b_instrs = phis @ rest }
+  else b
+
+let remove_unreachable_blocks fn =
+  let reach = reachable fn in
+  if Imap.for_all (fun l _ -> Iset.mem l reach) fn.fn_blocks then fn
+  else begin
+    let blocks = Imap.filter (fun l _ -> Iset.mem l reach) fn.fn_blocks in
+    let fix_phi = function
+      | Def (v, Phi args) -> (
+        match List.filter (fun (p, _) -> Iset.mem p reach) args with
+        | [ (_, a) ] -> Def (v, Op a)
+        | args -> Def (v, Phi args))
+      | i -> i
+    in
+    let blocks =
+      Imap.map
+        (fun b -> normalize_phi_prefix { b with b_instrs = List.map fix_phi b.b_instrs })
+        blocks
+    in
+    { fn with fn_blocks = blocks }
+  end
+
+let prune_phi_args fn =
+  let preds = predecessors fn in
+  let blocks =
+    Imap.mapi
+      (fun l b ->
+        let ps = Option.value ~default:[] (Imap.find_opt l preds) in
+        let instrs =
+          List.map
+            (fun i ->
+              match i with
+              | Def (v, Phi args) -> (
+                let args' = List.filter (fun (p, _) -> List.mem p ps) args in
+                if List.length args' = List.length args then i
+                else
+                  match args' with
+                  | [ (_, a) ] -> Def (v, Op a)
+                  | _ -> Def (v, Phi args'))
+              | _ -> i)
+            b.b_instrs
+        in
+        normalize_phi_prefix { b with b_instrs = instrs })
+      fn.fn_blocks
+  in
+  { fn with fn_blocks = blocks }

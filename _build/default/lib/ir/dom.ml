@@ -1,0 +1,122 @@
+open Ir
+
+type t = {
+  entry : label;
+  idoms : label Imap.t;          (* block -> immediate dominator (entry absent) *)
+  kids : label list Imap.t;
+  frontiers : label list Imap.t;
+}
+
+let compute fn =
+  let rpo = Cfg.reverse_postorder fn in
+  let rpo_index = List.mapi (fun i l -> (l, i)) rpo in
+  let index = List.fold_left (fun m (l, i) -> Imap.add l i m) Imap.empty rpo_index in
+  let preds_all = Cfg.predecessors fn in
+  let reach = Cfg.reachable fn in
+  let preds l =
+    match Imap.find_opt l preds_all with
+    | Some ps -> List.filter (fun p -> Iset.mem p reach) ps
+    | None -> []
+  in
+  (* idom as a mutable map keyed by rpo index *)
+  let n = List.length rpo in
+  let order = Array.of_list rpo in
+  let idom = Array.make n (-1) in
+  let entry_idx = 0 in
+  idom.(entry_idx) <- entry_idx;
+  let idx l = Imap.find l index in
+  let rec intersect a b =
+    if a = b then a
+    else if a > b then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let l = order.(i) in
+      let ps = preds l in
+      let processed = List.filter (fun p -> idom.(idx p) >= 0) ps in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom =
+          List.fold_left
+            (fun acc p -> intersect acc (idx p))
+            (idx first) rest
+        in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let idoms =
+    List.fold_left
+      (fun m (l, i) -> if i = entry_idx then m else Imap.add l order.(idom.(i)) m)
+      Imap.empty rpo_index
+  in
+  let kids =
+    Imap.fold
+      (fun child parent m ->
+        let existing = Option.value ~default:[] (Imap.find_opt parent m) in
+        Imap.add parent (child :: existing) m)
+      idoms Imap.empty
+    |> Imap.map (List.sort_uniq compare)
+  in
+  (* dominance frontiers *)
+  let frontiers = ref Imap.empty in
+  let add_frontier l x =
+    let existing = Option.value ~default:[] (Imap.find_opt l !frontiers) in
+    if not (List.mem x existing) then frontiers := Imap.add l (x :: existing) !frontiers
+  in
+  List.iter
+    (fun l ->
+      let ps = preds l in
+      if List.length ps >= 2 then
+        match Imap.find_opt l idoms with
+        | None -> () (* entry block: no frontier contributions via idom walk *)
+        | Some stop ->
+          List.iter
+            (fun p ->
+              let rec walk runner =
+                if runner <> stop then begin
+                  add_frontier runner l;
+                  match Imap.find_opt runner idoms with
+                  | Some up -> walk up
+                  | None -> () (* reached entry *)
+                end
+              in
+              walk p)
+            ps)
+    rpo;
+  {
+    entry = fn.fn_entry;
+    idoms;
+    kids;
+    frontiers = Imap.map (List.sort_uniq compare) !frontiers;
+  }
+
+let idom t l = Imap.find_opt l t.idoms
+
+let rec dominates t a b =
+  if a = b then true
+  else
+    match Imap.find_opt b t.idoms with
+    | Some parent -> dominates t a parent
+    | None -> false
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let children t l = Option.value ~default:[] (Imap.find_opt l t.kids)
+
+let frontier t l = Option.value ~default:[] (Imap.find_opt l t.frontiers)
+
+let dom_tree_preorder t =
+  let acc = ref [] in
+  let rec walk l =
+    acc := l :: !acc;
+    List.iter walk (children t l)
+  in
+  walk t.entry;
+  List.rev !acc

@@ -1,0 +1,26 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+
+    Only reachable blocks appear in the results; unreachable blocks have no
+    dominator information and must be cleaned up (or ignored) by callers. *)
+
+type t
+
+val compute : Ir.func -> t
+
+val idom : t -> Ir.label -> Ir.label option
+(** Immediate dominator; [None] for the entry block (and unreachable
+    blocks). *)
+
+val dominates : t -> Ir.label -> Ir.label -> bool
+(** [dominates t a b] — reflexive ([dominates t a a = true]). *)
+
+val strictly_dominates : t -> Ir.label -> Ir.label -> bool
+
+val children : t -> Ir.label -> Ir.label list
+(** Dominator-tree children, in increasing label order. *)
+
+val frontier : t -> Ir.label -> Ir.label list
+(** Dominance frontier of the block. *)
+
+val dom_tree_preorder : t -> Ir.label list
+(** Preorder walk of the dominator tree from the entry. *)

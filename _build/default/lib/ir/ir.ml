@@ -1,0 +1,163 @@
+type label = int
+type var = int
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type operand = Const of int | Reg of var
+
+type rvalue =
+  | Op of operand
+  | Unary of Dce_minic.Ops.unop * operand
+  | Binary of Dce_minic.Ops.binop * operand * operand
+  | Addr of string * operand
+  | Ptradd of operand * operand
+  | Load of operand
+  | Phi of (label * operand) list
+
+type instr =
+  | Def of var * rvalue
+  | Store of operand * operand
+  | Call of var option * string * operand list
+  | Marker of int
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label
+  | Switch of operand * (int * label) list * label
+  | Ret of operand option
+
+type block = { b_instrs : instr list; b_term : terminator }
+
+type func = {
+  fn_name : string;
+  fn_params : var list;
+  fn_entry : label;
+  fn_blocks : block Imap.t;
+  fn_next_var : int;
+  fn_next_label : int;
+  fn_var_names : string Imap.t;
+  fn_static : bool;
+  fn_returns_value : bool;
+}
+
+type init_cell = Cint of int | Caddr of string * int
+
+type symbol = {
+  sym_name : string;
+  sym_size : int;
+  sym_init : init_cell array;
+  sym_static : bool;
+  sym_kind : [ `Global | `Frame of string ];
+}
+
+type program = {
+  prog_syms : symbol list;
+  prog_funcs : func list;
+  prog_externs : (string * int) list;
+}
+
+let block fn l = Imap.find l fn.fn_blocks
+
+let find_symbol prog name = List.find_opt (fun s -> s.sym_name = name) prog.prog_syms
+let find_func prog name = List.find_opt (fun f -> f.fn_name = name) prog.prog_funcs
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Br (_, lt, lf) -> if lt = lf then [ lt ] else [ lt; lf ]
+  | Switch (_, cases, dflt) ->
+    let targets = List.map snd cases @ [ dflt ] in
+    List.sort_uniq compare targets
+  | Ret _ -> []
+
+let map_func f prog = { prog with prog_funcs = List.map f prog.prog_funcs }
+
+let update_func prog fn =
+  {
+    prog with
+    prog_funcs = List.map (fun f -> if f.fn_name = fn.fn_name then fn else f) prog.prog_funcs;
+  }
+
+let operands_of_rvalue = function
+  | Op a | Unary (_, a) | Load a | Addr (_, a) -> [ a ]
+  | Binary (_, a, b) | Ptradd (a, b) -> [ a; b ]
+  | Phi args -> List.map snd args
+
+let operands_of_instr = function
+  | Def (_, rv) -> operands_of_rvalue rv
+  | Store (a, v) -> [ a; v ]
+  | Call (_, _, args) -> args
+  | Marker _ -> []
+
+let operands_of_terminator = function
+  | Jmp _ -> []
+  | Br (c, _, _) -> [ c ]
+  | Switch (c, _, _) -> [ c ]
+  | Ret None -> []
+  | Ret (Some a) -> [ a ]
+
+let regs_of ops = List.filter_map (function Reg v -> Some v | Const _ -> None) ops
+
+let uses_of_instr i = regs_of (operands_of_instr i)
+let uses_of_terminator t = regs_of (operands_of_terminator t)
+
+let def_of_instr = function
+  | Def (v, _) -> Some v
+  | Call (res, _, _) -> res
+  | Store _ | Marker _ -> None
+
+let map_rvalue_operands f = function
+  | Op a -> Op (f a)
+  | Unary (op, a) -> Unary (op, f a)
+  | Binary (op, a, b) -> Binary (op, f a, f b)
+  | Addr (s, a) -> Addr (s, f a)
+  | Ptradd (a, b) -> Ptradd (f a, f b)
+  | Load a -> Load (f a)
+  | Phi args -> Phi (List.map (fun (l, a) -> (l, f a)) args)
+
+let map_instr_operands f = function
+  | Def (v, rv) -> Def (v, map_rvalue_operands f rv)
+  | Store (a, v) -> Store (f a, f v)
+  | Call (res, name, args) -> Call (res, name, List.map f args)
+  | Marker n -> Marker n
+
+let map_terminator_operands f = function
+  | Jmp l -> Jmp l
+  | Br (c, lt, lf) -> Br (f c, lt, lf)
+  | Switch (c, cases, dflt) -> Switch (f c, cases, dflt)
+  | Ret None -> Ret None
+  | Ret (Some a) -> Ret (Some (f a))
+
+let map_terminator_labels f = function
+  | Jmp l -> Jmp (f l)
+  | Br (c, lt, lf) -> Br (c, f lt, f lf)
+  | Switch (c, cases, dflt) -> Switch (c, List.map (fun (k, l) -> (k, f l)) cases, f dflt)
+  | Ret r -> Ret r
+
+let has_side_effect = function
+  | Store _ | Call _ | Marker _ -> true
+  | Def _ -> false
+
+let instr_count fn =
+  Imap.fold (fun _ b acc -> acc + List.length b.b_instrs + 1) fn.fn_blocks 0
+
+let program_instr_count prog =
+  List.fold_left (fun acc fn -> acc + instr_count fn) 0 prog.prog_funcs
+
+let iter_instrs f fn =
+  Imap.iter (fun l b -> List.iter (fun i -> f l i) b.b_instrs) fn.fn_blocks
+
+let fresh_var fn = ({ fn with fn_next_var = fn.fn_next_var + 1 }, fn.fn_next_var)
+let fresh_label fn = ({ fn with fn_next_label = fn.fn_next_label + 1 }, fn.fn_next_label)
+
+let called_names fn =
+  let acc = ref [] in
+  iter_instrs (fun _ i -> match i with Call (_, name, _) -> acc := name :: !acc | _ -> ()) fn;
+  List.rev !acc
+
+let marker_ids fn =
+  let acc = ref [] in
+  iter_instrs (fun _ i -> match i with Marker n -> acc := n :: !acc | _ -> ()) fn;
+  List.rev !acc
+
+let program_marker_ids prog = List.concat_map marker_ids prog.prog_funcs

@@ -1,0 +1,66 @@
+open Ir
+
+type loop = {
+  header : label;
+  latches : label list;
+  body : Iset.t;
+  exits : (label * label) list;
+}
+
+let natural_loops fn =
+  let fn = Cfg.remove_unreachable_blocks fn in
+  let dom = Dom.compute fn in
+  let preds = Cfg.predecessors fn in
+  (* back edges, grouped by header *)
+  let back_edges = ref [] in
+  Imap.iter
+    (fun l b ->
+      List.iter
+        (fun s -> if Dom.dominates dom s l then back_edges := (l, s) :: !back_edges)
+        (successors b.b_term))
+    fn.fn_blocks;
+  let by_header = Dce_support.Listx.group_by snd !back_edges in
+  let loops =
+    List.map
+      (fun (header, edges) ->
+        let latches = List.map fst edges in
+        (* body: header plus everything that reaches a latch without passing
+           through the header *)
+        let body = ref (Iset.singleton header) in
+        let work = Queue.create () in
+        List.iter
+          (fun latch ->
+            if not (Iset.mem latch !body) then begin
+              body := Iset.add latch !body;
+              Queue.add latch work
+            end)
+          latches;
+        while not (Queue.is_empty work) do
+          let l = Queue.pop work in
+          List.iter
+            (fun p ->
+              if not (Iset.mem p !body) then begin
+                body := Iset.add p !body;
+                Queue.add p work
+              end)
+            (Option.value ~default:[] (Imap.find_opt l preds))
+        done;
+        let exits = ref [] in
+        Iset.iter
+          (fun l ->
+            List.iter
+              (fun s -> if not (Iset.mem s !body) then exits := (l, s) :: !exits)
+              (successors (block fn l).b_term))
+          !body;
+        { header; latches = List.sort_uniq compare latches; body = !body; exits = List.rev !exits })
+      by_header
+  in
+  List.sort (fun a b -> compare (Iset.cardinal a.body) (Iset.cardinal b.body)) loops
+
+let loop_depth fn =
+  let loops = natural_loops fn in
+  Imap.fold
+    (fun l _ acc ->
+      let depth = List.length (List.filter (fun lp -> Iset.mem l lp.body) loops) in
+      Imap.add l depth acc)
+    fn.fn_blocks Imap.empty

@@ -1,0 +1,20 @@
+(** Natural-loop detection (back edges to a dominating header).
+
+    Used by the loop passes: full unrolling, unswitching, and the vectorizer
+    model. Back edges whose target does not dominate the source (irreducible
+    control flow) are ignored; MiniC lowering only produces reducible CFGs. *)
+
+type loop = {
+  header : Ir.label;
+  latches : Ir.label list;     (** sources of back edges to [header] *)
+  body : Ir.Iset.t;            (** all blocks in the loop, including header *)
+  exits : (Ir.label * Ir.label) list;
+      (** edges (from-inside, to-outside) leaving the loop *)
+}
+
+val natural_loops : Ir.func -> loop list
+(** All natural loops, loops with the same header merged, innermost first
+    (ordered by increasing body size). *)
+
+val loop_depth : Ir.func -> int Ir.Imap.t
+(** Nesting depth per block (0 = not in any loop). *)

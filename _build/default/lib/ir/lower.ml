@@ -1,0 +1,402 @@
+module Ast = Dce_minic.Ast
+module Ops = Dce_minic.Ops
+open Ir
+
+type local_slot = Slot_reg of var | Slot_frame of string * Ast.typ
+
+type ctx = {
+  mutable done_blocks : (label * block) list;
+  mutable cur_label : label;
+  mutable cur_instrs : instr list; (* reversed *)
+  mutable nvar : int;
+  mutable nlabel : int;
+  mutable names : string Imap.t;
+  locals : (string, local_slot) Hashtbl.t;
+  global_types : (string, Ast.typ) Hashtbl.t;
+  mutable break_stack : label list;
+  mutable cont_stack : label list;
+  fname : string;
+  mutable frame_syms : symbol list;
+}
+
+let fresh_var ?name ctx =
+  let v = ctx.nvar in
+  ctx.nvar <- v + 1;
+  (match name with Some n -> ctx.names <- Imap.add v n ctx.names | None -> ());
+  v
+
+let fresh_label ctx =
+  let l = ctx.nlabel in
+  ctx.nlabel <- l + 1;
+  l
+
+let emit ctx i = ctx.cur_instrs <- i :: ctx.cur_instrs
+
+let define ctx ?name rv =
+  let v = fresh_var ?name ctx in
+  emit ctx (Def (v, rv));
+  Reg v
+
+let finish_block ctx term =
+  ctx.done_blocks <- (ctx.cur_label, { b_instrs = List.rev ctx.cur_instrs; b_term = term }) :: ctx.done_blocks;
+  ctx.cur_instrs <- []
+
+let start_block ctx l = ctx.cur_label <- l
+
+(* ---------- name resolution ---------- *)
+
+let frame_sym_name fname local = fname ^ "." ^ local
+
+let resolve ctx name =
+  match Hashtbl.find_opt ctx.locals name with
+  | Some slot -> `Local slot
+  | None -> (
+    match Hashtbl.find_opt ctx.global_types name with
+    | Some t -> `Global t
+    | None -> failwith (Printf.sprintf "lower: unresolved name %s" name))
+
+(* ---------- expressions ---------- *)
+
+let rec lower_expr ctx (e : Ast.expr) : operand =
+  match e with
+  | Ast.Int n -> Const n
+  | Ast.Var x -> (
+    match resolve ctx x with
+    | `Local (Slot_reg v) -> Reg v
+    | `Local (Slot_frame (sym, Ast.Tarr _)) -> define ctx (Addr (sym, Const 0))
+    | `Local (Slot_frame (sym, _)) ->
+      let addr = define ctx (Addr (sym, Const 0)) in
+      define ctx (Load addr)
+    | `Global (Ast.Tarr _) -> define ctx (Addr (x, Const 0))
+    | `Global _ ->
+      let addr = define ctx (Addr (x, Const 0)) in
+      define ctx (Load addr))
+  | Ast.Unary (op, e1) ->
+    let a = lower_expr ctx e1 in
+    define ctx (Unary (op, a))
+  | Ast.Binary (op, e1, e2) when Ops.is_logical op -> lower_short_circuit ctx op e1 e2
+  | Ast.Binary (op, e1, e2) ->
+    let a = lower_expr ctx e1 in
+    let b = lower_expr ctx e2 in
+    define ctx (Binary (op, a, b))
+  | Ast.Addr_of lv -> lower_lvalue_addr ctx lv
+  | Ast.Deref e1 ->
+    let p = lower_expr ctx e1 in
+    define ctx (Load p)
+  | Ast.Index (base, idx) ->
+    let addr = lower_index_addr ctx base idx in
+    define ctx (Load addr)
+  | Ast.Call (name, args) ->
+    let arg_ops = List.map (lower_expr ctx) args in
+    let v = fresh_var ctx in
+    emit ctx (Call (Some v, name, arg_ops));
+    Reg v
+
+and lower_short_circuit ctx op e1 e2 =
+  (* result register assigned on both paths; SSA construction inserts the phi *)
+  let result = fresh_var ~name:"sc" ctx in
+  let default_val = match op with Ops.Land -> 0 | Ops.Lor -> 1 | _ -> assert false in
+  emit ctx (Def (result, Op (Const default_val)));
+  let a = lower_expr ctx e1 in
+  let l_rhs = fresh_label ctx in
+  let l_end = fresh_label ctx in
+  (match op with
+   | Ops.Land -> finish_block ctx (Br (a, l_rhs, l_end))
+   | Ops.Lor -> finish_block ctx (Br (a, l_end, l_rhs))
+   | _ -> assert false);
+  start_block ctx l_rhs;
+  let b = lower_expr ctx e2 in
+  let norm = define ctx (Binary (Ops.Ne, b, Const 0)) in
+  emit ctx (Def (result, Op norm));
+  finish_block ctx (Jmp l_end);
+  start_block ctx l_end;
+  Reg result
+
+and lower_index_addr ctx base idx =
+  let idx_op = lower_expr ctx idx in
+  match resolve ctx base with
+  | `Local (Slot_frame (sym, Ast.Tarr _)) -> define ctx (Addr (sym, idx_op))
+  | `Global (Ast.Tarr _) -> define ctx (Addr (base, idx_op))
+  | `Local (Slot_reg v) -> define ctx (Ptradd (Reg v, idx_op))
+  | `Local (Slot_frame (sym, _)) ->
+    let cell = define ctx (Addr (sym, Const 0)) in
+    let p = define ctx (Load cell) in
+    define ctx (Ptradd (p, idx_op))
+  | `Global _ ->
+    let cell = define ctx (Addr (base, Const 0)) in
+    let p = define ctx (Load cell) in
+    define ctx (Ptradd (p, idx_op))
+
+and lower_lvalue_addr ctx (lv : Ast.lvalue) : operand =
+  match lv with
+  | Ast.Lvar x -> (
+    match resolve ctx x with
+    | `Local (Slot_frame (sym, _)) -> define ctx (Addr (sym, Const 0))
+    | `Global _ -> define ctx (Addr (x, Const 0))
+    | `Local (Slot_reg _) ->
+      failwith (Printf.sprintf "lower: address of register local %s (classification bug)" x))
+  | Ast.Lderef e -> lower_expr ctx e
+  | Ast.Lindex (base, idx) -> lower_index_addr ctx base idx
+
+(* ---------- statements ---------- *)
+
+let lower_assign ctx (lv : Ast.lvalue) value =
+  match lv with
+  | Ast.Lvar x -> (
+    match resolve ctx x with
+    | `Local (Slot_reg v) -> emit ctx (Def (v, Op value))
+    | `Local (Slot_frame (sym, _)) ->
+      let addr = define ctx (Addr (sym, Const 0)) in
+      emit ctx (Store (addr, value))
+    | `Global _ ->
+      let addr = define ctx (Addr (x, Const 0)) in
+      emit ctx (Store (addr, value)))
+  | Ast.Lderef e ->
+    let addr = lower_expr ctx e in
+    emit ctx (Store (addr, value))
+  | Ast.Lindex (base, idx) ->
+    let addr = lower_index_addr ctx base idx in
+    emit ctx (Store (addr, value))
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Sexpr (Ast.Call (name, args)) ->
+    (* call for effect: no result register *)
+    let arg_ops = List.map (lower_expr ctx) args in
+    emit ctx (Call (None, name, arg_ops))
+  | Ast.Sexpr e -> ignore (lower_expr ctx e)
+  | Ast.Sdecl (name, _, init) -> (
+    match init with
+    | None -> ()
+    | Some e ->
+      let v = lower_expr ctx e in
+      lower_assign ctx (Ast.Lvar name) v)
+  | Ast.Sassign (lv, e) ->
+    let v = lower_expr ctx e in
+    lower_assign ctx lv v
+  | Ast.Sif (cond, bt, bf) ->
+    let c = lower_expr ctx cond in
+    let l_then = fresh_label ctx in
+    let l_end = fresh_label ctx in
+    let l_else = if bf = [] then l_end else fresh_label ctx in
+    finish_block ctx (Br (c, l_then, l_else));
+    start_block ctx l_then;
+    lower_block ctx bt;
+    finish_block ctx (Jmp l_end);
+    if bf <> [] then begin
+      start_block ctx l_else;
+      lower_block ctx bf;
+      finish_block ctx (Jmp l_end)
+    end;
+    start_block ctx l_end
+  | Ast.Swhile (cond, body) ->
+    let l_header = fresh_label ctx in
+    let l_body = fresh_label ctx in
+    let l_exit = fresh_label ctx in
+    finish_block ctx (Jmp l_header);
+    start_block ctx l_header;
+    let c = lower_expr ctx cond in
+    finish_block ctx (Br (c, l_body, l_exit));
+    start_block ctx l_body;
+    ctx.break_stack <- l_exit :: ctx.break_stack;
+    ctx.cont_stack <- l_header :: ctx.cont_stack;
+    lower_block ctx body;
+    ctx.break_stack <- List.tl ctx.break_stack;
+    ctx.cont_stack <- List.tl ctx.cont_stack;
+    finish_block ctx (Jmp l_header);
+    start_block ctx l_exit
+  | Ast.Sfor (init, cond, step, body) ->
+    Option.iter (lower_stmt ctx) init;
+    let l_header = fresh_label ctx in
+    let l_body = fresh_label ctx in
+    let l_step = fresh_label ctx in
+    let l_exit = fresh_label ctx in
+    finish_block ctx (Jmp l_header);
+    start_block ctx l_header;
+    (match cond with
+     | None -> finish_block ctx (Jmp l_body)
+     | Some c ->
+       let op = lower_expr ctx c in
+       finish_block ctx (Br (op, l_body, l_exit)));
+    start_block ctx l_body;
+    ctx.break_stack <- l_exit :: ctx.break_stack;
+    ctx.cont_stack <- l_step :: ctx.cont_stack;
+    lower_block ctx body;
+    ctx.break_stack <- List.tl ctx.break_stack;
+    ctx.cont_stack <- List.tl ctx.cont_stack;
+    finish_block ctx (Jmp l_step);
+    start_block ctx l_step;
+    Option.iter (lower_stmt ctx) step;
+    finish_block ctx (Jmp l_header);
+    start_block ctx l_exit
+  | Ast.Sswitch (scrut, cases, dflt) ->
+    let c = lower_expr ctx scrut in
+    let l_exit = fresh_label ctx in
+    let case_labels = List.map (fun (k, _) -> (k, fresh_label ctx)) cases in
+    let l_default = if dflt = [] then l_exit else fresh_label ctx in
+    finish_block ctx (Switch (c, case_labels, l_default));
+    ctx.break_stack <- l_exit :: ctx.break_stack;
+    List.iter2
+      (fun (_, body) (_, l) ->
+        start_block ctx l;
+        lower_block ctx body;
+        finish_block ctx (Jmp l_exit))
+      cases case_labels;
+    if dflt <> [] then begin
+      start_block ctx l_default;
+      lower_block ctx dflt;
+      finish_block ctx (Jmp l_exit)
+    end;
+    ctx.break_stack <- List.tl ctx.break_stack;
+    start_block ctx l_exit
+  | Ast.Sreturn e ->
+    let op = Option.map (lower_expr ctx) e in
+    finish_block ctx (Ret op);
+    (* continue lowering any trailing statements into an unreachable block *)
+    start_block ctx (fresh_label ctx)
+  | Ast.Sbreak -> (
+    match ctx.break_stack with
+    | target :: _ ->
+      finish_block ctx (Jmp target);
+      start_block ctx (fresh_label ctx)
+    | [] -> failwith "lower: break outside loop/switch")
+  | Ast.Scontinue -> (
+    match ctx.cont_stack with
+    | target :: _ ->
+      finish_block ctx (Jmp target);
+      start_block ctx (fresh_label ctx)
+    | [] -> failwith "lower: continue outside loop")
+  | Ast.Sblock b -> lower_block ctx b
+  | Ast.Smarker n -> emit ctx (Marker n)
+
+and lower_block ctx b = List.iter (lower_stmt ctx) b
+
+(* ---------- functions ---------- *)
+
+let address_taken_locals (fn : Ast.func) =
+  let taken = Hashtbl.create 8 in
+  Ast.iter_program_exprs
+    (function
+      | Ast.Addr_of (Ast.Lvar x) | Ast.Addr_of (Ast.Lindex (x, _)) -> Hashtbl.replace taken x ()
+      | _ -> ())
+    { Ast.p_globals = []; p_funcs = [ fn ]; p_externs = [] };
+  taken
+
+let lower_func global_types (fn : Ast.func) : func * symbol list =
+  let taken = address_taken_locals fn in
+  let ctx =
+    {
+      done_blocks = [];
+      cur_label = 0;
+      cur_instrs = [];
+      nvar = 0;
+      nlabel = 1;
+      names = Imap.empty;
+      locals = Hashtbl.create 16;
+      global_types;
+      break_stack = [];
+      cont_stack = [];
+      fname = fn.Ast.f_name;
+      frame_syms = [];
+    }
+  in
+  let add_frame_sym name typ =
+    let sym = frame_sym_name ctx.fname name in
+    let size = Ast.typ_size typ in
+    ctx.frame_syms <-
+      {
+        sym_name = sym;
+        sym_size = size;
+        sym_init = Array.make size (Cint 0);
+        sym_static = true;
+        sym_kind = `Frame ctx.fname;
+      }
+      :: ctx.frame_syms;
+    Hashtbl.replace ctx.locals name (Slot_frame (sym, typ))
+  in
+  (* parameters: registers; spilled to a frame slot when address-taken *)
+  let params =
+    List.map
+      (fun (p : Ast.param) ->
+        let v = fresh_var ~name:p.p_name ctx in
+        if Hashtbl.mem taken p.p_name then begin
+          add_frame_sym p.p_name p.p_typ;
+          let addr = define ctx (Addr (frame_sym_name ctx.fname p.p_name, Const 0)) in
+          emit ctx (Store (addr, Reg v))
+        end
+        else Hashtbl.replace ctx.locals p.p_name (Slot_reg v);
+        v)
+      fn.Ast.f_params
+  in
+  (* locals: arrays and address-taken ones get frame slots; others registers,
+     zero-defined at entry so every use has a reaching definition *)
+  Ast.iter_block
+    (function
+      | Ast.Sdecl (name, typ, _) -> (
+        if not (Hashtbl.mem ctx.locals name) then
+          match typ with
+          | Ast.Tarr _ -> add_frame_sym name typ
+          | Ast.Tint | Ast.Tptr ->
+            if Hashtbl.mem taken name then add_frame_sym name typ
+            else begin
+              let v = fresh_var ~name ctx in
+              emit ctx (Def (v, Op (Const 0)));
+              Hashtbl.replace ctx.locals name (Slot_reg v)
+            end)
+      | _ -> ())
+    fn.Ast.f_body;
+  lower_block ctx fn.Ast.f_body;
+  (* implicit return: value functions fall back to 0 (total semantics) *)
+  (match fn.Ast.f_ret with
+   | None -> finish_block ctx (Ret None)
+   | Some _ -> finish_block ctx (Ret (Some (Const 0))));
+  let blocks =
+    List.fold_left (fun m (l, b) -> Imap.add l b m) Imap.empty ctx.done_blocks
+  in
+  ( {
+      fn_name = fn.Ast.f_name;
+      fn_params = params;
+      fn_entry = 0;
+      fn_blocks = blocks;
+      fn_next_var = ctx.nvar;
+      fn_next_label = ctx.nlabel;
+      fn_var_names = ctx.names;
+      fn_static = fn.Ast.f_static;
+      fn_returns_value = fn.Ast.f_ret <> None;
+    },
+    ctx.frame_syms )
+
+let init_cells (g : Ast.global) =
+  let size = Ast.typ_size g.Ast.g_typ in
+  let cells = Array.make size (Cint 0) in
+  (match g.Ast.g_init with
+   | Ast.Gzero -> ()
+   | Ast.Gint n -> cells.(0) <- Cint n
+   | Ast.Gints vals -> List.iteri (fun i v -> if i < size then cells.(i) <- Cint v) vals
+   | Ast.Gaddr (sym, off) -> cells.(0) <- Caddr (sym, off));
+  cells
+
+let program (prog : Ast.program) : program =
+  let global_types = Hashtbl.create 32 in
+  List.iter (fun (g : Ast.global) -> Hashtbl.replace global_types g.Ast.g_name g.Ast.g_typ) prog.Ast.p_globals;
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        {
+          sym_name = g.Ast.g_name;
+          sym_size = Ast.typ_size g.Ast.g_typ;
+          sym_init = init_cells g;
+          sym_static = g.Ast.g_static;
+          sym_kind = `Global;
+        })
+      prog.Ast.p_globals
+  in
+  let funcs_and_frames = List.map (lower_func global_types) prog.Ast.p_funcs in
+  let funcs = List.map fst funcs_and_frames in
+  let frames = List.concat_map snd funcs_and_frames in
+  { prog_syms = globals @ frames; prog_funcs = funcs; prog_externs = prog.Ast.p_externs }
+
+let func_entry_marker_blocks (fn : func) =
+  let acc = ref [] in
+  iter_instrs (fun l i -> match i with Marker n -> acc := (n, l) :: !acc | _ -> ()) fn;
+  List.rev !acc

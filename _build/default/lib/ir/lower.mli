@@ -1,0 +1,23 @@
+(** Lowering from MiniC ASTs to the CFG IR.
+
+    The output is the {e pre-SSA} form: registers may be defined multiple
+    times and no phi nodes exist.  This is the form the reference interpreter
+    executes and the form {!Ssa.construct} consumes.
+
+    Lowering decisions (documented because several passes rely on them):
+    - every register-allocated local is zero-defined in the entry block, so
+      every use has a reaching definition (MiniC locals are zero-initialized);
+    - locals whose address is taken, and all local arrays, become frame
+      symbols ([`Frame fn]) accessed through [Addr]/[Load]/[Store];
+    - short-circuit [&&]/[||] become control flow (fresh blocks);
+    - array-typed names decay to [Addr (sym, 0)] when read as values;
+    - falling off the end of a value-returning function returns 0 (total
+      semantics), and [switch] cases implicitly break. *)
+
+val program : Dce_minic.Ast.program -> Ir.program
+(** Lowers a checked program. Raises [Failure] on constructs the type checker
+    should have rejected (internal error). *)
+
+val func_entry_marker_blocks : Ir.func -> (int * Ir.label) list
+(** For each marker in the function, the label of the block containing it
+    (used to map markers back to CFG blocks). *)

@@ -1,0 +1,89 @@
+open Ir
+module Ops = Dce_minic.Ops
+
+let var_to_string fn v =
+  match Imap.find_opt v fn.fn_var_names with
+  | Some name -> Printf.sprintf "%%%d.%s" v name
+  | None -> Printf.sprintf "%%%d" v
+
+let operand_to_string fn = function
+  | Const n -> string_of_int n
+  | Reg v -> var_to_string fn v
+
+let label_to_string l = "L" ^ string_of_int l
+
+let rvalue_to_string fn rv =
+  let op = operand_to_string fn in
+  match rv with
+  | Op a -> op a
+  | Unary (u, a) -> Printf.sprintf "%s%s" (Ops.unop_symbol u) (op a)
+  | Binary (b, x, y) -> Printf.sprintf "%s %s %s" (op x) (Ops.binop_symbol b) (op y)
+  | Addr (s, off) -> Printf.sprintf "&%s[%s]" s (op off)
+  | Ptradd (p, off) -> Printf.sprintf "ptradd %s, %s" (op p) (op off)
+  | Load a -> Printf.sprintf "load %s" (op a)
+  | Phi args ->
+    let parts = List.map (fun (l, a) -> Printf.sprintf "[%s: %s]" (label_to_string l) (op a)) args in
+    "phi " ^ String.concat " " parts
+
+let instr_to_string fn = function
+  | Def (v, rv) -> Printf.sprintf "%s = %s" (var_to_string fn v) (rvalue_to_string fn rv)
+  | Store (a, v) ->
+    Printf.sprintf "store %s, %s" (operand_to_string fn a) (operand_to_string fn v)
+  | Call (None, name, args) ->
+    Printf.sprintf "call %s(%s)" name (String.concat ", " (List.map (operand_to_string fn) args))
+  | Call (Some v, name, args) ->
+    Printf.sprintf "%s = call %s(%s)" (var_to_string fn v) name
+      (String.concat ", " (List.map (operand_to_string fn) args))
+  | Marker n -> Printf.sprintf "marker %d" n
+
+let terminator_to_string fn = function
+  | Jmp l -> "jmp " ^ label_to_string l
+  | Br (c, lt, lf) ->
+    Printf.sprintf "br %s, %s, %s" (operand_to_string fn c) (label_to_string lt)
+      (label_to_string lf)
+  | Switch (c, cases, dflt) ->
+    let parts = List.map (fun (k, l) -> Printf.sprintf "%d: %s" k (label_to_string l)) cases in
+    Printf.sprintf "switch %s [%s] default %s" (operand_to_string fn c)
+      (String.concat ", " parts) (label_to_string dflt)
+  | Ret None -> "ret"
+  | Ret (Some a) -> "ret " ^ operand_to_string fn a
+
+let func_to_string fn =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%sfunc %s(%s)%s {\n"
+       (if fn.fn_static then "static " else "")
+       fn.fn_name
+       (String.concat ", " (List.map (var_to_string fn) fn.fn_params))
+       (if fn.fn_returns_value then " : int" else ""));
+  Imap.iter
+    (fun l b ->
+      Buffer.add_string buf (Printf.sprintf "%s%s:\n" (label_to_string l)
+                               (if l = fn.fn_entry then " (entry)" else ""));
+      List.iter
+        (fun i -> Buffer.add_string buf (Printf.sprintf "  %s\n" (instr_to_string fn i)))
+        b.b_instrs;
+      Buffer.add_string buf (Printf.sprintf "  %s\n" (terminator_to_string fn b.b_term)))
+    fn.fn_blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let symbol_to_string (s : symbol) =
+  let init =
+    Array.to_list s.sym_init
+    |> List.map (function
+         | Cint n -> string_of_int n
+         | Caddr (sym, off) -> Printf.sprintf "&%s[%d]" sym off)
+    |> String.concat ", "
+  in
+  let kind = match s.sym_kind with `Global -> "global" | `Frame fname -> "frame(" ^ fname ^ ")" in
+  Printf.sprintf "%s%s %s[%d] = {%s}\n"
+    (if s.sym_static then "static " else "")
+    kind s.sym_name s.sym_size init
+
+let program_to_string prog =
+  let buf = Buffer.create 1024 in
+  List.iter (fun (name, arity) -> Buffer.add_string buf (Printf.sprintf "extern %s/%d\n" name arity)) prog.prog_externs;
+  List.iter (fun s -> Buffer.add_string buf (symbol_to_string s)) prog.prog_syms;
+  List.iter (fun fn -> Buffer.add_string buf ("\n" ^ func_to_string fn)) prog.prog_funcs;
+  Buffer.contents buf

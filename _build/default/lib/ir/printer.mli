@@ -1,0 +1,12 @@
+(** Textual dump of the IR, for debugging, tests, and the CLI's [--dump-ir].
+
+    Registers print as [%<id>] (with their name hint when available, e.g.
+    [%3.x]); labels as [L<id>]. The format is stable and used in golden
+    tests. *)
+
+val operand_to_string : Ir.func -> Ir.operand -> string
+val rvalue_to_string : Ir.func -> Ir.rvalue -> string
+val instr_to_string : Ir.func -> Ir.instr -> string
+val terminator_to_string : Ir.func -> Ir.terminator -> string
+val func_to_string : Ir.func -> string
+val program_to_string : Ir.program -> string

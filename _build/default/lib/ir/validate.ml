@@ -1,0 +1,94 @@
+open Ir
+
+type mode = Pre_ssa | Ssa
+
+let func mode fn =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  if not (Imap.mem fn.fn_entry fn.fn_blocks) then err "entry block L%d missing" fn.fn_entry;
+  (* collect definitions *)
+  let defs = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace defs v 1) fn.fn_params;
+  Imap.iter
+    (fun l b ->
+      List.iter
+        (fun i ->
+          match def_of_instr i with
+          | Some v ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt defs v) in
+            Hashtbl.replace defs v (prev + 1);
+            if mode = Ssa && prev > 0 then err "L%d: register %%%d defined more than once" l v
+          | None -> ())
+        b.b_instrs)
+    fn.fn_blocks;
+  let preds = Cfg.predecessors fn in
+  Imap.iter
+    (fun l b ->
+      (* phi placement and shape *)
+      let seen_non_phi = ref false in
+      List.iter
+        (fun i ->
+          match i with
+          | Def (_, Phi args) ->
+            if mode = Pre_ssa then err "L%d: phi in pre-SSA form" l;
+            if !seen_non_phi then err "L%d: phi after non-phi instruction" l;
+            let ps = Option.value ~default:[] (Imap.find_opt l preds) in
+            let arg_labels = List.sort_uniq compare (List.map fst args) in
+            if arg_labels <> ps then
+              err "L%d: phi predecessors [%s] do not match CFG predecessors [%s]" l
+                (String.concat ";" (List.map string_of_int arg_labels))
+                (String.concat ";" (List.map string_of_int ps))
+          | _ -> seen_non_phi := true)
+        b.b_instrs;
+      (* uses are defined somewhere *)
+      let check_uses uses = List.iter (fun v -> if not (Hashtbl.mem defs v) then err "L%d: use of undefined register %%%d" l v) uses in
+      List.iter (fun i -> check_uses (uses_of_instr i)) b.b_instrs;
+      check_uses (uses_of_terminator b.b_term);
+      (* branch targets exist *)
+      List.iter
+        (fun target -> if not (Imap.mem target fn.fn_blocks) then err "L%d: dangling branch target L%d" l target)
+        (successors b.b_term))
+    fn.fn_blocks;
+  if !errors = [] then Ok () else Error (List.rev !errors)
+
+let program mode prog =
+  let sym_names = Hashtbl.create 32 in
+  let errors = ref [] in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem sym_names s.sym_name then
+        errors := Printf.sprintf "duplicate symbol %s" s.sym_name :: !errors;
+      Hashtbl.replace sym_names s.sym_name ())
+    prog.prog_syms;
+  List.iter
+    (fun s ->
+      Array.iter
+        (function
+          | Caddr (target, _) ->
+            if not (Hashtbl.mem sym_names target) then
+              errors := Printf.sprintf "symbol %s references unknown symbol %s" s.sym_name target :: !errors
+          | Cint _ -> ())
+        s.sym_init)
+    prog.prog_syms;
+  let errors =
+    List.fold_left
+      (fun acc fn ->
+        match func mode fn with
+        | Ok () -> acc
+        | Error es -> acc @ List.map (fun e -> fn.fn_name ^ ": " ^ e) es)
+      (List.rev !errors) prog.prog_funcs
+  in
+  if errors = [] then Ok () else Error errors
+
+let func_exn mode fn =
+  match func mode fn with
+  | Ok () -> ()
+  | Error es ->
+    failwith
+      (Printf.sprintf "IR validation failed:\n%s\n%s" (String.concat "\n" es)
+         (Printer.func_to_string fn))
+
+let program_exn mode prog =
+  match program mode prog with
+  | Ok () -> ()
+  | Error es -> failwith (Printf.sprintf "IR validation failed:\n%s" (String.concat "\n" es))

@@ -1,0 +1,19 @@
+(** IR well-formedness checker.
+
+    Run after lowering and after every optimization pass in tests (and in the
+    pipeline when assertions are enabled) to catch pass bugs early: dangling
+    branch targets, phi argument lists inconsistent with actual predecessors,
+    uses of never-defined registers, and (in SSA mode) multiple definitions of
+    a register. *)
+
+type mode =
+  | Pre_ssa  (** multiple definitions allowed, no phis allowed *)
+  | Ssa      (** single definition per register, phis must match predecessors *)
+
+val func : mode -> Ir.func -> (unit, string list) result
+val program : mode -> Ir.program -> (unit, string list) result
+
+val func_exn : mode -> Ir.func -> unit
+(** Raises [Failure] with all diagnostics (and the function dump) joined. *)
+
+val program_exn : mode -> Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/minic/ops.ml: Format

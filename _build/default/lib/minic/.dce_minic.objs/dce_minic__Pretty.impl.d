@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Ast Dce_support Format List Ops String

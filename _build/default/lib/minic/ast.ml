@@ -1,0 +1,167 @@
+type typ = Tint | Tptr | Tarr of int
+
+type lvalue = Lvar of string | Lderef of expr | Lindex of string * expr
+
+and expr =
+  | Int of int
+  | Var of string
+  | Unary of Ops.unop * expr
+  | Binary of Ops.binop * expr * expr
+  | Addr_of of lvalue
+  | Deref of expr
+  | Index of string * expr
+  | Call of string * expr list
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of string * typ * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sswitch of expr * (int * block) list * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+  | Smarker of int
+
+and block = stmt list
+
+type ginit = Gzero | Gint of int | Gints of int list | Gaddr of string * int
+
+type global = { g_name : string; g_typ : typ; g_init : ginit; g_static : bool }
+type param = { p_name : string; p_typ : typ }
+
+type func = {
+  f_name : string;
+  f_params : param list;
+  f_ret : typ option;
+  f_body : block;
+  f_static : bool;
+}
+
+type program = {
+  p_globals : global list;
+  p_funcs : func list;
+  p_externs : (string * int) list;
+}
+
+let marker_prefix = "DCEMarker"
+
+let marker_name n = marker_prefix ^ string_of_int n
+
+let marker_of_name name =
+  let plen = String.length marker_prefix in
+  if String.length name > plen && String.sub name 0 plen = marker_prefix then
+    int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let typ_size = function
+  | Tint | Tptr -> 1
+  | Tarr n -> n
+
+let equal_typ a b =
+  match (a, b) with
+  | Tint, Tint | Tptr, Tptr -> true
+  | Tarr n, Tarr m -> n = m
+  | (Tint | Tptr | Tarr _), _ -> false
+
+let rec iter_expr f e =
+  f e;
+  match e with
+  | Int _ | Var _ -> ()
+  | Unary (_, e1) | Deref e1 | Index (_, e1) -> iter_expr f e1
+  | Binary (_, e1, e2) -> iter_expr f e1; iter_expr f e2
+  | Addr_of lv -> iter_lvalue_exprs f lv
+  | Call (_, args) -> List.iter (iter_expr f) args
+
+and iter_lvalue_exprs f = function
+  | Lvar _ -> ()
+  | Lderef e | Lindex (_, e) -> iter_expr f e
+
+let rec iter_stmt f s =
+  f s;
+  match s with
+  | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> ()
+  | Sif (_, bt, bf) -> iter_block f bt; iter_block f bf
+  | Swhile (_, b) -> iter_block f b
+  | Sfor (init, _, step, b) ->
+    Option.iter (iter_stmt f) init;
+    Option.iter (iter_stmt f) step;
+    iter_block f b
+  | Sswitch (_, cases, dflt) ->
+    List.iter (fun (_, b) -> iter_block f b) cases;
+    iter_block f dflt
+  | Sblock b -> iter_block f b
+
+and iter_block f b = List.iter (iter_stmt f) b
+
+let iter_program_stmts f prog = List.iter (fun fn -> iter_block f fn.f_body) prog.p_funcs
+
+let stmt_exprs s =
+  match s with
+  | Sexpr e -> [ e ]
+  | Sdecl (_, _, init) -> Option.to_list init
+  | Sassign (lv, e) ->
+    let lv_exprs = match lv with Lvar _ -> [] | Lderef e' | Lindex (_, e') -> [ e' ] in
+    lv_exprs @ [ e ]
+  | Sif (c, _, _) | Swhile (c, _) | Sswitch (c, _, _) -> [ c ]
+  | Sfor (_, cond, _, _) -> Option.to_list cond
+  | Sreturn e -> Option.to_list e
+  | Sbreak | Scontinue | Sblock _ | Smarker _ -> []
+
+let iter_program_exprs f prog =
+  iter_program_stmts (fun s -> List.iter (iter_expr f) (stmt_exprs s)) prog
+
+let rec map_block f b = List.concat_map (map_stmt f) b
+
+and map_stmt f s =
+  let s =
+    match s with
+    | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> s
+    | Sif (c, bt, bf) -> Sif (c, map_block f bt, map_block f bf)
+    | Swhile (c, b) -> Swhile (c, map_block f b)
+    | Sfor (init, cond, step, b) -> Sfor (init, cond, step, map_block f b)
+    | Sswitch (c, cases, dflt) ->
+      Sswitch (c, List.map (fun (k, b) -> (k, map_block f b)) cases, map_block f dflt)
+    | Sblock b -> Sblock (map_block f b)
+  in
+  f s
+
+let map_program_blocks f prog =
+  { prog with p_funcs = List.map (fun fn -> { fn with f_body = f fn.f_body }) prog.p_funcs }
+
+let markers_of_program prog =
+  let acc = ref [] in
+  iter_program_stmts (function Smarker n -> acc := n :: !acc | _ -> ()) prog;
+  List.rev !acc
+
+let max_marker prog = List.fold_left max (-1) (markers_of_program prog)
+
+let stmt_count prog =
+  let n = ref 0 in
+  iter_program_stmts (fun _ -> incr n) prog;
+  !n
+
+let rec expr_size e =
+  match e with
+  | Int _ | Var _ -> 1
+  | Unary (_, e1) | Deref e1 | Index (_, e1) -> 1 + expr_size e1
+  | Binary (_, e1, e2) -> 1 + expr_size e1 + expr_size e2
+  | Addr_of lv -> 1 + (match lv with Lvar _ -> 0 | Lderef e' | Lindex (_, e') -> expr_size e')
+  | Call (_, args) -> List.fold_left (fun acc a -> acc + expr_size a) 1 args
+
+let called_names prog =
+  let acc = ref [] in
+  iter_program_exprs (function Call (name, _) -> acc := name :: !acc | _ -> ()) prog;
+  let markers = ref [] in
+  iter_program_stmts (function Smarker n -> markers := marker_name n :: !markers | _ -> ()) prog;
+  List.rev !acc @ List.rev !markers
+
+let find_func prog name = List.find_opt (fun f -> f.f_name = name) prog.p_funcs
+
+let pp_typ fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tptr -> Format.pp_print_string fmt "int *"
+  | Tarr n -> Format.fprintf fmt "int[%d]" n

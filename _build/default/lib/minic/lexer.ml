@@ -1,0 +1,261 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KINT
+  | KVOID
+  | KSTATIC
+  | KEXTERN
+  | KIF
+  | KELSE
+  | KWHILE
+  | KFOR
+  | KSWITCH
+  | KCASE
+  | KDEFAULT
+  | KRETURN
+  | KBREAK
+  | KCONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Lex_error of string
+
+let keyword_of_string = function
+  | "int" | "char" | "short" | "long" | "unsigned" | "signed" -> Some KINT
+  | "void" -> Some KVOID
+  | "static" -> Some KSTATIC
+  | "extern" -> Some KEXTERN
+  | "if" -> Some KIF
+  | "else" -> Some KELSE
+  | "while" -> Some KWHILE
+  | "for" -> Some KFOR
+  | "switch" -> Some KSWITCH
+  | "case" -> Some KCASE
+  | "default" -> Some KDEFAULT
+  | "return" -> Some KRETURN
+  | "break" -> Some KBREAK
+  | "continue" -> Some KCONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let pos = ref 0 in
+  let fail msg = raise (Lex_error (Printf.sprintf "%d:%d: %s" !line !col msg)) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () =
+    (if src.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let emit tok = tokens := (tok, !line, !col) :: !tokens in
+  let skip_line () =
+    while !pos < n && src.[!pos] <> '\n' do
+      advance ()
+    done
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '#' then skip_line ()
+    else if c = '/' && peek 1 = Some '/' then skip_line ()
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          advance ()
+        done
+      end
+      else
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done;
+      (* skip C integer suffixes (L, U, ...) so pasted test cases lex *)
+      while !pos < n && (src.[!pos] = 'l' || src.[!pos] = 'L' || src.[!pos] = 'u' || src.[!pos] = 'U') do
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      let text =
+        (* strip suffix characters before conversion *)
+        let len = ref (String.length text) in
+        while !len > 0 && (match text.[!len - 1] with 'l' | 'L' | 'u' | 'U' -> true | _ -> false) do
+          decr len
+        done;
+        String.sub text 0 !len
+      in
+      match int_of_string_opt text with
+      | Some v -> emit (INT v)
+      | None -> fail (Printf.sprintf "bad integer literal %S" text)
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      match keyword_of_string text with
+      | Some kw -> emit kw
+      | None -> emit (IDENT text)
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok in
+      let one tok = advance (); emit tok in
+      match (c, peek 1) with
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '+', Some '=' -> two PLUSEQ
+      | '-', Some '=' -> two MINUSEQ
+      | '*', Some '=' -> two STAREQ
+      | '+', Some '+' -> two PLUSPLUS
+      | '-', Some '-' -> two MINUSMINUS
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '=', _ -> one ASSIGN
+      | '!', _ -> one BANG
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KINT -> "int"
+  | KVOID -> "void"
+  | KSTATIC -> "static"
+  | KEXTERN -> "extern"
+  | KIF -> "if"
+  | KELSE -> "else"
+  | KWHILE -> "while"
+  | KFOR -> "for"
+  | KSWITCH -> "switch"
+  | KCASE -> "case"
+  | KDEFAULT -> "default"
+  | KRETURN -> "return"
+  | KBREAK -> "break"
+  | KCONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"

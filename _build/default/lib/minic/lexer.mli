@@ -1,0 +1,68 @@
+(** Hand-written lexer for MiniC source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KINT        (** [int]; [char], [short], [long], [unsigned] and [signed]
+                    also lex to [KINT] — all MiniC integer types are 63-bit *)
+  | KVOID
+  | KSTATIC
+  | KEXTERN
+  | KIF
+  | KELSE
+  | KWHILE
+  | KFOR
+  | KSWITCH
+  | KCASE
+  | KDEFAULT
+  | KRETURN
+  | KBREAK
+  | KCONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN      (** [=] *)
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Lex_error of string
+(** Raised on an unrecognizable character; the message includes line/column. *)
+
+val tokenize : string -> (token * int * int) list
+(** [tokenize src] lexes the whole input into (token, line, column) triples,
+    ending with [EOF].  Line ([//]) and block comments are skipped; [#]-lines
+    (preprocessor directives such as [#include]) are ignored so paper test
+    cases can be pasted directly. *)
+
+val token_to_string : token -> string
+(** Human-readable token name for error messages. *)

@@ -1,0 +1,130 @@
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+let bool_int b = if b then 1 else 0
+
+let eval_unop op x =
+  match op with
+  | Neg -> -x
+  | Lnot -> bool_int (x = 0)
+  | Bnot -> lnot x
+
+let mask_shift n = n land 62 (* total semantics: shift counts in 0..62 *)
+
+let eval_binop op x y =
+  match op with
+  | Add -> x + y
+  | Sub -> x - y
+  | Mul -> x * y
+  | Div -> if y = 0 then 0 else x / y
+  | Mod -> if y = 0 then 0 else x mod y
+  | Shl -> x lsl mask_shift y
+  | Shr -> x asr mask_shift y
+  | Band -> x land y
+  | Bor -> x lor y
+  | Bxor -> x lxor y
+  | Eq -> bool_int (x = y)
+  | Ne -> bool_int (x <> y)
+  | Lt -> bool_int (x < y)
+  | Le -> bool_int (x <= y)
+  | Gt -> bool_int (x > y)
+  | Ge -> bool_int (x >= y)
+  | Land -> bool_int (x <> 0 && y <> 0)
+  | Lor -> bool_int (x <> 0 || y <> 0)
+
+let is_comparison = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor -> false
+
+let is_logical = function
+  | Land | Lor -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor | Eq | Ne | Lt | Le | Gt | Ge ->
+    false
+
+let is_commutative = function
+  | Add | Mul | Band | Bor | Bxor | Eq | Ne | Land | Lor -> true
+  | Sub | Div | Mod | Shl | Shr | Lt | Le | Gt | Ge -> false
+
+let negate_comparison = function
+  | Eq -> Some Ne
+  | Ne -> Some Eq
+  | Lt -> Some Ge
+  | Le -> Some Gt
+  | Gt -> Some Le
+  | Ge -> Some Lt
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor -> None
+
+let swap_comparison = function
+  | Eq -> Some Eq
+  | Ne -> Some Ne
+  | Lt -> Some Gt
+  | Le -> Some Ge
+  | Gt -> Some Lt
+  | Ge -> Some Le
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor -> None
+
+let unop_symbol = function
+  | Neg -> "-"
+  | Lnot -> "!"
+  | Bnot -> "~"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+
+(* C-like precedence: multiplicative 10, additive 9, shift 8, relational 7,
+   equality 6, bitand 5, bitxor 4, bitor 3, logand 2, logor 1. *)
+let binop_precedence = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+let all_unops = [ Neg; Lnot; Bnot ]
+
+let all_binops =
+  [ Add; Sub; Mul; Div; Mod; Shl; Shr; Band; Bor; Bxor; Eq; Ne; Lt; Le; Gt; Ge; Land; Lor ]
+
+let pp_unop fmt op = Format.pp_print_string fmt (unop_symbol op)
+let pp_binop fmt op = Format.pp_print_string fmt (binop_symbol op)

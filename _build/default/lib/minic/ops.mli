@@ -1,0 +1,71 @@
+(** Operators of MiniC and their (total) integer semantics.
+
+    MiniC deliberately has no undefined behaviour: every operator is a total
+    function over OCaml's native [int] (63-bit two's complement on 64-bit
+    platforms, wrapping on overflow).  Division and modulo by zero evaluate to
+    0 and shift counts are masked to 0–62.  The same evaluation functions are
+    used by the reference interpreter and by every constant-folding
+    optimization pass, so folding can never disagree with execution. *)
+
+type unop =
+  | Neg  (** arithmetic negation [-x] *)
+  | Lnot (** logical not [!x] (1 when x = 0, else 0) *)
+  | Bnot (** bitwise complement [~x] *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div (** [x / 0 = 0] *)
+  | Mod (** [x mod 0 = 0]; sign follows OCaml's [mod] *)
+  | Shl (** shift count masked to 0–62 *)
+  | Shr (** arithmetic right shift, count masked to 0–62 *)
+  | Band
+  | Bor
+  | Bxor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land (** logical and; short-circuit at statement level, strict here *)
+  | Lor  (** logical or; short-circuit at statement level, strict here *)
+
+val eval_unop : unop -> int -> int
+(** Total evaluation of a unary operator. *)
+
+val eval_binop : binop -> int -> int -> int
+(** Total evaluation of a binary operator on integers. Comparison and logical
+    operators return 0 or 1. *)
+
+val is_comparison : binop -> bool
+(** [Eq | Ne | Lt | Le | Gt | Ge]. *)
+
+val is_logical : binop -> bool
+(** [Land | Lor]. *)
+
+val is_commutative : binop -> bool
+(** True for operators with [f x y = f y x]. *)
+
+val negate_comparison : binop -> binop option
+(** [negate_comparison Lt = Some Ge] etc.; [None] for non-comparisons. *)
+
+val swap_comparison : binop -> binop option
+(** [swap_comparison Lt = Some Gt]: operator c' with [x c y = y c' x]. *)
+
+val unop_symbol : unop -> string
+(** Source syntax of the operator. *)
+
+val binop_symbol : binop -> string
+(** Source syntax of the operator. *)
+
+val binop_precedence : binop -> int
+(** C-like precedence level; higher binds tighter. Used by the parser and the
+    pretty printer, which must agree (round-trip property). *)
+
+val all_unops : unop list
+val all_binops : binop list
+
+val pp_unop : Format.formatter -> unop -> unit
+val pp_binop : Format.formatter -> binop -> unit

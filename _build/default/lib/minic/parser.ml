@@ -1,0 +1,518 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { toks : (Lexer.token * int * int) array; mutable pos : int }
+
+let cur st =
+  let tok, _, _ = st.toks.(st.pos) in
+  tok
+
+let fail st msg =
+  let tok, line, col = st.toks.(st.pos) in
+  raise
+    (Parse_error
+       (Printf.sprintf "%d:%d: %s (at %S)" line col msg (Lexer.token_to_string tok)))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let accept st tok =
+  if cur st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st tok =
+  if not (accept st tok) then fail st (Printf.sprintf "expected %S" (Lexer.token_to_string tok))
+
+let expect_ident st =
+  match cur st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+let expect_int st =
+  match cur st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | Lexer.MINUS -> (
+    advance st;
+    match cur st with
+    | Lexer.INT n ->
+      advance st;
+      -n
+    | _ -> fail st "expected integer literal")
+  | _ -> fail st "expected integer literal"
+
+(* ---------- expressions (precedence climbing) ---------- *)
+
+let binop_of_token = function
+  | Lexer.STAR -> Some Ops.Mul
+  | Lexer.SLASH -> Some Ops.Div
+  | Lexer.PERCENT -> Some Ops.Mod
+  | Lexer.PLUS -> Some Ops.Add
+  | Lexer.MINUS -> Some Ops.Sub
+  | Lexer.SHL -> Some Ops.Shl
+  | Lexer.SHR -> Some Ops.Shr
+  | Lexer.LT -> Some Ops.Lt
+  | Lexer.LE -> Some Ops.Le
+  | Lexer.GT -> Some Ops.Gt
+  | Lexer.GE -> Some Ops.Ge
+  | Lexer.EQ -> Some Ops.Eq
+  | Lexer.NE -> Some Ops.Ne
+  | Lexer.AMP -> Some Ops.Band
+  | Lexer.CARET -> Some Ops.Bxor
+  | Lexer.PIPE -> Some Ops.Bor
+  | Lexer.ANDAND -> Some Ops.Land
+  | Lexer.OROR -> Some Ops.Lor
+  | _ -> None
+
+let lvalue_of_expr st = function
+  | Var x -> Lvar x
+  | Deref e -> Lderef e
+  | Index (base, idx) -> Lindex (base, idx)
+  | _ -> fail st "expression is not assignable"
+
+let rec parse_expression st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match binop_of_token (cur st) with
+    | Some op when Ops.binop_precedence op >= min_prec ->
+      let prec = Ops.binop_precedence op in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := Binary (op, !lhs, rhs)
+    | Some _ | None -> continue_loop := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match cur st with
+  | Lexer.MINUS ->
+    advance st;
+    (match parse_unary st with
+     | Int n -> Int (-n)
+     | e -> Unary (Ops.Neg, e))
+  | Lexer.BANG ->
+    advance st;
+    Unary (Ops.Lnot, parse_unary st)
+  | Lexer.TILDE ->
+    advance st;
+    Unary (Ops.Bnot, parse_unary st)
+  | Lexer.STAR ->
+    advance st;
+    Deref (parse_unary st)
+  | Lexer.AMP ->
+    advance st;
+    let e = parse_unary st in
+    Addr_of (lvalue_of_expr st e)
+  | Lexer.LPAREN | Lexer.INT _ | Lexer.IDENT _ -> parse_postfix st
+  | _ -> fail st "expected expression"
+
+and parse_postfix st =
+  match cur st with
+  | Lexer.INT n ->
+    advance st;
+    Int n
+  | Lexer.LPAREN ->
+    advance st;
+    (* accept and ignore C casts such as "(int)" or pointer casts *)
+    (match cur st with
+     | Lexer.KINT | Lexer.KVOID ->
+       advance st;
+       while cur st = Lexer.STAR do
+         advance st
+       done;
+       expect st Lexer.RPAREN;
+       parse_unary st
+     | _ ->
+       let e = parse_expression st in
+       expect st Lexer.RPAREN;
+       parse_suffixes st e)
+  | Lexer.IDENT name ->
+    advance st;
+    let e =
+      match cur st with
+      | Lexer.LPAREN ->
+        advance st;
+        let args =
+          if cur st = Lexer.RPAREN then []
+          else begin
+            let first = parse_expression st in
+            let rest = ref [ first ] in
+            while accept st Lexer.COMMA do
+              rest := parse_expression st :: !rest
+            done;
+            List.rev !rest
+          end
+        in
+        expect st Lexer.RPAREN;
+        Call (name, args)
+      | Lexer.LBRACKET ->
+        advance st;
+        let idx = parse_expression st in
+        expect st Lexer.RBRACKET;
+        Index (name, idx)
+      | _ -> Var name
+    in
+    parse_suffixes st e
+  | _ -> fail st "expected primary expression"
+
+and parse_suffixes _st e =
+  (* additional [..] on non-identifier bases is not supported; only a direct
+     identifier can be indexed, which matches the MiniC AST *)
+  e
+
+(* ---------- statements ---------- *)
+
+let desugar_op_assign lv op rhs =
+  let lv_expr =
+    match lv with
+    | Lvar x -> Var x
+    | Lderef e -> Deref e
+    | Lindex (b, i) -> Index (b, i)
+  in
+  Sassign (lv, Binary (op, lv_expr, rhs))
+
+let rec parse_stmt st =
+  match cur st with
+  | Lexer.SEMI ->
+    advance st;
+    Sblock []
+  | Lexer.LBRACE -> Sblock (parse_braced_block st)
+  | Lexer.KIF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN;
+    let bt = parse_stmt_as_block st in
+    let bf = if accept st Lexer.KELSE then parse_stmt_as_block st else [] in
+    Sif (cond, bt, bf)
+  | Lexer.KWHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN;
+    Swhile (cond, parse_stmt_as_block st)
+  | Lexer.KFOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init = if cur st = Lexer.SEMI then None else Some (parse_simple_stmt st) in
+    expect st Lexer.SEMI;
+    let cond = if cur st = Lexer.SEMI then None else Some (parse_expression st) in
+    expect st Lexer.SEMI;
+    let step = if cur st = Lexer.RPAREN then None else Some (parse_simple_stmt st) in
+    expect st Lexer.RPAREN;
+    Sfor (init, cond, step, parse_stmt_as_block st)
+  | Lexer.KSWITCH ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let scrut = parse_expression st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.LBRACE;
+    let cases = ref [] in
+    let dflt = ref [] in
+    while cur st <> Lexer.RBRACE do
+      match cur st with
+      | Lexer.KCASE ->
+        advance st;
+        let k = expect_int st in
+        expect st Lexer.COLON;
+        cases := (k, parse_case_body st) :: !cases
+      | Lexer.KDEFAULT ->
+        advance st;
+        expect st Lexer.COLON;
+        dflt := parse_case_body st
+      | _ -> fail st "expected case or default"
+    done;
+    expect st Lexer.RBRACE;
+    Sswitch (scrut, List.rev !cases, !dflt)
+  | Lexer.KRETURN ->
+    advance st;
+    if accept st Lexer.SEMI then Sreturn None
+    else begin
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      Sreturn (Some e)
+    end
+  | Lexer.KBREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    Sbreak
+  | Lexer.KCONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    Scontinue
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Lexer.SEMI;
+    s
+
+(* a simple statement: declaration, assignment, or expression; no trailing ';' *)
+and parse_simple_stmt st =
+  match cur st with
+  | Lexer.KINT | Lexer.KVOID -> parse_local_decl st
+  | _ -> (
+    let e = parse_expression st in
+    match cur st with
+    | Lexer.ASSIGN ->
+      advance st;
+      let rhs = parse_expression st in
+      Sassign (lvalue_of_expr st e, rhs)
+    | Lexer.PLUSEQ ->
+      advance st;
+      let rhs = parse_expression st in
+      desugar_op_assign (lvalue_of_expr st e) Ops.Add rhs
+    | Lexer.MINUSEQ ->
+      advance st;
+      let rhs = parse_expression st in
+      desugar_op_assign (lvalue_of_expr st e) Ops.Sub rhs
+    | Lexer.STAREQ ->
+      advance st;
+      let rhs = parse_expression st in
+      desugar_op_assign (lvalue_of_expr st e) Ops.Mul rhs
+    | Lexer.PLUSPLUS ->
+      advance st;
+      desugar_op_assign (lvalue_of_expr st e) Ops.Add (Int 1)
+    | Lexer.MINUSMINUS ->
+      advance st;
+      desugar_op_assign (lvalue_of_expr st e) Ops.Sub (Int 1)
+    | _ -> (
+      match e with
+      | Call (name, []) -> (
+        match marker_of_name name with
+        | Some n -> Smarker n
+        | None -> Sexpr e)
+      | _ -> Sexpr e))
+
+and parse_local_decl st =
+  advance st (* type keyword *);
+  let ptr = ref false in
+  while accept st Lexer.STAR do
+    ptr := true
+  done;
+  let name = expect_ident st in
+  if accept st Lexer.LBRACKET then begin
+    let size = expect_int st in
+    expect st Lexer.RBRACKET;
+    Sdecl (name, Tarr size, None)
+  end
+  else begin
+    let typ = if !ptr then Tptr else Tint in
+    if accept st Lexer.ASSIGN then Sdecl (name, typ, Some (parse_expression st))
+    else Sdecl (name, typ, None)
+  end
+
+and parse_stmt_as_block st =
+  match parse_stmt st with
+  | Sblock b -> b
+  | s -> [ s ]
+
+and parse_braced_block st =
+  expect st Lexer.LBRACE;
+  let stmts = ref [] in
+  while cur st <> Lexer.RBRACE do
+    (* multi-declarator local lines: int a, b = 1, *c; *)
+    match cur st with
+    | Lexer.KINT ->
+      let decls = parse_multi_decl st in
+      stmts := List.rev_append decls !stmts
+    | _ -> stmts := parse_stmt st :: !stmts
+  done;
+  expect st Lexer.RBRACE;
+  List.rev !stmts
+
+and parse_multi_decl st =
+  advance st (* 'int' *);
+  let decls = ref [] in
+  let parse_one () =
+    let ptr = ref false in
+    while accept st Lexer.STAR do
+      ptr := true
+    done;
+    let name = expect_ident st in
+    if accept st Lexer.LBRACKET then begin
+      let size = expect_int st in
+      expect st Lexer.RBRACKET;
+      decls := Sdecl (name, Tarr size, None) :: !decls
+    end
+    else begin
+      let typ = if !ptr then Tptr else Tint in
+      if accept st Lexer.ASSIGN then decls := Sdecl (name, typ, Some (parse_expression st)) :: !decls
+      else decls := Sdecl (name, typ, None) :: !decls
+    end
+  in
+  parse_one ();
+  while accept st Lexer.COMMA do
+    parse_one ()
+  done;
+  expect st Lexer.SEMI;
+  List.rev !decls
+
+and parse_case_body st =
+  let stmts = ref [] in
+  let rec loop () =
+    match cur st with
+    | Lexer.KCASE | Lexer.KDEFAULT | Lexer.RBRACE -> ()
+    | Lexer.KBREAK ->
+      (* MiniC cases implicitly break; a trailing break is accepted, redundant *)
+      advance st;
+      expect st Lexer.SEMI;
+      loop ()
+    | _ ->
+      stmts := parse_stmt st :: !stmts;
+      loop ()
+  in
+  loop ();
+  (* a case body written as a single braced block is that block, not a
+     nested block statement (keeps printing/parsing idempotent) *)
+  match List.rev !stmts with
+  | [ Sblock b ] -> b
+  | body -> body
+
+(* ---------- top level ---------- *)
+
+type accum = {
+  mutable globals : global list;
+  mutable funcs : func list;
+  mutable externs : (string * int) list;
+}
+
+let ginit_of_expr st = function
+  | Int n -> Gint n
+  | Unary (Ops.Neg, Int n) -> Gint (-n)
+  | Addr_of (Lvar s) -> Gaddr (s, 0)
+  | Addr_of (Lindex (s, Int k)) -> Gaddr (s, k)
+  | _ -> fail st "global initializer must be a constant or an address constant"
+
+let parse_array_init st =
+  expect st Lexer.LBRACE;
+  let vals = ref [] in
+  if cur st <> Lexer.RBRACE then begin
+    vals := [ expect_int st ];
+    while accept st Lexer.COMMA do
+      vals := expect_int st :: !vals
+    done
+  end;
+  expect st Lexer.RBRACE;
+  Gints (List.rev !vals)
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if accept st Lexer.RPAREN then []
+  else if cur st = Lexer.KVOID then begin
+    advance st;
+    expect st Lexer.RPAREN;
+    []
+  end
+  else begin
+    let params = ref [] in
+    let parse_param () =
+      (match cur st with
+       | Lexer.KINT ->
+         advance st
+       | _ -> fail st "expected parameter type");
+      let ptr = ref false in
+      while accept st Lexer.STAR do
+        ptr := true
+      done;
+      let name =
+        match cur st with
+        | Lexer.IDENT n ->
+          advance st;
+          n
+        | _ -> "_anon" ^ string_of_int (List.length !params)
+      in
+      params := { p_name = name; p_typ = (if !ptr then Tptr else Tint) } :: !params
+    in
+    parse_param ();
+    while accept st Lexer.COMMA do
+      parse_param ()
+    done;
+    expect st Lexer.RPAREN;
+    List.rev !params
+  end
+
+let record_extern acc name arity =
+  match marker_of_name name with
+  | Some _ -> () (* marker prototypes are implicit *)
+  | None -> if not (List.mem_assoc name acc.externs) then acc.externs <- (name, arity) :: acc.externs
+
+let parse_topdecl st acc =
+  let is_extern = accept st Lexer.KEXTERN in
+  let is_static = accept st Lexer.KSTATIC in
+  let is_void = cur st = Lexer.KVOID in
+  (match cur st with
+   | Lexer.KINT | Lexer.KVOID -> advance st
+   | _ -> fail st "expected type at top level");
+  let ret_ptr = ref false in
+  while accept st Lexer.STAR do
+    ret_ptr := true
+  done;
+  let name = expect_ident st in
+  match cur st with
+  | Lexer.LPAREN ->
+    let params = parse_params st in
+    if accept st Lexer.SEMI then record_extern acc name (List.length params)
+    else begin
+      let body = parse_braced_block st in
+      let f_ret = if is_void then None else if !ret_ptr then Some Tptr else Some Tint in
+      acc.funcs <- { f_name = name; f_params = params; f_ret; f_body = body; f_static = is_static } :: acc.funcs
+    end
+  | _ ->
+    if is_void then fail st "void variables are not allowed";
+    (* one or more global declarators: int a = 0, *p = &a, b[2] = {0,0}; *)
+    let parse_declarator first_name first_ptr =
+      let name, is_ptr =
+        match first_name with
+        | Some n -> (n, first_ptr)
+        | None ->
+          let ptr = ref false in
+          while accept st Lexer.STAR do
+            ptr := true
+          done;
+          (expect_ident st, !ptr)
+      in
+      if accept st Lexer.LBRACKET then begin
+        let size = expect_int st in
+        expect st Lexer.RBRACKET;
+        let init = if accept st Lexer.ASSIGN then parse_array_init st else Gzero in
+        acc.globals <-
+          { g_name = name; g_typ = Tarr size; g_init = init; g_static = is_static && not is_extern }
+          :: acc.globals
+      end
+      else begin
+        let typ = if is_ptr then Tptr else Tint in
+        let init =
+          if accept st Lexer.ASSIGN then ginit_of_expr st (parse_expression st) else Gzero
+        in
+        acc.globals <- { g_name = name; g_typ = typ; g_init = init; g_static = is_static } :: acc.globals
+      end
+    in
+    parse_declarator (Some name) !ret_ptr;
+    while accept st Lexer.COMMA do
+      parse_declarator None false
+    done;
+    expect st Lexer.SEMI
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let acc = { globals = []; funcs = []; externs = [] } in
+  while cur st <> Lexer.EOF do
+    parse_topdecl st acc
+  done;
+  { p_globals = List.rev acc.globals; p_funcs = List.rev acc.funcs; p_externs = List.rev acc.externs }
+
+let parse_expr src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let e = parse_expression st in
+  if cur st <> Lexer.EOF then fail st "trailing tokens after expression";
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for MiniC.
+
+    The accepted grammar is a practical C subset chosen so that the paper's
+    test cases (Listings 1–9) can be pasted with at most cosmetic edits:
+    [char]/[short]/[long] lex as [int]; multi-declarator lines
+    ([int a, c, *f;]), pointer-to-pointer declarators, compound assignment
+    ([x += e]) and statement-level [x++]/[x--] are accepted and desugared.
+    Calls to [DCEMarker<n>] parse back to {!Ast.stmt.Smarker} statements. *)
+
+exception Parse_error of string
+(** Raised with a line/column-tagged message on malformed input. *)
+
+val parse_program : string -> Ast.program
+(** Parses a full translation unit. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression (for tests and the reducer). *)

@@ -1,0 +1,147 @@
+open Ast
+
+(* Precedence levels: binops use Ops.binop_precedence (1..10); prefix unary
+   operators bind tighter (11); postfix (index, call) and atoms are 12. *)
+
+let prec_unary = 11
+
+let rec pp_expr_prec ctx fmt e =
+  match e with
+  | Int n ->
+    if n < 0 then (
+      (* print negative literals parenthesized so unary minus re-parses *)
+      if ctx > prec_unary then Format.fprintf fmt "(%d)" n else Format.fprintf fmt "%d" n)
+    else Format.fprintf fmt "%d" n
+  | Var x -> Format.pp_print_string fmt x
+  | Unary (op, e1) ->
+    let doc fmt () = Format.fprintf fmt "%s%a" (Ops.unop_symbol op) (pp_expr_prec prec_unary) e1 in
+    if ctx > prec_unary then Format.fprintf fmt "(%a)" doc () else doc fmt ()
+  | Binary (op, e1, e2) ->
+    let p = Ops.binop_precedence op in
+    let doc fmt () =
+      Format.fprintf fmt "%a %s %a" (pp_expr_prec p) e1 (Ops.binop_symbol op)
+        (pp_expr_prec (p + 1)) e2
+    in
+    if ctx > p then Format.fprintf fmt "(%a)" doc () else doc fmt ()
+  | Addr_of lv ->
+    let doc fmt () = Format.fprintf fmt "&%a" pp_lvalue lv in
+    if ctx > prec_unary then Format.fprintf fmt "(%a)" doc () else doc fmt ()
+  | Deref e1 ->
+    let doc fmt () = Format.fprintf fmt "*%a" (pp_expr_prec prec_unary) e1 in
+    if ctx > prec_unary then Format.fprintf fmt "(%a)" doc () else doc fmt ()
+  | Index (base, idx) -> Format.fprintf fmt "%s[%a]" base (pp_expr_prec 0) idx
+  | Call (name, args) ->
+    Format.fprintf fmt "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (pp_expr_prec 0))
+      args
+
+and pp_lvalue fmt = function
+  | Lvar x -> Format.pp_print_string fmt x
+  | Lderef e -> Format.fprintf fmt "*%a" (pp_expr_prec prec_unary) e
+  | Lindex (base, idx) -> Format.fprintf fmt "%s[%a]" base (pp_expr_prec 0) idx
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_decl_typ fmt (name, typ) =
+  match typ with
+  | Tint -> Format.fprintf fmt "int %s" name
+  | Tptr -> Format.fprintf fmt "int *%s" name
+  | Tarr n -> Format.fprintf fmt "int %s[%d]" name n
+
+let rec pp_stmt fmt s =
+  match s with
+  | Sexpr e -> Format.fprintf fmt "%a;" pp_expr e
+  | Sdecl (name, typ, init) -> (
+    match init with
+    | None -> Format.fprintf fmt "%a;" pp_decl_typ (name, typ)
+    | Some e -> Format.fprintf fmt "%a = %a;" pp_decl_typ (name, typ) pp_expr e)
+  | Sassign (lv, e) -> Format.fprintf fmt "%a = %a;" pp_lvalue lv pp_expr e
+  | Sif (c, bt, []) -> Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block_body bt
+  | Sif (c, bt, bf) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c pp_block_body bt
+      pp_block_body bf
+  | Swhile (c, b) -> Format.fprintf fmt "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_block_body b
+  | Sfor (init, cond, step, b) ->
+    let pp_opt_stmt fmt = function
+      | None -> ()
+      | Some (Sassign (lv, e)) -> Format.fprintf fmt "%a = %a" pp_lvalue lv pp_expr e
+      | Some (Sexpr e) -> pp_expr fmt e
+      | Some (Sdecl (name, typ, Some e)) -> Format.fprintf fmt "%a = %a" pp_decl_typ (name, typ) pp_expr e
+      | Some s -> pp_stmt fmt s
+    in
+    let pp_opt_expr fmt = function None -> () | Some e -> pp_expr fmt e in
+    Format.fprintf fmt "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_opt_stmt init pp_opt_expr cond
+      pp_opt_stmt step pp_block_body b
+  | Sswitch (c, cases, dflt) ->
+    Format.fprintf fmt "@[<v 2>switch (%a) {" pp_expr c;
+    List.iter
+      (fun (k, b) -> Format.fprintf fmt "@,@[<v 2>case %d: {%a@]@,}" k pp_block_body b)
+      cases;
+    Format.fprintf fmt "@,@[<v 2>default: {%a@]@,}" pp_block_body dflt;
+    Format.fprintf fmt "@]@,}"
+  | Sreturn None -> Format.pp_print_string fmt "return;"
+  | Sreturn (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+  | Sbreak -> Format.pp_print_string fmt "break;"
+  | Scontinue -> Format.pp_print_string fmt "continue;"
+  | Sblock b -> Format.fprintf fmt "@[<v 2>{%a@]@,}" pp_block_body b
+  | Smarker n -> Format.fprintf fmt "%s();" (marker_name n)
+
+and pp_block_body fmt b = List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) b
+
+let pp_global fmt g =
+  let static = if g.g_static then "static " else "" in
+  match g.g_init with
+  | Gzero -> Format.fprintf fmt "%s%a;" static pp_decl_typ (g.g_name, g.g_typ)
+  | Gint v ->
+    if v < 0 then Format.fprintf fmt "%s%a = (%d);" static pp_decl_typ (g.g_name, g.g_typ) v
+    else Format.fprintf fmt "%s%a = %d;" static pp_decl_typ (g.g_name, g.g_typ) v
+  | Gints vals ->
+    Format.fprintf fmt "%s%a = {%a};" static pp_decl_typ (g.g_name, g.g_typ)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt v -> if v < 0 then Format.fprintf fmt "(%d)" v else Format.pp_print_int fmt v))
+      vals
+  | Gaddr (sym, 0) -> Format.fprintf fmt "%s%a = &%s;" static pp_decl_typ (g.g_name, g.g_typ) sym
+  | Gaddr (sym, k) ->
+    Format.fprintf fmt "%s%a = &%s[%d];" static pp_decl_typ (g.g_name, g.g_typ) sym k
+
+let pp_param fmt p =
+  match p.p_typ with
+  | Tint -> Format.fprintf fmt "int %s" p.p_name
+  | Tptr -> Format.fprintf fmt "int *%s" p.p_name
+  | Tarr _ -> Format.fprintf fmt "int *%s" p.p_name (* arrays decay; not produced *)
+
+let pp_func fmt f =
+  let static = if f.f_static then "static " else "" in
+  let ret = match f.f_ret with None -> "void" | Some Tint -> "int" | Some _ -> "int *" in
+  let pp_params fmt = function
+    | [] -> Format.pp_print_string fmt "void"
+    | ps ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        pp_param fmt ps
+  in
+  Format.fprintf fmt "@[<v 2>%s%s %s(%a) {%a@]@,}" static ret f.f_name pp_params f.f_params
+    pp_block_body f.f_body
+
+let pp_program fmt prog =
+  Format.fprintf fmt "@[<v 0>";
+  List.iter
+    (fun (name, arity) ->
+      let params =
+        if arity = 0 then "void" else String.concat ", " (List.init arity (fun _ -> "int"))
+      in
+      Format.fprintf fmt "extern int %s(%s);@," name params)
+    prog.p_externs;
+  let markers = Dce_support.Listx.uniq (markers_of_program prog) in
+  List.iter (fun n -> Format.fprintf fmt "void %s(void);@," (marker_name n)) markers;
+  List.iter (fun g -> Format.fprintf fmt "%a@," pp_global g) prog.p_globals;
+  List.iter (fun f -> Format.fprintf fmt "@,%a@," pp_func f) prog.p_funcs;
+  Format.fprintf fmt "@]"
+
+let to_string pp x = Format.asprintf "%a" pp x
+let expr_to_string = to_string pp_expr
+let stmt_to_string = to_string pp_stmt
+let program_to_string p = to_string pp_program p ^ "\n"

@@ -1,0 +1,18 @@
+(** Pretty printer from MiniC ASTs to C-like source text.
+
+    The output parses back with {!Parser} to a structurally equal AST
+    (round-trip property, tested in the suite).  Marker statements print as
+    calls to their marker function, and a prototype [void DCEMarker<n>(void);]
+    is emitted for every marker used, exactly like the instrumented programs
+    in the paper. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+
+val program_to_string : Ast.program -> string
+(** Full translation unit: extern prototypes, marker prototypes, globals, then
+    function definitions. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,208 @@
+open Ast
+
+type error = string
+
+type env = {
+  globals : (string, typ) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  externs : (string, int) Hashtbl.t;
+  mutable implicit_externs : (string * int) list;
+  mutable errors : error list;
+}
+
+let add_error env fmt = Printf.ksprintf (fun msg -> env.errors <- msg :: env.errors) fmt
+
+let collect_locals env fn =
+  let locals = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem locals p.p_name then
+        add_error env "%s: duplicate parameter %s" fn.f_name p.p_name;
+      Hashtbl.replace locals p.p_name p.p_typ)
+    fn.f_params;
+  iter_block
+    (function
+      | Sdecl (name, typ, _) ->
+        if Hashtbl.mem locals name then
+          add_error env "%s: duplicate local declaration of %s" fn.f_name name;
+        Hashtbl.replace locals name typ
+      | _ -> ())
+    fn.f_body;
+  locals
+
+let var_typ env locals name =
+  match Hashtbl.find_opt locals name with
+  | Some t -> Some t
+  | None -> Hashtbl.find_opt env.globals name
+
+let check_call env fn name nargs =
+  match marker_of_name name with
+  | Some _ ->
+    if nargs <> 0 then add_error env "%s: marker call %s takes no arguments" fn.f_name name
+  | None -> (
+    match Hashtbl.find_opt env.funcs name with
+    | Some callee ->
+      if List.length callee.f_params <> nargs then
+        add_error env "%s: call to %s with %d arguments, expected %d" fn.f_name name nargs
+          (List.length callee.f_params)
+    | None -> (
+      match Hashtbl.find_opt env.externs name with
+      | Some arity ->
+        if arity <> nargs then
+          add_error env "%s: call to extern %s with %d arguments, expected %d" fn.f_name name
+            nargs arity
+      | None ->
+        (* implicit declaration, normalized into p_externs *)
+        if not (List.mem_assoc name env.implicit_externs) then
+          env.implicit_externs <- (name, nargs) :: env.implicit_externs;
+        Hashtbl.replace env.externs name nargs))
+
+let rec check_expr env fn locals e =
+  match e with
+  | Int _ -> ()
+  | Var name ->
+    (match var_typ env locals name with
+     | Some _ -> ()
+     | None -> add_error env "%s: undeclared variable %s" fn.f_name name)
+  | Unary (_, e1) -> check_expr env fn locals e1
+  | Binary (_, e1, e2) ->
+    check_expr env fn locals e1;
+    check_expr env fn locals e2
+  | Addr_of lv -> check_lvalue env fn locals lv
+  | Deref e1 -> check_expr env fn locals e1
+  | Index (base, idx) ->
+    (match var_typ env locals base with
+     | Some (Tarr _ | Tptr) -> ()
+     | Some Tint -> add_error env "%s: indexing non-array variable %s" fn.f_name base
+     | None -> add_error env "%s: undeclared variable %s" fn.f_name base);
+    check_expr env fn locals idx
+  | Call (name, args) ->
+    check_call env fn name (List.length args);
+    List.iter (check_expr env fn locals) args
+
+and check_lvalue env fn locals = function
+  | Lvar name -> (
+    match var_typ env locals name with
+    | Some _ -> ()
+    | None -> add_error env "%s: undeclared variable %s" fn.f_name name)
+  | Lderef e -> check_expr env fn locals e
+  | Lindex (base, idx) ->
+    (match var_typ env locals base with
+     | Some (Tarr _ | Tptr) -> ()
+     | Some Tint -> add_error env "%s: indexing non-array variable %s" fn.f_name base
+     | None -> add_error env "%s: undeclared variable %s" fn.f_name base);
+    check_expr env fn locals idx
+
+let check_assign env fn locals lv =
+  (match lv with
+   | Lvar name -> (
+     match var_typ env locals name with
+     | Some (Tarr _) -> add_error env "%s: cannot assign to array %s" fn.f_name name
+     | Some (Tint | Tptr) | None -> ())
+   | Lderef _ | Lindex _ -> ());
+  check_lvalue env fn locals lv
+
+let rec check_stmt env fn locals ~in_loop ~in_switch s =
+  match s with
+  | Sexpr e -> check_expr env fn locals e
+  | Sdecl (name, typ, init) ->
+    (match typ with
+     | Tarr n when n <= 0 -> add_error env "%s: array %s has non-positive size" fn.f_name name
+     | Tarr _ when init <> None ->
+       add_error env "%s: local array %s cannot have an initializer" fn.f_name name
+     | Tarr _ | Tint | Tptr -> ());
+    Option.iter (check_expr env fn locals) init
+  | Sassign (lv, e) ->
+    check_assign env fn locals lv;
+    check_expr env fn locals e
+  | Sif (c, bt, bf) ->
+    check_expr env fn locals c;
+    check_block env fn locals ~in_loop ~in_switch bt;
+    check_block env fn locals ~in_loop ~in_switch bf
+  | Swhile (c, b) ->
+    check_expr env fn locals c;
+    check_block env fn locals ~in_loop:true ~in_switch:false b
+  | Sfor (init, cond, step, b) ->
+    Option.iter (check_stmt env fn locals ~in_loop ~in_switch) init;
+    Option.iter (check_expr env fn locals) cond;
+    Option.iter (check_stmt env fn locals ~in_loop ~in_switch) step;
+    check_block env fn locals ~in_loop:true ~in_switch:false b
+  | Sswitch (c, cases, dflt) ->
+    check_expr env fn locals c;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (k, b) ->
+        if Hashtbl.mem seen k then add_error env "%s: duplicate case %d" fn.f_name k;
+        Hashtbl.replace seen k ();
+        check_block env fn locals ~in_loop ~in_switch:true b)
+      cases;
+    check_block env fn locals ~in_loop ~in_switch:true dflt
+  | Sreturn (Some e) ->
+    if fn.f_ret = None then add_error env "%s: returning a value from a void function" fn.f_name;
+    check_expr env fn locals e
+  | Sreturn None -> ()
+  | Sbreak -> if not (in_loop || in_switch) then add_error env "%s: break outside loop/switch" fn.f_name
+  | Scontinue -> if not in_loop then add_error env "%s: continue outside loop" fn.f_name
+  | Sblock b -> check_block env fn locals ~in_loop ~in_switch b
+  | Smarker _ -> ()
+
+and check_block env fn locals ~in_loop ~in_switch b =
+  List.iter (check_stmt env fn locals ~in_loop ~in_switch) b
+
+let check_global env g =
+  (match g.g_typ with
+   | Tarr n when n <= 0 -> add_error env "global array %s has non-positive size" g.g_name
+   | Tarr _ | Tint | Tptr -> ());
+  match (g.g_typ, g.g_init) with
+  | (Tint | Tptr), Gints _ -> add_error env "scalar global %s has array initializer" g.g_name
+  | Tarr _, (Gint _ | Gaddr _) -> add_error env "array global %s has scalar initializer" g.g_name
+  | Tarr n, Gints vals when List.length vals > n ->
+    add_error env "array global %s initializer too long" g.g_name
+  | _, Gaddr (sym, _) ->
+    if not (Hashtbl.mem env.globals sym) then
+      add_error env "global %s initialized with address of unknown symbol %s" g.g_name sym
+  | _ -> ()
+
+let check prog =
+  let env =
+    {
+      globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 32;
+      externs = Hashtbl.create 32;
+      implicit_externs = [];
+      errors = [];
+    }
+  in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem env.globals g.g_name then add_error env "duplicate global %s" g.g_name;
+      Hashtbl.replace env.globals g.g_name g.g_typ)
+    prog.p_globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.f_name then add_error env "duplicate function %s" f.f_name;
+      if Hashtbl.mem env.globals f.f_name then
+        add_error env "function %s shadows a global" f.f_name;
+      Hashtbl.replace env.funcs f.f_name f)
+    prog.p_funcs;
+  List.iter
+    (fun (name, arity) ->
+      if Hashtbl.mem env.funcs name then add_error env "extern %s is also defined" name;
+      Hashtbl.replace env.externs name arity)
+    prog.p_externs;
+  List.iter (check_global env) prog.p_globals;
+  List.iter
+    (fun fn ->
+      let locals = collect_locals env fn in
+      check_block env fn locals ~in_loop:false ~in_switch:false fn.f_body)
+    prog.p_funcs;
+  if env.errors = [] then
+    Ok { prog with p_externs = prog.p_externs @ List.rev env.implicit_externs }
+  else Error (List.rev env.errors)
+
+let check_exn prog =
+  match check prog with
+  | Ok p -> p
+  | Error errs -> failwith (String.concat "\n" errs)
+
+let has_main prog = find_func prog "main" <> None

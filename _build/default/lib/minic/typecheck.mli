@@ -1,0 +1,30 @@
+(** Semantic validation and normalization of MiniC programs.
+
+    The checker is deliberately lenient about integer/pointer mixing (MiniC is
+    dynamically typed at run time; the interpreter traps on genuinely
+    nonsensical operations such as dereferencing an integer), but it enforces
+    the structural well-formedness every downstream component relies on:
+    unique definitions, resolvable names, call arities, array declarators, and
+    [break]/[continue] placement.
+
+    Scoping model: locals have {e function scope} — a name declared anywhere
+    in a function body refers to one variable for the whole function, and all
+    locals are zero-initialized at entry (a declaration with an initializer
+    acts as an assignment at its program point).  The checker rejects
+    duplicate declarations of the same local name. *)
+
+type error = string
+(** Human-readable diagnostic. *)
+
+val check : Ast.program -> (Ast.program, error list) result
+(** Validates the program. On success the returned program is normalized:
+    call targets that are neither defined functions, declared externs, nor
+    markers are added to [p_externs] (implicit declarations, as C compilers
+    accept for the paper's [dead()] test cases). *)
+
+val check_exn : Ast.program -> Ast.program
+(** Like {!check} but raises [Failure] with all diagnostics joined. *)
+
+val has_main : Ast.program -> bool
+(** Whether a [main] function is defined (needed for ground-truth
+    execution). *)

@@ -1,0 +1,1 @@
+lib/opt/alias.mli: Dce_ir Meminfo

@@ -1,0 +1,1 @@
+lib/opt/clone.ml: Dce_ir Imap Ir Iset List Option

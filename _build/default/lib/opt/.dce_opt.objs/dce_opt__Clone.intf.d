@@ -1,0 +1,1 @@
+lib/opt/clone.mli: Dce_ir

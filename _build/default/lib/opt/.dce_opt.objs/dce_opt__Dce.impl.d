@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Dce_ir Hashtbl Imap Ir List Meminfo

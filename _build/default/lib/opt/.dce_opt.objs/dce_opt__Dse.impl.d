@@ -1,0 +1,1 @@
+lib/opt/dse.ml: Alias Dce_ir Hashtbl Imap Ir List Meminfo

@@ -1,0 +1,1 @@
+lib/opt/dse.mli: Alias Dce_ir Meminfo

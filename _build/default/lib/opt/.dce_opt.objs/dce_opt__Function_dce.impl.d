@@ -1,0 +1,1 @@
+lib/opt/function_dce.ml: Dce_ir Hashtbl Ir List

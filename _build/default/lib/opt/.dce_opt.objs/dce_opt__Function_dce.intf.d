@@ -1,0 +1,1 @@
+lib/opt/function_dce.mli: Dce_ir

@@ -1,0 +1,1 @@
+lib/opt/gva.ml: Meminfo

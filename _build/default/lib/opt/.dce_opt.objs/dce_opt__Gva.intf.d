@@ -1,0 +1,1 @@
+lib/opt/gva.mli: Dce_ir Meminfo

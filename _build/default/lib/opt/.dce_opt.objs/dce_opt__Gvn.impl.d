@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Alias Dce_ir Dce_minic Dom Hashtbl Imap Ir List Meminfo

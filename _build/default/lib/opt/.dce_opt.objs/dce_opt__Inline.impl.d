@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Cfg Dce_ir Dce_support Hashtbl Imap Ir Iset List Meminfo Option Printf

@@ -1,0 +1,1 @@
+lib/opt/ipa_cp.ml: Array Dce_ir Imap Ir List Meminfo

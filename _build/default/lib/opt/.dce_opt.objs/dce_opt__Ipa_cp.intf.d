@@ -1,0 +1,1 @@
+lib/opt/ipa_cp.mli: Dce_ir

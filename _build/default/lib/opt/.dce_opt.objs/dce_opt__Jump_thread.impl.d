@@ -1,0 +1,1 @@
+lib/opt/jump_thread.ml: Cfg Clone Dce_ir Imap Ir Iset List

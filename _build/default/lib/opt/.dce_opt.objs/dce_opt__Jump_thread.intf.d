@@ -1,0 +1,1 @@
+lib/opt/jump_thread.mli: Dce_ir

@@ -1,0 +1,1 @@
+lib/opt/lcssa.ml: Cfg Dce_ir Dce_support Imap Ir Iset List Loops Option

@@ -1,0 +1,1 @@
+lib/opt/lcssa.mli: Dce_ir

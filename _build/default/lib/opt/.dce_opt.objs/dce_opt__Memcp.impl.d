@@ -1,0 +1,1 @@
+lib/opt/memcp.ml: Alias Array Cfg Dce_ir Hashtbl Imap Ir List Meminfo Option

@@ -1,0 +1,1 @@
+lib/opt/memcp.mli: Alias Dce_ir Meminfo

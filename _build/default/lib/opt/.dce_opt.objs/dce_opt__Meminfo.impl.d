@@ -1,0 +1,1 @@
+lib/opt/meminfo.ml: Array Dce_ir Dce_minic Hashtbl Imap Ir List Map Option Set String

@@ -1,0 +1,1 @@
+lib/opt/meminfo.mli: Dce_ir Set

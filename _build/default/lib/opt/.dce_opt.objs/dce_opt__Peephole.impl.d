@@ -1,0 +1,1 @@
+lib/opt/peephole.ml: Dce_ir Dce_minic Imap Ir List Meminfo

@@ -1,0 +1,1 @@
+lib/opt/peephole.mli: Dce_ir

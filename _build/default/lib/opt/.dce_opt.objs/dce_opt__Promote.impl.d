@@ -1,0 +1,1 @@
+lib/opt/promote.ml: Alias Cfg Dce_ir Dom Hashtbl Imap Ir Iset List Loops Meminfo Option

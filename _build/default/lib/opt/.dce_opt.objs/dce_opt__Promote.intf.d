@@ -1,0 +1,1 @@
+lib/opt/promote.mli: Alias Dce_ir Meminfo

@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Array Cfg Dce_ir Dce_minic Gva Hashtbl Imap Ir List Option

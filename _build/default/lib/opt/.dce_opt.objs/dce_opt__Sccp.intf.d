@@ -1,0 +1,1 @@
+lib/opt/sccp.mli: Dce_ir Gva Meminfo

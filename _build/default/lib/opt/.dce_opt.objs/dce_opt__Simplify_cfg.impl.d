@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Cfg Dce_ir Dce_support Hashtbl Imap Ir List Meminfo Option

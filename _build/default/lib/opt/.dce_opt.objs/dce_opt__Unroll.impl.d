@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Array Cfg Clone Dce_ir Dce_minic Dce_support Hashtbl Imap Ir Iset Lcssa List Loops Meminfo Option Simplify_cfg

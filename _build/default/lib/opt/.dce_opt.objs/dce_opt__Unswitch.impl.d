@@ -1,0 +1,1 @@
+lib/opt/unswitch.ml: Alias Cfg Clone Dce_ir Dce_support Imap Ir Iset Lcssa List Loops Meminfo Option

@@ -1,0 +1,1 @@
+lib/opt/unswitch.mli: Alias Dce_ir Meminfo

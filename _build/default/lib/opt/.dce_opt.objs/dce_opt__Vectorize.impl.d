@@ -1,0 +1,1 @@
+lib/opt/vectorize.ml: Dce_ir Imap Ir Iset List Loops Unroll

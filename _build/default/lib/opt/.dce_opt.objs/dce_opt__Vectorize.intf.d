@@ -1,0 +1,1 @@
+lib/opt/vectorize.mli: Dce_ir

@@ -1,0 +1,1 @@
+lib/opt/vrp.ml: Array Cfg Dce_ir Dce_minic Dom Hashtbl Imap Ir Iset List Meminfo Option

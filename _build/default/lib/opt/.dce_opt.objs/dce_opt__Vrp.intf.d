@@ -1,0 +1,1 @@
+lib/opt/vrp.mli: Dce_ir

@@ -1,0 +1,30 @@
+type precision = None_ | Basic | Full
+
+type query = { info : Meminfo.t; dt : Meminfo.deftab; precision : precision }
+
+let make precision info fn = { info; dt = Meminfo.deftab fn; precision }
+
+let may_alias q p1 p2 =
+  match q.precision with
+  | None_ -> true
+  | Basic | Full -> (
+    match (Meminfo.resolve_addr q.dt p1, Meminfo.resolve_addr q.dt p2) with
+    | Meminfo.Asym (s1, o1), Meminfo.Asym (s2, o2) ->
+      if s1 <> s2 then false
+      else (
+        match (o1, o2) with
+        | Some a, Some b -> a = b
+        | _ -> true)
+    | Meminfo.Aunknown, Meminfo.Asym (s, _) | Meminfo.Asym (s, _), Meminfo.Aunknown ->
+      (* an unknown pointer may address escaped symbols and any non-static
+         global (other translation units can take their address) *)
+      if q.precision = Full then Meminfo.unknown_may_touch q.info s else true
+    | Meminfo.Aunknown, Meminfo.Aunknown -> true)
+
+let may_write_sym q p sym =
+  match q.precision with
+  | None_ -> true
+  | Basic | Full -> (
+    match Meminfo.resolve_addr q.dt p with
+    | Meminfo.Asym (s, _) -> s = sym
+    | Meminfo.Aunknown -> if q.precision = Full then Meminfo.unknown_may_touch q.info sym else true)

@@ -1,0 +1,32 @@
+(** The reference may-alias oracle.
+
+    The memory passes (store-to-load forwarding, DSE, MemCP, LICM) inline the
+    same rules on top of {!Meminfo.resolve_addr} for efficiency; this module
+    states them once, answerable per query, and the test suite checks the
+    passes against it.  External tooling should query this interface.
+
+    Three precision tiers, mirroring the compiler asymmetries the paper's
+    aliasing test cases exercise (e.g. Listing 9c, where GCC's -O3 pipeline
+    loses alias precision available at -O1):
+
+    - [None_]: everything may alias everything;
+    - [Basic]: distinct symbols never alias; distinct constant offsets into
+      the same symbol never alias; unknown pointers alias everything;
+    - [Full]: [Basic], plus unknown pointers cannot touch symbols whose
+      address never escapes (from {!Meminfo}). *)
+
+type precision = None_ | Basic | Full
+
+type query = {
+  info : Meminfo.t;
+  dt : Meminfo.deftab;
+  precision : precision;
+}
+
+val make : precision -> Meminfo.t -> Dce_ir.Ir.func -> query
+
+val may_alias : query -> Dce_ir.Ir.operand -> Dce_ir.Ir.operand -> bool
+(** Whether the two pointer operands may address the same cell. *)
+
+val may_write_sym : query -> Dce_ir.Ir.operand -> string -> bool
+(** Whether a store through the pointer may write any cell of the symbol. *)

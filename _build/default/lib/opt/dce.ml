@@ -1,0 +1,35 @@
+open Dce_ir
+open Ir
+
+let run fn =
+  (* transitively mark registers needed by side-effecting instructions and
+     terminators; delete pure defs of unmarked registers *)
+  let live = Hashtbl.create 64 in
+  let dt = Meminfo.deftab fn in
+  let rec mark v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      match Meminfo.def_rvalue dt v with
+      | Some rv ->
+        List.iter (function Reg u -> mark u | Const _ -> ()) (operands_of_rvalue rv)
+      | None -> ()
+    end
+  in
+  Imap.iter
+    (fun _ b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Store _ | Call _ | Marker _ -> List.iter mark (uses_of_instr i)
+          | Def _ -> ())
+        b.b_instrs;
+      List.iter mark (uses_of_terminator b.b_term))
+    fn.fn_blocks;
+  let keep = function
+    | Def (v, _) -> Hashtbl.mem live v
+    | Store _ | Call _ | Marker _ -> true
+  in
+  let blocks = Imap.map (fun b -> { b with b_instrs = List.filter keep b.b_instrs }) fn.fn_blocks in
+  { fn with fn_blocks = blocks }
+
+let run_program prog = { prog with prog_funcs = List.map run prog.prog_funcs }

@@ -1,0 +1,16 @@
+type mode = Off | Flow_insensitive | Flow_sensitive_if_const
+
+let foldable_cell mode info sym off =
+  match mode with
+  | Off -> None
+  | Flow_insensitive | Flow_sensitive_if_const ->
+    let sym_ok =
+      Meminfo.is_static_like info sym
+      && (not (Meminfo.escaped info sym))
+      &&
+      match mode with
+      | Flow_insensitive -> not (Meminfo.ever_stored info sym)
+      | Flow_sensitive_if_const -> Meminfo.stores_only_init_consts info sym
+      | Off -> false
+    in
+    if sym_ok then Meminfo.init_cell info sym off else None

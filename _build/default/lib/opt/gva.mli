@@ -1,0 +1,24 @@
+(** Global value analysis: when may a load from a symbol be folded to the
+    symbol's initial value?
+
+    The precision tiers model the asymmetry the paper exploits between GCC and
+    LLVM (Listings 4 and 6a):
+
+    - {!mode.Flow_insensitive} (GCC-like): a symbol is foldable only if {e no
+      store to it exists anywhere} — even a dead store of the initial value
+      ([a = 0;] after the last read, Listing 4a) blocks folding, because the
+      analysis is not flow-sensitive;
+    - {!mode.Flow_sensitive_if_const} (LLVM-like): stores are tolerated as
+      long as {e every} store writes a constant equal to the target cell's
+      initial value — so [a = 0;] is fine but [a = 1;] anywhere poisons the
+      symbol even if it executes after every read (Listing 6a, the LLVM 3.8
+      regression).
+
+    Both tiers only ever apply to static globals and frame slots: a non-static
+    global may be redefined or written by other translation units. *)
+
+type mode = Off | Flow_insensitive | Flow_sensitive_if_const
+
+val foldable_cell : mode -> Meminfo.t -> string -> int -> Dce_ir.Ir.init_cell option
+(** [foldable_cell mode info sym off] is the constant a load of cell
+    [sym\[off\]] may be replaced with, or [None]. *)

@@ -1,0 +1,101 @@
+(** Whole-program memory analysis shared by the optimization passes.
+
+    Computes, per symbol:
+    - {b escape} information — whether the symbol's address can flow somewhere
+      the compiler cannot track (into memory, to an extern call, out of a
+      return), in which case unknown pointers may read or write it;
+    - {b store} information — whether any instruction in the program may write
+      it, and if so whether every store writes a compile-time constant equal
+      to the symbol's initial value;
+
+    and, per function, transitive {b mod/ref summaries}: the symbols a call
+    may write/read.  Extern calls may write every non-static global (another
+    translation unit can name them — this is what makes [static] matter in
+    the paper's test cases) plus every escaped symbol.
+
+    The address-resolution helper {!resolve_addr} is the single place where
+    SSA pointer chains ([Addr]/[Ptradd]/copies) are interpreted; the alias
+    oracle and the memory passes all build on it so they can never disagree. *)
+
+module Sset : Set.S with type elt = string
+
+(** What an address operand is known to refer to. *)
+type addr_desc =
+  | Asym of string * int option
+      (** cell [off] of the symbol (offset [None] = some unknown cell) *)
+  | Aunknown  (** could be any escaped symbol *)
+
+type t
+
+val analyze : Dce_ir.Ir.program -> t
+(** Whole-program analysis; cost is linear in program size (the mod/ref
+    fixpoint iterates over the call graph). *)
+
+val escaped : t -> string -> bool
+(** The symbol's address may be held in untracked places (memory, externs). *)
+
+val ever_stored : t -> string -> bool
+(** Some instruction (or extern, for escaped/non-static symbols) may write
+    it. *)
+
+val stores_only_init_consts : t -> string -> bool
+(** Every store to the symbol in the whole program writes a constant equal to
+    the stored-to cell's initial value (and the target cell of every store is
+    known).  Vacuously true when there are no stores. *)
+
+val init_cell : t -> string -> int -> Dce_ir.Ir.init_cell option
+(** Initial value of cell [off], if the symbol exists and [off] in bounds. *)
+
+val is_static_like : t -> string -> bool
+(** Static global or frame slot: invisible to other translation units. *)
+
+val symbol : t -> string -> Dce_ir.Ir.symbol option
+
+val all_symbols : t -> Dce_ir.Ir.symbol list
+(** Every symbol of the program, sorted by name. *)
+
+val unknown_may_touch : t -> string -> bool
+(** Whether a pointer of unknown provenance may address this symbol: true for
+    escaped symbols and for {e all} non-static globals (another translation
+    unit may have taken their address — the C-linkage rule that makes
+    [static] matter throughout the paper). *)
+
+val tracked_symbols : t -> Dce_ir.Ir.symbol list
+(** Symbols whose cells flow-sensitive memory analyses may track: static-like
+    and never escaped (so neither unknown pointers nor extern/marker calls can
+    touch them). *)
+
+val mod_set : t -> string -> Sset.t
+(** Symbols a call to the (defined) function may write, transitively.
+    Unknown functions: use {!extern_mod_set}. *)
+
+val ref_set : t -> string -> Sset.t
+
+val extern_mod_set : t -> Sset.t
+(** Symbols an extern call may write: non-static globals and escaped
+    symbols. *)
+
+val is_defined_function : t -> string -> bool
+(** Whether the program defines a function of this name (otherwise a call to
+    it is an extern call). *)
+
+type deftab
+(** Register → defining rvalue table for one function (SSA form). Build once,
+    query many times. *)
+
+val deftab : Dce_ir.Ir.func -> deftab
+
+val def_rvalue : deftab -> Dce_ir.Ir.var -> Dce_ir.Ir.rvalue option
+(** The unique defining rvalue ([None] for parameters and call results). *)
+
+val def_rvalue_resolved : deftab -> Dce_ir.Ir.var -> Dce_ir.Ir.rvalue option
+(** Like {!def_rvalue} but looks through register-to-register copy chains
+    ([Def (v, Op (Reg w))]), so pattern-matching passes see the real defining
+    operation. *)
+
+val resolve_addr : deftab -> Dce_ir.Ir.operand -> addr_desc
+(** Follows the SSA definition chain of a pointer operand.  Sound only on SSA
+    form (single definitions). *)
+
+val resolve_const : deftab -> Dce_ir.Ir.operand -> int option
+(** The operand's compile-time integer value, following copies. *)

@@ -1,0 +1,201 @@
+open Dce_ir
+open Ir
+module Ops = Dce_minic.Ops
+
+type addr_cmp = Cmp_none | Cmp_zero_only | Cmp_full
+
+type config = { addr_cmp : addr_cmp; gva_mode : Gva.mode; block_limit : int }
+
+let default_config = { addr_cmp = Cmp_full; gva_mode = Gva.Flow_insensitive; block_limit = 512 }
+
+(* lattice: Top (optimistically undefined) > constants > Bot *)
+type lat = Top | Cint of int | Cptr of string * int | Bot
+
+let join a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bot, _ | _, Bot -> Bot
+  | Cint x, Cint y -> if x = y then a else Bot
+  | Cptr (s1, o1), Cptr (s2, o2) -> if s1 = s2 && o1 = o2 then a else Bot
+  | Cint _, Cptr _ | Cptr _, Cint _ -> Bot
+
+let truthy_lat = function
+  | Cint n -> Some (n <> 0)
+  | Cptr _ -> Some true
+  | Top | Bot -> None
+
+let run config info fn =
+  if Imap.cardinal fn.fn_blocks > config.block_limit then fn
+  else begin
+    let nvars = fn.fn_next_var in
+    let lat = Array.make (max 1 nvars) Top in
+    List.iter (fun p -> lat.(p) <- Bot) fn.fn_params;
+    let edge_exec : (label * label, unit) Hashtbl.t = Hashtbl.create 64 in
+    let block_exec : (label, unit) Hashtbl.t = Hashtbl.create 64 in
+    let operand_lat = function
+      | Const n -> Cint n
+      | Reg v -> lat.(v)
+    in
+    let eval_binary op a b =
+      match (op, a, b) with
+      | _, Top, _ | _, _, Top -> Top
+      | _, Cint x, Cint y -> Cint (Ops.eval_binop op x y)
+      | (Ops.Eq | Ops.Ne), Cptr (s1, o1), Cptr (s2, o2) -> (
+        let fold_ok =
+          match config.addr_cmp with
+          | Cmp_none -> false
+          | Cmp_zero_only -> o1 = 0 && o2 = 0
+          | Cmp_full -> true
+        in
+        if not fold_ok then Bot
+        else
+          let eq = s1 = s2 && o1 = o2 in
+          match op with
+          | Ops.Eq -> Cint (if eq then 1 else 0)
+          | _ -> Cint (if eq then 0 else 1))
+      | (Ops.Eq | Ops.Ne), Cptr _, Cint _ | (Ops.Eq | Ops.Ne), Cint _, Cptr _ ->
+        (* symbol addresses are never null / never equal an integer *)
+        if config.addr_cmp = Cmp_none then Bot
+        else Cint (match op with Ops.Eq -> 0 | _ -> 1)
+      | (Ops.Lt | Ops.Le | Ops.Gt | Ops.Ge), Cptr (s1, o1), Cptr (s2, o2) when s1 = s2 ->
+        if config.addr_cmp = Cmp_none then Bot
+        else Cint (Ops.eval_binop op o1 o2)
+      | Ops.Add, Cptr (s, o), Cint k | Ops.Add, Cint k, Cptr (s, o) -> Cptr (s, o + k)
+      | Ops.Sub, Cptr (s, o), Cint k -> Cptr (s, o - k)
+      | Ops.Sub, Cptr (s1, o1), Cptr (s2, o2) when s1 = s2 -> Cint (o1 - o2)
+      | (Ops.Land | Ops.Lor), x, y -> (
+        match (truthy_lat x, truthy_lat y) with
+        | Some bx, Some by ->
+          Cint (Ops.eval_binop op (if bx then 1 else 0) (if by then 1 else 0))
+        | Some true, None when op = Ops.Lor -> Cint 1
+        | None, Some true when op = Ops.Lor -> Cint 1
+        | Some false, None when op = Ops.Land -> Cint 0
+        | None, Some false when op = Ops.Land -> Cint 0
+        | _ -> Bot)
+      | _ -> Bot
+    in
+    let eval_rvalue l rv =
+      match rv with
+      | Op a -> operand_lat a
+      | Unary (op, a) -> (
+        match operand_lat a with
+        | Top -> Top
+        | Cint x -> Cint (Ops.eval_unop op x)
+        | Cptr _ -> (
+          match op with
+          | Ops.Lnot -> Cint 0 (* addresses are truthy *)
+          | Ops.Neg | Ops.Bnot -> Bot)
+        | Bot -> Bot)
+      | Binary (op, a, b) -> eval_binary op (operand_lat a) (operand_lat b)
+      | Addr (s, off) -> (
+        match operand_lat off with
+        | Top -> Top
+        | Cint k -> Cptr (s, k)
+        | Cptr _ | Bot -> Bot)
+      | Ptradd (p, off) -> (
+        match (operand_lat p, operand_lat off) with
+        | Top, _ | _, Top -> Top
+        | Cptr (s, o), Cint k -> Cptr (s, o + k)
+        | _ -> Bot)
+      | Load p -> (
+        match operand_lat p with
+        | Top -> Top
+        | Cptr (s, k) -> (
+          match Gva.foldable_cell config.gva_mode info s k with
+          | Some (Ir.Cint n) -> Cint n
+          | Some (Ir.Caddr (s', o')) -> Cptr (s', o')
+          | None -> Bot)
+        | Cint _ | Bot -> Bot)
+      | Phi args ->
+        List.fold_left
+          (fun acc (pred, a) ->
+            if Hashtbl.mem edge_exec (pred, l) then join acc (operand_lat a) else acc)
+          Top args
+    in
+    let feasible_succs term =
+      match term with
+      | Jmp l -> [ l ]
+      | Br (c, lt, lf) -> (
+        match truthy_lat (operand_lat c) with
+        | Some true -> [ lt ]
+        | Some false -> [ lf ]
+        | None -> if operand_lat c = Top then [] else [ lt; lf ])
+      | Switch (c, cases, dflt) -> (
+        match operand_lat c with
+        | Cint k -> [ Option.value ~default:dflt (List.assoc_opt k cases) ]
+        | Top -> []
+        | Cptr _ | Bot -> List.map snd cases @ [ dflt ])
+      | Ret _ -> []
+    in
+    (* chaotic iteration over executable blocks until stable *)
+    Hashtbl.replace block_exec fn.fn_entry ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Imap.iter
+        (fun l b ->
+          if Hashtbl.mem block_exec l then begin
+            List.iter
+              (fun i ->
+                match i with
+                | Def (v, rv) ->
+                  let nv = join lat.(v) (eval_rvalue l rv) in
+                  if nv <> lat.(v) then begin
+                    lat.(v) <- nv;
+                    changed := true
+                  end
+                | Call (Some v, _, _) ->
+                  if lat.(v) <> Bot then begin
+                    lat.(v) <- Bot;
+                    changed := true
+                  end
+                | Call (None, _, _) | Store _ | Marker _ -> ())
+              b.b_instrs;
+            List.iter
+              (fun s ->
+                if not (Hashtbl.mem edge_exec (l, s)) then begin
+                  Hashtbl.replace edge_exec (l, s) ();
+                  changed := true
+                end;
+                if not (Hashtbl.mem block_exec s) then begin
+                  Hashtbl.replace block_exec s ();
+                  changed := true
+                end)
+              (feasible_succs b.b_term)
+          end)
+        fn.fn_blocks
+    done;
+    (* rewrite: fold constant defs and constant branches *)
+    let rewrite_instr i =
+      match i with
+      | Def (v, rv) -> (
+        match lat.(v) with
+        | Cint k -> Def (v, Op (Const k))
+        | Cptr (s, o) -> (
+          match rv with
+          | Addr (_, Const _) -> i (* already an address constant *)
+          | _ -> Def (v, Addr (s, Const o)))
+        | Top | Bot -> i)
+      | Store _ | Call _ | Marker _ -> i
+    in
+    let rewrite_term term =
+      match term with
+      | Br (c, lt, lf) -> (
+        match truthy_lat (operand_lat c) with
+        | Some true -> Jmp lt
+        | Some false -> Jmp lf
+        | None -> term)
+      | Switch (c, cases, dflt) -> (
+        match operand_lat c with
+        | Cint k -> Jmp (Option.value ~default:dflt (List.assoc_opt k cases))
+        | _ -> term)
+      | Jmp _ | Ret _ -> term
+    in
+    let blocks =
+      Imap.map
+        (fun b -> { b_instrs = List.map rewrite_instr b.b_instrs; b_term = rewrite_term b.b_term })
+        fn.fn_blocks
+    in
+    (* folded branches removed edges: restore the phi/CFG invariant *)
+    Cfg.prune_phi_args { fn with fn_blocks = blocks }
+  end

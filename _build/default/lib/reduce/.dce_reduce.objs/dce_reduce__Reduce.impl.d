@@ -1,0 +1,1 @@
+lib/reduce/reduce.ml: Ast Dce_core Dce_ir Dce_minic Lazy List Typecheck

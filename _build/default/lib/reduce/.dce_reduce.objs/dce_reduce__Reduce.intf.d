@@ -1,0 +1,1 @@
+lib/reduce/reduce.mli: Dce_core Dce_minic

@@ -1,0 +1,178 @@
+open Dce_minic
+open Ast
+
+type result = {
+  program : program;
+  tests_run : int;
+  rounds : int;
+  initial_size : int;
+  final_size : int;
+}
+
+(* apply [edit] to the [n]th statement (preorder over all function bodies) *)
+let edit_nth prog n edit =
+  let counter = ref (-1) in
+  let rec edit_block b = List.concat_map edit_stmt b
+  and edit_stmt s =
+    incr counter;
+    let me = !counter in
+    if me = n then edit s
+    else
+      match s with
+      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
+      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
+      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
+      | Sswitch (c, cases, dflt) ->
+        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
+      | Sblock b -> [ Sblock (edit_block b) ]
+      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
+  in
+  {
+    prog with
+    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
+  }
+
+(* size metric: statements and declarations dominate, expression nodes break
+   ties so that condition-to-constant simplifications count as progress *)
+let count_stmts prog =
+  let exprs = ref 0 in
+  iter_program_exprs (fun _ -> incr exprs) prog;
+  (10 * (stmt_count prog + List.length prog.p_globals + List.length prog.p_funcs)) + !exprs
+
+(* delete a contiguous range [lo, lo+len) of top-level-ish statement indices
+   (preorder numbering, same as [edit_nth]) in one shot — the ddmin-style
+   coarse phase that removes big chunks before statement-level polishing *)
+let delete_range prog lo len =
+  let counter = ref (-1) in
+  let rec edit_block b = List.concat_map edit_stmt b
+  and edit_stmt s =
+    incr counter;
+    let me = !counter in
+    if me >= lo && me < lo + len then
+      (* dropping the statement drops its whole subtree; skip the subtree's
+         indices so the numbering matches edit_nth's preorder *)
+      let sub = ref 0 in
+      (iter_stmt (fun _ -> incr sub) s;
+       counter := !counter + !sub - 1);
+      []
+    else
+      match s with
+      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
+      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
+      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
+      | Sswitch (c, cases, dflt) ->
+        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
+      | Sblock b -> [ Sblock (edit_block b) ]
+      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
+  in
+  {
+    prog with
+    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
+  }
+
+(* coarse candidates: delete halves, then quarters, then eighths *)
+let chunk_candidates prog =
+  let n = stmt_count prog in
+  List.concat_map
+    (fun denom ->
+      let len = max 2 (n / denom) in
+      let rec starts lo = if lo >= n then [] else lo :: starts (lo + len) in
+      List.map (fun lo -> lazy (delete_range prog lo len)) (starts 0))
+    [ 2; 4; 8 ]
+
+(* one-step candidate programs, roughly most-profitable first *)
+let candidates prog =
+  let n = stmt_count prog in
+  let stmt_edits =
+    List.concat_map
+      (fun edit_kind ->
+        List.init n (fun i ->
+            lazy
+              (edit_nth prog i (fun s ->
+                   match (edit_kind, s) with
+                   | `Delete, _ -> []
+                   | `Unwrap, Sif (_, bt, []) -> bt
+                   | `Unwrap, Sif (_, bt, bf) -> if bt = [] then bf else bt
+                   | `Unwrap, Swhile (_, b) -> b
+                   | `Unwrap, Sfor (_, _, _, b) -> b
+                   | `Unwrap, Sswitch (_, cases, dflt) -> List.concat_map snd cases @ dflt
+                   | `Unwrap, Sblock b -> b
+                   | `Unwrap, _ -> [ s ]
+                   | `Cond_false, Sif (_, bt, bf) -> [ Sif (Int 0, bt, bf) ]
+                   | `Cond_false, Swhile (_, b) -> [ Swhile (Int 0, b) ]
+                   | `Cond_false, _ -> [ s ]
+                   | `Cond_true, Sif (_, bt, bf) -> [ Sif (Int 1, bt, bf) ]
+                   | `Cond_true, _ -> [ s ]))))
+      [ `Delete; `Unwrap; `Cond_false; `Cond_true ]
+  in
+  let func_edits =
+    List.filter_map
+      (fun fn ->
+        if fn.f_name = "main" then None
+        else
+          Some
+            (lazy { prog with p_funcs = List.filter (fun f -> f.f_name <> fn.f_name) prog.p_funcs }))
+      prog.p_funcs
+  in
+  let global_edits =
+    List.map
+      (fun g ->
+        lazy { prog with p_globals = List.filter (fun g' -> g'.g_name <> g.g_name) prog.p_globals })
+      prog.p_globals
+  in
+  chunk_candidates prog @ func_edits @ global_edits @ stmt_edits
+
+let reduce ?(max_tests = 4000) ~predicate prog =
+  if not (predicate prog) then
+    invalid_arg "Reduce.reduce: initial program does not satisfy the predicate";
+  let tests = ref 0 in
+  let initial_size = count_stmts prog in
+  let check candidate =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      match Typecheck.check candidate with
+      | Ok normalized -> predicate normalized
+      | Error _ -> false
+    end
+  in
+  let rec fixpoint prog rounds =
+    if !tests >= max_tests then (prog, rounds)
+    else begin
+      let accepted = ref None in
+      let cands = candidates prog in
+      let rec try_all = function
+        | [] -> ()
+        | c :: rest ->
+          if !accepted = None && !tests < max_tests then begin
+            let candidate = Lazy.force c in
+            (* only consider candidates that are actually smaller or equal
+               with structural change *)
+            if count_stmts candidate < count_stmts prog && check candidate then
+              accepted := Some candidate
+            else try_all rest
+          end
+      in
+      try_all cands;
+      match !accepted with
+      | Some next -> fixpoint next (rounds + 1)
+      | None -> (prog, rounds)
+    end
+  in
+  let final, rounds = fixpoint prog 0 in
+  {
+    program = final;
+    tests_run = !tests;
+    rounds;
+    initial_size;
+    final_size = count_stmts final;
+  }
+
+let marker_diff_predicate ~keep_missed_by ~eliminated_by ~marker prog =
+  match Dce_core.Ground_truth.compute prog with
+  | Dce_core.Ground_truth.Rejected _ -> false
+  | Dce_core.Ground_truth.Valid truth ->
+    Dce_ir.Ir.Iset.mem marker truth.Dce_core.Ground_truth.dead
+    &&
+    let survives cfg = Dce_ir.Ir.Iset.mem marker (Dce_core.Differential.surviving cfg prog) in
+    survives keep_missed_by && not (survives eliminated_by)

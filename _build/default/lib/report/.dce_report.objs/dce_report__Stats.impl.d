@@ -1,0 +1,1 @@
+lib/report/stats.ml: Buffer Dce_compiler Dce_core Dce_ir Hashtbl List Option Printf Tables

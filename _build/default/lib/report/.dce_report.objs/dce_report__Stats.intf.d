@@ -1,0 +1,1 @@
+lib/report/stats.mli: Dce_compiler Dce_core Dce_minic

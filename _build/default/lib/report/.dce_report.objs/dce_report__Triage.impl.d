@@ -1,0 +1,1 @@
+lib/report/triage.ml: Array Dce_compiler Dce_core Hashtbl List Option Stats Tables

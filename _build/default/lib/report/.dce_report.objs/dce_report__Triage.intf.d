@@ -1,0 +1,1 @@
+lib/report/triage.mli: Dce_compiler Dce_minic Stats

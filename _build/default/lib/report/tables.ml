@@ -1,0 +1,23 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (try List.nth row c with _ -> "")))
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = try List.nth row c with _ -> "" in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         widths)
+    |> fun s -> String.trim (" " ^ s) (* avoid trailing spaces *)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows) ^ "\n"
+
+let pct part whole =
+  if whole = 0 then "-" else Printf.sprintf "%.2f%%" (100.0 *. float_of_int part /. float_of_int whole)

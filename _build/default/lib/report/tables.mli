@@ -1,0 +1,7 @@
+(** Plain-text table rendering for the CLI and the benchmark harness. *)
+
+val render : header:string list -> string list list -> string
+(** Left-aligned columns padded to the widest cell, header underlined. *)
+
+val pct : int -> int -> string
+(** ["12.34%"] formatting of part/whole (["-"] when the whole is 0). *)

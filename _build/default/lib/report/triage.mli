@@ -1,0 +1,45 @@
+(** The reporting pipeline behind the paper's Table 5.
+
+    The paper's human workflow — reduce, deduplicate, file a report, wait for
+    developer confirmation and fixes — is modeled mechanically:
+
+    - findings are {e deduplicated} by diagnosis signature (which
+      single-feature repair makes the compiler eliminate the marker; the
+      paper deduplicates "after reducing" by root cause);
+    - a deduplicated finding becomes a {e report};
+    - a report is a {b duplicate} if its (compiler, signature) pair is in the
+      known-bug database (the paper rediscovered GCC #80603 this way —
+      Listing 9f);
+    - it is {b fixed} if the compiler {e with its post-HEAD fix commits
+      applied} eliminates the marker;
+    - otherwise it is {b confirmed} if the diagnosis found a concrete repair
+      (the developers can see the root cause), and merely {b reported} if
+      not. *)
+
+type status = Confirmed | Fixed | Duplicate | Reported_only
+
+type report = {
+  r_compiler : string;
+  r_level : Dce_compiler.Level.t;
+  r_signature : string;     (** dedup key from {!Dce_core.Diagnose} *)
+  r_component : string option;
+  r_status : status;
+  r_occurrences : int;       (** findings collapsed into this report *)
+  r_example_program : int;   (** corpus index of a witness *)
+  r_example_marker : int;
+}
+
+val known_bugs : (string * string) list
+(** (compiler, signature) pairs already in the trackers before this run. *)
+
+val triage :
+  programs:Dce_minic.Ast.program array ->
+  Stats.finding list ->
+  report list
+(** [programs] are the {e instrumented} corpus programs, indexed by
+    [f_program]. Diagnosis runs once per (compiler, signature) cluster. *)
+
+val table5 : report list -> string
+(** Reported / Confirmed / Marked Duplicate / Fixed counts per compiler. *)
+
+val status_name : status -> string

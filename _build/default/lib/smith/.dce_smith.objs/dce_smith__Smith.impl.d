@@ -1,0 +1,1 @@
+lib/smith/smith.ml: Dce_minic Dce_support Int64 List Option Printf String

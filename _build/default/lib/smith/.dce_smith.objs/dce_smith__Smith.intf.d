@@ -1,0 +1,1 @@
+lib/smith/smith.mli: Dce_minic

@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Take the high bits, which are better mixed, and reduce modulo the bound.
+     The modulo bias is negligible for the small bounds used here. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else
+    let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+    v /. 9007199254740992.0 < p (* 2^53 *)
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_arr: empty array";
+  a.(int t (Array.length a))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: total weight must be positive";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rng.weighted: internal error"
+    | (w, x) :: rest ->
+      let w = max 0 w in
+      if k < w then x else pick (k - w) rest
+  in
+  pick k choices
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k xs =
+  let shuffled = shuffle t xs in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  take k shuffled

@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the system (the program generator, shuffled
+    work orders, sampling in the reducer) draw from this splittable SplitMix64
+    generator so that every experiment is reproducible from a single integer
+    seed.  The standard library's [Random] is deliberately not used: its state
+    is global and its stream is not stable across OCaml releases. *)
+
+type t
+(** Mutable generator state. *)
+
+val make : int -> t
+(** [make seed] creates a fresh generator from [seed]. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Splitting lets subcomponents consume randomness without perturbing the
+    parent stream (so adding draws in one component does not shift another). *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and original then produce
+    identical streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of the SplitMix64 stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is a uniform integer in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val choose_arr : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks an element with probability proportional to its
+    integer weight. Entries with non-positive weight are never picked.
+    Raises [Invalid_argument] if the total weight is not positive. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements, preserving no
+    particular order. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dce_compiler Dce_core Dce_interp Dce_ir Dce_minic Dce_smith Format List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_backend.ml: Alcotest Dce_backend Dce_ir Helpers List

@@ -1,0 +1,1 @@
+test/suite_compiler.ml: Alcotest Dce_backend Dce_compiler Dce_core Dce_interp Dce_ir Dce_opt Dce_support Helpers List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Dce_compiler Dce_core Dce_interp Dce_ir Dce_minic Helpers List Option

@@ -1,0 +1,1 @@
+test/suite_edge_cases.ml: Alcotest Dce_backend Dce_compiler Dce_core Dce_interp Dce_ir Dce_opt Helpers List

@@ -1,0 +1,1 @@
+test/suite_interp.ml: Alcotest Array Dce_interp Dce_ir Helpers List QCheck2

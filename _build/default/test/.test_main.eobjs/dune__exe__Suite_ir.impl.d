@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Dce_interp Dce_ir Hashtbl Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/suite_loop_passes.ml: Alcotest Dce_ir Dce_opt Helpers List

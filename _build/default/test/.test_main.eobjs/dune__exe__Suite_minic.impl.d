@@ -1,0 +1,1 @@
+test/suite_minic.ml: Alcotest Dce_interp Dce_ir Dce_minic Helpers List Printf QCheck2 String

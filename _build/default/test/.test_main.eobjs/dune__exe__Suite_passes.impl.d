@@ -1,0 +1,1 @@
+test/suite_passes.ml: Alcotest Dce_interp Dce_ir Dce_minic Dce_opt Hashtbl Helpers

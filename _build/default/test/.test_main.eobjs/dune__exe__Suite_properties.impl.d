@@ -1,0 +1,1 @@
+test/suite_properties.ml: Alcotest Dce_backend Dce_compiler Dce_core Dce_ir Dce_minic Dce_reduce Dce_smith Hashtbl Helpers List Option QCheck2

@@ -1,0 +1,1 @@
+test/suite_smith.ml: Alcotest Dce_compiler Dce_core Dce_interp Dce_ir Dce_minic Dce_report Dce_smith Dce_support Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/suite_support.ml: Alcotest Dce_support Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/suite_tools.ml: Alcotest Dce_bisect Dce_compiler Dce_core Dce_ir Dce_minic Dce_reduce Dce_report Dce_smith Dce_support Helpers Lazy List

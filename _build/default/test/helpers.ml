@@ -1,0 +1,55 @@
+(* Shared helpers for the test suites. *)
+
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+module I = Dce_interp.Interp
+
+let parse src = Dce_minic.Typecheck.check_exn (Dce_minic.Parser.parse_program src)
+
+let lower src = Dce_ir.Lower.program (parse src)
+
+let run_src ?fuel src = I.run ?fuel (lower src)
+
+let exit_code src =
+  match (run_src src).I.outcome with
+  | I.Finished n -> n
+  | I.Trap m -> Alcotest.failf "trap: %s" m
+  | I.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let iset_of_list l = List.fold_left (fun s x -> Ir.Iset.add x s) Ir.Iset.empty l
+
+let iset = Alcotest.testable
+    (fun fmt s ->
+      Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (Ir.Iset.elements s))))
+    Ir.Iset.equal
+
+let compiler_named = function
+  | "gcc" -> C.Gcc_sim.compiler
+  | "llvm" -> C.Llvm_sim.compiler
+  | other -> Alcotest.failf "unknown compiler %s" other
+
+let surviving ?version comp level src =
+  C.Compiler.surviving_markers (compiler_named comp) ?version level (parse src)
+
+let eliminates ?version comp level marker src =
+  not (List.mem marker (surviving ?version comp level src))
+
+(* observable equivalence of a program before and after a transformation *)
+let check_equivalent ~name original transformed =
+  let r1 = I.run original in
+  let r2 = I.run transformed in
+  if not (I.equivalent r1 r2) then
+    Alcotest.failf "%s changed observable behaviour" name
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* a generated, valid program from a seed *)
+let smith_program seed = fst (Dce_smith.Smith.generate (Dce_smith.Smith.default_config seed))
+
+(* substring containment for assembly/IR text checks *)
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  n = 0 || go 0

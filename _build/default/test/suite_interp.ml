@@ -1,0 +1,185 @@
+(* Tests for the reference interpreter: value/memory model, traps, events,
+   determinism. *)
+
+open Helpers
+module I = Dce_interp.Interp
+
+let outcome_is_trap src =
+  match (run_src src).I.outcome with
+  | I.Trap _ -> true
+  | I.Finished _ | I.Out_of_fuel -> false
+
+let test_arith () =
+  Alcotest.(check int) "arith" 42 (exit_code "int main(void) { return 6 * 7; }");
+  Alcotest.(check int) "div0 is 0" 0 (exit_code "int main(void) { int z = 0; return 5 / z; }");
+  Alcotest.(check int) "mod0 is 0" 0 (exit_code "int main(void) { int z = 0; return 5 % z; }")
+
+let test_global_init () =
+  Alcotest.(check int) "initializer visible" 11
+    (exit_code "static int a = 11; int main(void) { return a; }");
+  Alcotest.(check int) "arrays zero-filled" 5
+    (exit_code "int b[4] = {5}; int main(void) { return b[0] + b[3]; }")
+
+let test_pointer_init_global () =
+  Alcotest.(check int) "pointer global initializer" 9
+    (exit_code "int b[2] = {0, 9}; int *p = &b[1]; int main(void) { return *p; }")
+
+let test_pointer_equality () =
+  Alcotest.(check int) "same target equal" 1
+    (exit_code "int a; int main(void) { int *p = &a; int *q = &a; return p == q; }");
+  Alcotest.(check int) "different targets not equal" 0
+    (exit_code "int a; int b; int main(void) { return &a == &b; }");
+  Alcotest.(check int) "one-past offsets differ" 0
+    (exit_code "int a; int b[2]; int main(void) { return &a == &b[1]; }")
+
+let test_pointer_arith () =
+  Alcotest.(check int) "p + 1" 7
+    (exit_code "int b[2] = {3, 7}; int main(void) { int *p = &b[0]; return *(p + 1); }");
+  Alcotest.(check int) "pointer difference" 2
+    (exit_code "int b[4]; int main(void) { return &b[3] - &b[1]; }")
+
+let test_truthiness_of_pointers () =
+  Alcotest.(check int) "!ptr is 0" 0
+    (exit_code "int a; int main(void) { int *p = &a; return !p; }");
+  Alcotest.(check int) "ptr vs 0 compares not-equal" 1
+    (exit_code "int a; int main(void) { int *p = &a; return p != 0; }")
+
+let test_oob_trap () =
+  Alcotest.(check bool) "oob read traps" true
+    (outcome_is_trap "int b[2]; int main(void) { int i = 5; return b[i]; }");
+  Alcotest.(check bool) "oob write traps" true
+    (outcome_is_trap "int b[2]; int main(void) { int i = 5; b[i] = 1; return 0; }")
+
+let test_null_deref_trap () =
+  Alcotest.(check bool) "deref of zero-initialized pointer traps" true
+    (outcome_is_trap "int *p; int main(void) { return *p; }")
+
+let test_dangling_frame_trap () =
+  Alcotest.(check bool) "dangling frame pointer traps" true
+    (outcome_is_trap {|
+int *p;
+static void f(void) { int x = 3; p = &x; }
+int main(void) { f(); return *p; }
+|})
+
+let test_recursion_frames_fresh () =
+  (* each activation gets a fresh frame slot: classic factorial via address-
+     taken accumulator *)
+  Alcotest.(check int) "recursion works" 120
+    (exit_code {|
+static int fact(int n) {
+  int acc = 1;
+  int *p = &acc;
+  if (n > 1) { *p = n * fact(n - 1); }
+  return acc;
+}
+int main(void) { return fact(5); }
+|})
+
+let test_call_depth_trap () =
+  Alcotest.(check bool) "unbounded recursion traps on depth" true
+    (outcome_is_trap {|
+static int f(int n) { return f(n + 1); }
+int main(void) { return f(0); }
+|})
+
+let test_fuel () =
+  let r = run_src ~fuel:100 "int main(void) { while (1) { } return 0; }" in
+  Alcotest.(check bool) "fuel exhaustion" true (r.I.outcome = I.Out_of_fuel)
+
+let test_events_order_and_args () =
+  let r = run_src {|
+int main(void) {
+  use(1);
+  DCEMarker0();
+  use(2 + 3);
+  return 0;
+}
+|} in
+  match r.I.events with
+  | [ I.Ev_extern ("use", [ I.Vint 1 ]); I.Ev_marker 0; I.Ev_extern ("use", [ I.Vint 5 ]) ] -> ()
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_extern_results_deterministic () =
+  let v1 = exit_code "int main(void) { return ext(7) & 1023; }" in
+  let v2 = exit_code "int main(void) { return ext(7) & 1023; }" in
+  Alcotest.(check int) "same result across runs" v1 v2;
+  let v3 = exit_code "int main(void) { return ext(8) & 1023; }" in
+  Alcotest.(check bool) "different args usually differ" true (v1 <> v3)
+
+let test_executed_markers () =
+  let r = run_src {|
+int main(void) {
+  if (1) { DCEMarker0(); }
+  if (0) { DCEMarker1(); }
+  return 0;
+}
+|} in
+  Alcotest.(check iset) "only marker 0 executed" (iset_of_list [ 0 ])
+    r.I.executed_markers
+
+let test_final_globals () =
+  let r = run_src "int g; int main(void) { g = 7; return 0; }" in
+  match List.assoc_opt "g" r.I.final_globals with
+  | Some cells -> Alcotest.(check int) "final value" 7 cells.(0)
+  | None -> Alcotest.fail "g missing from final globals"
+
+let test_equivalence_relations () =
+  let r1 = run_src "int g; int main(void) { g = 1; return 0; }" in
+  let r2 = run_src "int g; int main(void) { g = 2; return 0; }" in
+  Alcotest.(check bool) "events equal, memory differs: equivalent" true (I.equivalent r1 r2);
+  Alcotest.(check bool) "but not strictly" false (I.equivalent_strict r1 r2)
+
+let test_switch_dispatch () =
+  Alcotest.(check int) "default taken" 30
+    (exit_code {|
+int main(void) {
+  int r = 0;
+  switch (9) { case 0: { r = 10; } case 1: { r = 20; } default: { r = 30; } }
+  return r;
+}
+|})
+
+let test_shadowing_scope () =
+  (* locals shadow globals for reads and writes *)
+  Alcotest.(check int) "local shadows global" 5
+    (exit_code "int x = 9; int main(void) { int x = 5; return x; }")
+
+let qcheck_tests =
+  [
+    qtest ~count:40 "generated programs terminate cleanly"
+      QCheck2.Gen.(int_range 1 1000000)
+      (fun seed ->
+        match (Dce_interp.Interp.run (Dce_ir.Lower.program (smith_program seed))).I.outcome with
+        | I.Finished _ -> true
+        | I.Trap _ | I.Out_of_fuel -> false);
+    qtest ~count:20 "interpretation is deterministic"
+      QCheck2.Gen.(int_range 1 1000000)
+      (fun seed ->
+        let ir = Dce_ir.Lower.program (smith_program seed) in
+        I.equivalent_strict (I.run ir) (I.run ir));
+  ]
+
+let suite =
+  [
+    ("arith and total division", `Quick, test_arith);
+    ("global initializers", `Quick, test_global_init);
+    ("pointer global initializers", `Quick, test_pointer_init_global);
+    ("pointer equality", `Quick, test_pointer_equality);
+    ("pointer arithmetic", `Quick, test_pointer_arith);
+    ("pointer truthiness", `Quick, test_truthiness_of_pointers);
+    ("out-of-bounds traps", `Quick, test_oob_trap);
+    ("null deref traps", `Quick, test_null_deref_trap);
+    ("dangling frame pointer traps", `Quick, test_dangling_frame_trap);
+    ("recursion gets fresh frames", `Quick, test_recursion_frames_fresh);
+    ("call depth trap", `Quick, test_call_depth_trap);
+    ("fuel exhaustion", `Quick, test_fuel);
+    ("event order and argument values", `Quick, test_events_order_and_args);
+    ("extern results deterministic", `Quick, test_extern_results_deterministic);
+    ("executed markers", `Quick, test_executed_markers);
+    ("final global memory", `Quick, test_final_globals);
+    ("equivalence vs strict equivalence", `Quick, test_equivalence_relations);
+    ("switch dispatch", `Quick, test_switch_dispatch);
+    ("local shadows global", `Quick, test_shadowing_scope);
+  ]
+  @ qcheck_tests

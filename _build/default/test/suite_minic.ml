@@ -1,0 +1,344 @@
+(* Tests for the MiniC front end: operators, lexer, parser, pretty printer,
+   type checker. *)
+
+open Helpers
+module Ops = Dce_minic.Ops
+module Ast = Dce_minic.Ast
+module Lexer = Dce_minic.Lexer
+module Parser = Dce_minic.Parser
+module Pretty = Dce_minic.Pretty
+module Typecheck = Dce_minic.Typecheck
+
+(* ---- operators ---- *)
+
+let test_total_division () =
+  Alcotest.(check int) "x/0 = 0" 0 (Ops.eval_binop Ops.Div 7 0);
+  Alcotest.(check int) "x%0 = 0" 0 (Ops.eval_binop Ops.Mod 7 0);
+  Alcotest.(check int) "normal div" 3 (Ops.eval_binop Ops.Div 7 2);
+  Alcotest.(check int) "negative mod" (-1) (Ops.eval_binop Ops.Mod (-7) 2)
+
+let test_shift_masking () =
+  (* shift counts are masked to 0..62: never an exception *)
+  Alcotest.(check int) "shl by 64+2 behaves like by (66 land 62)=2" (4 * 8)
+    (Ops.eval_binop Ops.Shl 8 66);
+  Alcotest.(check int) "shr negative count masked" (Ops.eval_binop Ops.Shr 64 (-2 land 62))
+    (Ops.eval_binop Ops.Shr 64 (-2))
+
+let test_comparisons_return_bool () =
+  List.iter
+    (fun op ->
+      let v = Ops.eval_binop op 3 4 in
+      Alcotest.(check bool) "0/1" true (v = 0 || v = 1))
+    [ Ops.Eq; Ops.Ne; Ops.Lt; Ops.Le; Ops.Gt; Ops.Ge; Ops.Land; Ops.Lor ]
+
+let test_negate_comparison () =
+  List.iter
+    (fun op ->
+      match Ops.negate_comparison op with
+      | Some neg ->
+        for x = -3 to 3 do
+          for y = -3 to 3 do
+            Alcotest.(check int) "negation flips"
+              (1 - Ops.eval_binop op x y)
+              (Ops.eval_binop neg x y)
+          done
+        done
+      | None -> Alcotest.failf "comparison %s must have a negation" (Ops.binop_symbol op))
+    [ Ops.Eq; Ops.Ne; Ops.Lt; Ops.Le; Ops.Gt; Ops.Ge ]
+
+let test_swap_comparison () =
+  List.iter
+    (fun op ->
+      match Ops.swap_comparison op with
+      | Some sw ->
+        for x = -3 to 3 do
+          for y = -3 to 3 do
+            Alcotest.(check int) "swap mirrors" (Ops.eval_binop op x y) (Ops.eval_binop sw y x)
+          done
+        done
+      | None -> Alcotest.fail "comparison must have a swap")
+    [ Ops.Eq; Ops.Ne; Ops.Lt; Ops.Le; Ops.Gt; Ops.Ge ]
+
+let test_commutativity_claims () =
+  List.iter
+    (fun op ->
+      if Ops.is_commutative op then
+        for x = -4 to 4 do
+          for y = -4 to 4 do
+            Alcotest.(check int)
+              (Printf.sprintf "%s commutes" (Ops.binop_symbol op))
+              (Ops.eval_binop op x y) (Ops.eval_binop op y x)
+          done
+        done)
+    Ops.all_binops
+
+(* ---- lexer ---- *)
+
+let tokens src = List.map (fun (t, _, _) -> t) (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6 (List.length (tokens "int x = 42;"));
+  match tokens "int x = 42;" with
+  | [ Lexer.KINT; Lexer.IDENT "x"; Lexer.ASSIGN; Lexer.INT 42; Lexer.SEMI; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_int_types_alias () =
+  List.iter
+    (fun kw ->
+      match tokens kw with
+      | [ Lexer.KINT; Lexer.EOF ] -> ()
+      | _ -> Alcotest.failf "%s should lex as int" kw)
+    [ "int"; "char"; "short"; "long"; "unsigned"; "signed" ]
+
+let test_lexer_comments () =
+  match tokens "1 // comment\n /* block\n comment */ 2" with
+  | [ Lexer.INT 1; Lexer.INT 2; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comments should be skipped"
+
+let test_lexer_preprocessor () =
+  match tokens "#include <stdio.h>\n1" with
+  | [ Lexer.INT 1; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "# lines should be skipped"
+
+let test_lexer_hex_and_suffix () =
+  match tokens "0x10 78240L 5u" with
+  | [ Lexer.INT 16; Lexer.INT 78240; Lexer.INT 5; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hex and suffixed literals"
+
+let test_lexer_two_char_ops () =
+  match tokens "<< >> <= >= == != && || += ++" with
+  | [ Lexer.SHL; Lexer.SHR; Lexer.LE; Lexer.GE; Lexer.EQ; Lexer.NE; Lexer.ANDAND; Lexer.OROR;
+      Lexer.PLUSEQ; Lexer.PLUSPLUS; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "two-char operators"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Lexer.tokenize "int @ x"); false with Lexer.Lex_error _ -> true)
+
+(* ---- parser ---- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  (match e with
+   | Ast.Binary (Ops.Add, Ast.Int 1, Ast.Binary (Ops.Mul, Ast.Int 2, Ast.Int 3)) -> ()
+   | _ -> Alcotest.fail "mul binds tighter than add");
+  let e2 = Parser.parse_expr "1 < 2 == 0" in
+  match e2 with
+  | Ast.Binary (Ops.Eq, Ast.Binary (Ops.Lt, _, _), Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "relational binds tighter than equality"
+
+let test_parse_unary_chain () =
+  match Parser.parse_expr "!!~-x" with
+  | Ast.Unary (Ops.Lnot, Ast.Unary (Ops.Lnot, Ast.Unary (Ops.Bnot, Ast.Unary (Ops.Neg, Ast.Var "x"))))
+    -> ()
+  | _ -> Alcotest.fail "unary chain"
+
+let test_parse_address_forms () =
+  (match Parser.parse_expr "&a" with
+   | Ast.Addr_of (Ast.Lvar "a") -> ()
+   | _ -> Alcotest.fail "&a");
+  (match Parser.parse_expr "&b[1]" with
+   | Ast.Addr_of (Ast.Lindex ("b", Ast.Int 1)) -> ()
+   | _ -> Alcotest.fail "&b[1]");
+  match Parser.parse_expr "&*p" with
+  | Ast.Addr_of (Ast.Lderef (Ast.Var "p")) -> ()
+  | _ -> Alcotest.fail "&*p"
+
+let test_parse_compound_assign () =
+  let prog = parse "int g; int main(void) { g += 2; g++; g--; return g; }" in
+  Alcotest.(check int) "desugared to 2" 2 (exit_code (Dce_minic.Pretty.program_to_string prog))
+
+let test_parse_multi_declarator () =
+  let prog = parse "int a, *b, c[2]; int main(void) { return a; }" in
+  Alcotest.(check int) "three globals" 3 (List.length prog.Ast.p_globals)
+
+let test_parse_global_addr_init () =
+  let prog = parse "int a; int *p = &a; int b[2]; int *q = &b[1]; int main(void){return 0;}" in
+  let find n = List.find (fun g -> g.Ast.g_name = n) prog.Ast.p_globals in
+  (match (find "p").Ast.g_init with
+   | Ast.Gaddr ("a", 0) -> ()
+   | _ -> Alcotest.fail "p = &a");
+  match (find "q").Ast.g_init with
+  | Ast.Gaddr ("b", 1) -> ()
+  | _ -> Alcotest.fail "q = &b[1]"
+
+let test_parse_marker_calls () =
+  let prog = parse "int main(void) { DCEMarker3(); return 0; }" in
+  Alcotest.(check (list int)) "markers" [ 3 ] (Ast.markers_of_program prog)
+
+let test_parse_else_if_chain () =
+  let src = "int main(void) { int x = 2; if (x == 1) return 1; else if (x == 2) return 2; else return 3; }" in
+  Alcotest.(check int) "chain" 2 (exit_code src)
+
+let test_parse_cast_ignored () =
+  let src = "int main(void) { int x = (int) 5; return x; }" in
+  Alcotest.(check int) "cast" 5 (exit_code src)
+
+let test_parse_error_reported () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Parser.parse_program "int main(void) { if }"); false
+     with Parser.Parse_error _ -> true)
+
+(* ---- pretty / round trip ---- *)
+
+let roundtrip_once prog =
+  Typecheck.check_exn (Parser.parse_program (Pretty.program_to_string prog))
+
+let test_roundtrip_fixed () =
+  let src =
+    {|
+static int a = 4;
+int b[3] = {1, 2, 3};
+int *p = &b[2];
+extern int use(int);
+static int f(int x, int *q) {
+  if (x > 2 && a != 0) { *q = x << 1; } else { use(x); }
+  return x % 3;
+}
+int main(void) {
+  int i;
+  for (i = 0; i < 5; i++) { a += f(i, p); }
+  switch (a & 3) {
+    case 0: { use(0); }
+    case 1: { use(1); }
+    default: { use(a); }
+  }
+  while (a > 0) { a -= 2; if (a == 3) { break; } }
+  return a;
+}
+|}
+  in
+  let p1 = parse src in
+  let p2 = roundtrip_once p1 in
+  let p3 = roundtrip_once p2 in
+  Alcotest.(check string) "round trip is stable"
+    (Pretty.program_to_string p2) (Pretty.program_to_string p3);
+  check_equivalent ~name:"roundtrip"
+    (Dce_ir.Lower.program p1) (Dce_ir.Lower.program p2)
+
+let test_negative_literal_roundtrip () =
+  let src = "static int a = (-5); int main(void) { return a * (-1); }" in
+  Alcotest.(check int) "value" 5 (exit_code src);
+  let p = parse src in
+  Alcotest.(check int) "reparse keeps value" 5
+    (exit_code (Pretty.program_to_string p))
+
+(* ---- typecheck ---- *)
+
+let expect_errors src =
+  match Typecheck.check (Parser.parse_program src) with
+  | Ok _ -> Alcotest.fail "expected type errors"
+  | Error _ -> ()
+
+let test_tc_undeclared () = expect_errors "int main(void) { return nosuch; }"
+let test_tc_duplicate_global () = expect_errors "int a; int a; int main(void) { return 0; }"
+let test_tc_duplicate_local () =
+  expect_errors "int main(void) { int x; int x; return 0; }"
+let test_tc_index_scalar () = expect_errors "int a; int main(void) { return a[0]; }"
+let test_tc_assign_array () = expect_errors "int a[2]; int main(void) { a = 0; return 0; }"
+let test_tc_break_outside () = expect_errors "int main(void) { break; return 0; }"
+let test_tc_continue_outside () = expect_errors "int main(void) { continue; return 0; }"
+let test_tc_void_return_value () =
+  expect_errors "void f(void) { return 3; } int main(void) { f(); return 0; }"
+let test_tc_arity () =
+  expect_errors "static int f(int x) { return x; } int main(void) { return f(1, 2); }"
+let test_tc_duplicate_case () =
+  expect_errors "int main(void) { switch (1) { case 0: {} case 0: {} default: {} } return 0; }"
+
+let test_tc_implicit_extern_normalized () =
+  let prog = parse "int main(void) { dead(); return 0; }" in
+  Alcotest.(check bool) "dead added to externs" true
+    (List.mem_assoc "dead" prog.Ast.p_externs)
+
+let test_tc_has_main () =
+  Alcotest.(check bool) "has main" true (Typecheck.has_main (parse "int main(void) { return 0; }"));
+  Alcotest.(check bool) "no main" false
+    (Typecheck.has_main (parse "static int f(void) { return 0; }"))
+
+(* ---- qcheck: round trip on generated programs ---- *)
+
+let qcheck_tests =
+  [
+    qtest ~count:200 "lexer: arbitrary bytes never crash (Lex_error only)"
+      QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 60))
+      (fun s ->
+        match Lexer.tokenize s with
+        | _ -> true
+        | exception Lexer.Lex_error _ -> true);
+    qtest ~count:200 "parser: arbitrary printable text never crashes"
+      QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 80))
+      (fun s ->
+        match Parser.parse_program s with
+        | _ -> true
+        | exception Lexer.Lex_error _ -> true
+        | exception Parser.Parse_error _ -> true);
+    qtest ~count:100 "parser: token soup from C fragments never crashes"
+      QCheck2.Gen.(
+        let frag =
+          oneofl
+            [ "int"; "x"; "("; ")"; "{"; "}"; "if"; "else"; "while"; "&&"; "*"; "&"; "=";
+              "=="; ";"; ","; "return"; "0"; "42"; "["; "]"; "switch"; "case"; ":"; "-" ]
+        in
+        map (String.concat " ") (list_size (int_range 0 30) frag))
+      (fun s ->
+        match Parser.parse_program s with
+        | _ -> true
+        | exception Lexer.Lex_error _ -> true
+        | exception Parser.Parse_error _ -> true);
+    qtest ~count:30 "pretty/parse round trip on generated programs"
+      QCheck2.Gen.(int_range 1 100000)
+      (fun seed ->
+        let p1 = smith_program seed in
+        let p2 = roundtrip_once p1 in
+        Pretty.program_to_string p1 = Pretty.program_to_string p2);
+    qtest ~count:30 "round-trip preserves behaviour"
+      QCheck2.Gen.(int_range 1 100000)
+      (fun seed ->
+        let p1 = smith_program seed in
+        let p2 = roundtrip_once p1 in
+        Dce_interp.Interp.equivalent_strict
+          (Dce_interp.Interp.run (Dce_ir.Lower.program p1))
+          (Dce_interp.Interp.run (Dce_ir.Lower.program p2)));
+  ]
+
+let suite =
+  [
+    ("ops: total division", `Quick, test_total_division);
+    ("ops: shift masking", `Quick, test_shift_masking);
+    ("ops: comparisons return 0/1", `Quick, test_comparisons_return_bool);
+    ("ops: negate_comparison", `Quick, test_negate_comparison);
+    ("ops: swap_comparison", `Quick, test_swap_comparison);
+    ("ops: commutativity claims", `Quick, test_commutativity_claims);
+    ("lexer: basics", `Quick, test_lexer_basics);
+    ("lexer: integer type aliases", `Quick, test_lexer_int_types_alias);
+    ("lexer: comments", `Quick, test_lexer_comments);
+    ("lexer: preprocessor lines", `Quick, test_lexer_preprocessor);
+    ("lexer: hex and suffixes", `Quick, test_lexer_hex_and_suffix);
+    ("lexer: two-char operators", `Quick, test_lexer_two_char_ops);
+    ("lexer: error", `Quick, test_lexer_error);
+    ("parser: precedence", `Quick, test_parse_precedence);
+    ("parser: unary chain", `Quick, test_parse_unary_chain);
+    ("parser: address forms", `Quick, test_parse_address_forms);
+    ("parser: compound assignment sugar", `Quick, test_parse_compound_assign);
+    ("parser: multi declarators", `Quick, test_parse_multi_declarator);
+    ("parser: global address initializers", `Quick, test_parse_global_addr_init);
+    ("parser: marker calls", `Quick, test_parse_marker_calls);
+    ("parser: else-if chains", `Quick, test_parse_else_if_chain);
+    ("parser: casts ignored", `Quick, test_parse_cast_ignored);
+    ("parser: error reporting", `Quick, test_parse_error_reported);
+    ("pretty: fixed round trip", `Quick, test_roundtrip_fixed);
+    ("pretty: negative literals", `Quick, test_negative_literal_roundtrip);
+    ("typecheck: undeclared variable", `Quick, test_tc_undeclared);
+    ("typecheck: duplicate global", `Quick, test_tc_duplicate_global);
+    ("typecheck: duplicate local", `Quick, test_tc_duplicate_local);
+    ("typecheck: indexing a scalar", `Quick, test_tc_index_scalar);
+    ("typecheck: assigning to an array", `Quick, test_tc_assign_array);
+    ("typecheck: break placement", `Quick, test_tc_break_outside);
+    ("typecheck: continue placement", `Quick, test_tc_continue_outside);
+    ("typecheck: void return with value", `Quick, test_tc_void_return_value);
+    ("typecheck: call arity", `Quick, test_tc_arity);
+    ("typecheck: duplicate case", `Quick, test_tc_duplicate_case);
+    ("typecheck: implicit externs normalized", `Quick, test_tc_implicit_extern_normalized);
+    ("typecheck: has_main", `Quick, test_tc_has_main);
+  ]
+  @ qcheck_tests

@@ -1,0 +1,103 @@
+(* Tests for the Smith generator: determinism, validity, termination,
+   corpus-shape invariants. *)
+
+open Helpers
+module S = Dce_smith.Smith
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+module I = Dce_interp.Interp
+
+let test_determinism () =
+  let p1, k1 = S.generate (S.default_config 123) in
+  let p2, k2 = S.generate (S.default_config 123) in
+  Alcotest.(check string) "identical programs"
+    (Dce_minic.Pretty.program_to_string p1)
+    (Dce_minic.Pretty.program_to_string p2);
+  Alcotest.(check bool) "identical site counts" true (k1 = k2)
+
+let test_seeds_differ () =
+  let p1, _ = S.generate (S.default_config 1) in
+  let p2, _ = S.generate (S.default_config 2) in
+  Alcotest.(check bool) "different programs" false
+    (Dce_minic.Pretty.program_to_string p1 = Dce_minic.Pretty.program_to_string p2)
+
+let test_site_counts_match_config () =
+  let cfg = { (S.default_config 5) with S.num_sites = 9 } in
+  let _, kinds = S.generate cfg in
+  Alcotest.(check int) "9 sites planted" 9 (List.fold_left (fun a (_, n) -> a + n) 0 kinds)
+
+let test_single_kind_weights () =
+  let cfg = { (S.default_config 5) with S.weights = [ (S.K_literal, 1) ]; num_sites = 6 } in
+  let _, kinds = S.generate cfg in
+  Alcotest.(check (list (pair string int))) "only literals"
+    [ ("literal", 6) ]
+    (List.map (fun (k, n) -> (S.kind_name k, n)) kinds)
+
+let test_corpus_analyzable () =
+  (* every generated program type-checks, terminates, and analyzes soundly *)
+  List.iter
+    (fun (prog, _) ->
+      match Core.Analysis.run prog with
+      | Core.Analysis.Rejected r -> Alcotest.failf "rejected: %s" r
+      | Core.Analysis.Analyzed a ->
+        Alcotest.(check int) "no soundness violations" 0
+          (List.length (Core.Analysis.soundness_violations a)))
+    (S.generate_corpus ~seed:99 ~count:8)
+
+let test_corpus_shape () =
+  (* the tuned weights keep the dead share and the level ordering in the
+     paper's ballpark on a moderate corpus *)
+  let outcomes =
+    List.map (fun (p, _) -> (Core.Analysis.run p, p)) (S.generate_corpus ~seed:7 ~count:25)
+  in
+  let stats = Dce_report.Stats.collect outcomes in
+  let dead_share =
+    100.0 *. float_of_int stats.Dce_report.Stats.dead_markers
+    /. float_of_int (max 1 stats.Dce_report.Stats.total_markers)
+  in
+  Alcotest.(check bool) "dead share around 70-90%" true (dead_share > 65.0 && dead_share < 95.0);
+  let missed comp level =
+    let ct =
+      List.find
+        (fun c -> c.Dce_report.Stats.ct_compiler = comp && c.Dce_report.Stats.ct_level = level)
+        stats.Dce_report.Stats.per_config
+    in
+    ct.Dce_report.Stats.ct_missed
+  in
+  List.iter
+    (fun comp ->
+      Alcotest.(check bool) "O0 worst" true
+        (missed comp Dce_compiler.Level.O0 > missed comp Dce_compiler.Level.O1);
+      Alcotest.(check bool) "O1 > O2" true
+        (missed comp Dce_compiler.Level.O1 > missed comp Dce_compiler.Level.O2))
+    [ "gcc-sim"; "llvm-sim" ];
+  (* the headline asymmetry: llvm-sim beats gcc-sim at -O3 *)
+  Alcotest.(check bool) "llvm-sim better at -O3" true
+    (missed "llvm-sim" Dce_compiler.Level.O3 < missed "gcc-sim" Dce_compiler.Level.O3)
+
+let test_kind_names_unique () =
+  let names = List.map S.kind_name S.all_kinds in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (Dce_support.Listx.uniq names))
+
+let qcheck_tests =
+  [
+    qtest ~count:30 "generated programs never trap"
+      QCheck2.Gen.(int_range 1 5000000)
+      (fun seed ->
+        match (I.run (Dce_ir.Lower.program (smith_program seed))).I.outcome with
+        | I.Finished _ -> true
+        | I.Trap _ | I.Out_of_fuel -> false);
+  ]
+
+let suite =
+  [
+    ("determinism", `Quick, test_determinism);
+    ("seeds differ", `Quick, test_seeds_differ);
+    ("site counts", `Quick, test_site_counts_match_config);
+    ("single-kind weights", `Quick, test_single_kind_weights);
+    ("corpus analyzable and sound", `Slow, test_corpus_analyzable);
+    ("corpus shape", `Slow, test_corpus_shape);
+    ("kind names unique", `Quick, test_kind_names_unique);
+  ]
+  @ qcheck_tests

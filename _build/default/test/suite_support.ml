@@ -1,0 +1,163 @@
+(* Tests for Dce_support: the deterministic PRNG and list utilities. *)
+
+open Helpers
+module Rng = Dce_support.Rng
+module Listx = Dce_support.Listx
+
+let test_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.make 7 in
+  let child = Rng.split parent in
+  (* consuming the child does not affect the parent's future stream *)
+  let parent2 = Rng.make 7 in
+  let _ = Rng.split parent2 in
+  for _ = 1 to 10 do
+    ignore (Rng.bits64 child)
+  done;
+  Alcotest.(check int64) "parent unaffected by child draws" (Rng.bits64 parent2) (Rng.bits64 parent)
+
+let test_copy () =
+  let a = Rng.make 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_int_bounds () =
+  let r = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_in_bounds () =
+  let r = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_int_invalid () =
+  let r = Rng.make 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_choose () =
+  let r = Rng.make 5 in
+  for _ = 1 to 100 do
+    let v = Rng.choose r [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_weighted () =
+  let r = Rng.make 5 in
+  (* zero-weight entries are never picked *)
+  for _ = 1 to 200 do
+    let v = Rng.weighted r [ (0, "never"); (1, "always") ] in
+    Alcotest.(check string) "only positive weights" "always" v
+  done
+
+let test_weighted_distribution () =
+  let r = Rng.make 11 in
+  let hits = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    if Rng.weighted r [ (3, true); (1, false) ] then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "roughly 3:1" true (ratio > 0.68 && ratio < 0.82)
+
+let test_shuffle_permutation () =
+  let r = Rng.make 17 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_sample () =
+  let r = Rng.make 23 in
+  let s = Rng.sample r 3 [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "3 drawn" 3 (List.length s);
+  Alcotest.(check int) "distinct" 3 (List.length (Listx.uniq s))
+
+let test_chance_extremes () =
+  let r = Rng.make 3 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance r 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance r 1.0)
+
+(* ---- Listx ---- *)
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take over" [ 1; 2; 3 ] (Listx.take 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop over" [] (Listx.drop 9 [ 1; 2; 3 ]);
+  Alcotest.(check (pair (list int) (list int))) "split" ([ 1 ], [ 2; 3 ])
+    (Listx.split_at 1 [ 1; 2; 3 ])
+
+let test_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list (pair int (list int))))
+    "groups in first-seen order"
+    [ (1, [ 1; 3; 5 ]); (0, [ 2; 4 ]) ]
+    groups
+
+let test_count_by () =
+  Alcotest.(check (list (pair string int)))
+    "counts" [ ("a", 2); ("b", 1) ]
+    (Listx.count_by (fun s -> s) [ "a"; "b"; "a" ])
+
+let test_uniq () =
+  Alcotest.(check (list int)) "keeps first occurrences" [ 3; 1; 2 ] (Listx.uniq [ 3; 1; 3; 2; 1 ])
+
+let test_percent () =
+  Alcotest.(check (float 0.001)) "50%" 50.0 (Listx.percent 1 2);
+  Alcotest.(check (float 0.001)) "zero whole" 0.0 (Listx.percent 1 0)
+
+let qcheck_tests =
+  [
+    qtest ~count:200 "rng: int always within bound"
+      QCheck2.Gen.(pair int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = Rng.make seed in
+        let v = Rng.int r bound in
+        v >= 0 && v < bound);
+    qtest ~count:200 "listx: take n ++ drop n = original"
+      QCheck2.Gen.(pair small_nat (small_list int))
+      (fun (n, xs) -> Listx.take n xs @ Listx.drop n xs = xs);
+    qtest ~count:200 "listx: group_by preserves all elements"
+      QCheck2.Gen.(small_list (int_range 0 5))
+      (fun xs ->
+        let regrouped = List.concat_map snd (Listx.group_by (fun x -> x) xs) in
+        List.sort compare regrouped = List.sort compare xs);
+  ]
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_determinism);
+    ("rng seeds differ", `Quick, test_different_seeds);
+    ("rng split independence", `Quick, test_split_independent);
+    ("rng copy", `Quick, test_copy);
+    ("rng int bounds", `Quick, test_int_bounds);
+    ("rng int_in bounds", `Quick, test_int_in_bounds);
+    ("rng invalid bound", `Quick, test_int_invalid);
+    ("rng choose membership", `Quick, test_choose);
+    ("rng weighted zero weight", `Quick, test_weighted);
+    ("rng weighted distribution", `Quick, test_weighted_distribution);
+    ("rng shuffle is a permutation", `Quick, test_shuffle_permutation);
+    ("rng sample distinct", `Quick, test_sample);
+    ("rng chance extremes", `Quick, test_chance_extremes);
+    ("listx take/drop/split", `Quick, test_take_drop);
+    ("listx group_by", `Quick, test_group_by);
+    ("listx count_by", `Quick, test_count_by);
+    ("listx uniq", `Quick, test_uniq);
+    ("listx percent", `Quick, test_percent);
+  ]
+  @ qcheck_tests

@@ -1,0 +1,246 @@
+(* Tests for the tooling libraries: the reducer, the bisector, and the
+   reporting pipeline. *)
+
+open Helpers
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+
+(* ---- reduce ---- *)
+
+let listing4_instrumented =
+  lazy
+    (Core.Instrument.program
+       (parse {|
+static int a = 0;
+static int noise1 = 3;
+int noise2[4] = {1, 2, 3, 4};
+static int pad(int x) { return x * noise1; }
+int main(void) {
+  int t = pad(2);
+  use(t);
+  if (noise2[1] > 100) { use(7); }
+  if (a) { use(1); }
+  use(noise2[2]);
+  a = 0;
+  return 0;
+}
+|}))
+
+let gcc_o3 = { Core.Differential.compiler = C.Gcc_sim.compiler; level = C.Level.O3; version = None }
+let llvm_o3 = { Core.Differential.compiler = C.Llvm_sim.compiler; level = C.Level.O3; version = None }
+
+let find_diff_marker prog =
+  let g = Core.Differential.surviving gcc_o3 prog in
+  let l = Core.Differential.surviving llvm_o3 prog in
+  Ir.Iset.choose (Ir.Iset.diff g l)
+
+let test_reduce_shrinks_and_preserves () =
+  let prog = Lazy.force listing4_instrumented in
+  let marker = find_diff_marker prog in
+  let predicate =
+    Dce_reduce.Reduce.marker_diff_predicate ~keep_missed_by:gcc_o3 ~eliminated_by:llvm_o3 ~marker
+  in
+  Alcotest.(check bool) "initially interesting" true (predicate prog);
+  let r = Dce_reduce.Reduce.reduce ~max_tests:1500 ~predicate prog in
+  Alcotest.(check bool) "shrank" true
+    (r.Dce_reduce.Reduce.final_size < r.Dce_reduce.Reduce.initial_size);
+  Alcotest.(check bool) "still interesting" true (predicate r.Dce_reduce.Reduce.program);
+  (* the reduced program should be close to the paper's Listing 4 skeleton:
+     no helper function, few globals *)
+  Alcotest.(check bool) "helpers removed" true
+    (List.length r.Dce_reduce.Reduce.program.Dce_minic.Ast.p_funcs <= 2)
+
+let test_reduce_rejects_uninteresting_start () =
+  let prog = parse "int main(void) { return 0; }" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dce_reduce.Reduce.reduce ~predicate:(fun _ -> false) prog);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reduce_respects_budget () =
+  let prog = Lazy.force listing4_instrumented in
+  let marker = find_diff_marker prog in
+  let predicate =
+    Dce_reduce.Reduce.marker_diff_predicate ~keep_missed_by:gcc_o3 ~eliminated_by:llvm_o3 ~marker
+  in
+  let r = Dce_reduce.Reduce.reduce ~max_tests:25 ~predicate prog in
+  Alcotest.(check bool) "budget respected" true (r.Dce_reduce.Reduce.tests_run <= 25)
+
+(* ---- bisect ---- *)
+
+let test_bisect_vectorizer_regression () =
+  (* Listing 9e: introduced by the -O3 vectorization commit *)
+  let prog = Core.Instrument.program (parse {|
+static int a[2];
+static int b;
+static int *c[2];
+int main(void) {
+  for (b = 0; b < 2; b++) { c[b] = &a[1]; }
+  if (!c[0]) { use(1); }
+  return 0;
+}
+|}) in
+  (* find the marker in the if body *)
+  let truth =
+    match Core.Ground_truth.compute prog with
+    | Core.Ground_truth.Valid t -> t
+    | Core.Ground_truth.Rejected r -> Alcotest.failf "rejected: %s" r
+  in
+  let missed =
+    Ir.Iset.inter (Core.Differential.surviving gcc_o3 prog) truth.Core.Ground_truth.dead
+  in
+  let marker = Ir.Iset.choose missed in
+  (match Dce_bisect.Bisect.find_regression C.Gcc_sim.compiler C.Level.O3 prog ~marker with
+   | Dce_bisect.Bisect.Regression r ->
+     Alcotest.(check string) "vectorizer commit blamed" "Loop Transformations"
+       r.Dce_bisect.Bisect.offending.C.Version.component;
+     Alcotest.(check bool) "summary mentions vect" true
+       (contains r.Dce_bisect.Bisect.offending.C.Version.summary "vect")
+   | Dce_bisect.Bisect.Always_missed -> Alcotest.fail "should be a regression"
+   | Dce_bisect.Bisect.Not_missed -> Alcotest.fail "should be missed at head");
+  (* linear search agrees with exponential *)
+  match
+    ( Dce_bisect.Bisect.find_regression ~search:`Linear C.Gcc_sim.compiler C.Level.O3 prog ~marker,
+      Dce_bisect.Bisect.find_regression ~search:`Exponential C.Gcc_sim.compiler C.Level.O3 prog
+        ~marker )
+  with
+  | Dce_bisect.Bisect.Regression a, Dce_bisect.Bisect.Regression b ->
+    Alcotest.(check string) "same offending commit" a.Dce_bisect.Bisect.offending.C.Version.id
+      b.Dce_bisect.Bisect.offending.C.Version.id
+  | _ -> Alcotest.fail "both searches must find the regression"
+
+let test_bisect_not_missed () =
+  let prog = Core.Instrument.program (parse "int main(void) { if (0) { use(1); } return 0; }") in
+  match Dce_bisect.Bisect.find_regression C.Gcc_sim.compiler C.Level.O3 prog ~marker:0 with
+  | Dce_bisect.Bisect.Not_missed -> ()
+  | _ -> Alcotest.fail "front-end-foldable marker is not missed"
+
+let test_bisect_always_missed () =
+  (* an opaque runtime condition: no version ever eliminates it *)
+  let prog =
+    Core.Instrument.program
+      (parse "int main(void) { if (ext(1) == 987654) { use(1); } return 0; }")
+  in
+  match Dce_bisect.Bisect.find_regression C.Gcc_sim.compiler C.Level.O3 prog ~marker:0 with
+  | Dce_bisect.Bisect.Always_missed -> ()
+  | _ -> Alcotest.fail "expected always-missed"
+
+let test_component_table () =
+  let history = C.Gcc_sim.compiler.C.Compiler.history in
+  let some = Dce_support.Listx.take 3 history @ Dce_support.Listx.take 3 history in
+  let rows = Dce_bisect.Bisect.component_table some in
+  (* duplicates collapse *)
+  let total = List.fold_left (fun a r -> a + r.Dce_bisect.Bisect.commits) 0 rows in
+  Alcotest.(check int) "three unique commits" 3 total
+
+(* ---- report/stats ---- *)
+
+let test_stats_tables_render () =
+  let outcomes =
+    List.map
+      (fun (p, _) -> (Core.Analysis.run p, p))
+      (Dce_smith.Smith.generate_corpus ~seed:3 ~count:6)
+  in
+  let stats = Dce_report.Stats.collect outcomes in
+  Alcotest.(check int) "six programs" 6 stats.Dce_report.Stats.programs;
+  Alcotest.(check int) "ten configs" 10 (List.length stats.Dce_report.Stats.per_config);
+  let t1 = Dce_report.Stats.table1 stats in
+  Alcotest.(check bool) "table has all levels" true
+    (contains t1 "-O0" && contains t1 "-O3" && contains t1 "-Os");
+  Alcotest.(check bool) "prevalence text" true
+    (contains (Dce_report.Stats.prevalence stats) "instrumented markers")
+
+let test_tables_render () =
+  let t = Dce_report.Tables.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "aligned" true (contains t "a    bb");
+  Alcotest.(check string) "pct" "50.00%" (Dce_report.Tables.pct 1 2);
+  Alcotest.(check string) "pct zero" "-" (Dce_report.Tables.pct 1 0)
+
+let test_triage_classifies () =
+  (* build findings from the Listing-4 program: gcc misses, llvm eliminates *)
+  let raw = parse {|
+static int a = 0;
+int main(void) {
+  if (a) { use(1); }
+  a = 0;
+  return 0;
+}
+|} in
+  match Core.Analysis.run raw with
+  | Core.Analysis.Rejected r -> Alcotest.failf "rejected: %s" r
+  | Core.Analysis.Analyzed an ->
+    let outcomes = [ (Core.Analysis.Analyzed an, raw) ] in
+    let stats = Dce_report.Stats.collect outcomes in
+    let programs = [| an.Core.Analysis.instrumented |] in
+    let reports = Dce_report.Triage.triage ~programs stats.Dce_report.Stats.findings in
+    Alcotest.(check int) "one report" 1 (List.length reports);
+    let r = List.hd reports in
+    Alcotest.(check string) "gcc report" "gcc-sim" r.Dce_report.Triage.r_compiler;
+    Alcotest.(check string) "gva signature" "gva:flow-sensitive" r.Dce_report.Triage.r_signature;
+    (* no post-head commit repairs gcc's flow-insensitivity: stays confirmed *)
+    Alcotest.(check string) "confirmed" "confirmed"
+      (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
+
+let test_triage_duplicate_and_fixed () =
+  (* uniform-array (9f) is in the known-bug DB -> duplicate *)
+  let raw = parse {|
+int i;
+static int b[2] = {0, 0};
+int main(void) {
+  if (b[i]) { use(1); }
+  return 0;
+}
+|} in
+  (match Core.Analysis.run raw with
+   | Core.Analysis.Rejected r -> Alcotest.failf "rejected: %s" r
+   | Core.Analysis.Analyzed an ->
+     let stats = Dce_report.Stats.collect [ (Core.Analysis.Analyzed an, raw) ] in
+     let reports =
+       Dce_report.Triage.triage ~programs:[| an.Core.Analysis.instrumented |]
+         stats.Dce_report.Stats.findings
+     in
+     match List.find_opt (fun r -> r.Dce_report.Triage.r_compiler = "gcc-sim") reports with
+     | Some r ->
+       Alcotest.(check string) "duplicate of #80603" "duplicate"
+         (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
+     | None -> Alcotest.fail "expected a gcc report");
+  (* the shift-range family is fixed by a post-head commit -> fixed *)
+  let raw2 = parse {|
+int main(void) {
+  int f = ext(1) & 7 | 1;
+  int d = f << 2;
+  if (d) { if (f == 0) { use(1); } }
+  return 0;
+}
+|} in
+  match Core.Analysis.run raw2 with
+  | Core.Analysis.Rejected r -> Alcotest.failf "rejected: %s" r
+  | Core.Analysis.Analyzed an -> (
+    let stats = Dce_report.Stats.collect [ (Core.Analysis.Analyzed an, raw2) ] in
+    let reports =
+      Dce_report.Triage.triage ~programs:[| an.Core.Analysis.instrumented |]
+        stats.Dce_report.Stats.findings
+    in
+    match List.find_opt (fun r -> r.Dce_report.Triage.r_compiler = "gcc-sim") reports with
+    | Some r ->
+      Alcotest.(check string) "vrp shift signature" "vrp:shift-rule" r.Dce_report.Triage.r_signature;
+      Alcotest.(check string) "fixed post-head" "fixed"
+        (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
+    | None -> Alcotest.fail "expected a gcc report")
+
+let suite =
+  [
+    ("reduce: shrinks and preserves", `Slow, test_reduce_shrinks_and_preserves);
+    ("reduce: rejects uninteresting start", `Quick, test_reduce_rejects_uninteresting_start);
+    ("reduce: respects budget", `Quick, test_reduce_respects_budget);
+    ("bisect: vectorizer regression (9e)", `Quick, test_bisect_vectorizer_regression);
+    ("bisect: not missed", `Quick, test_bisect_not_missed);
+    ("bisect: always missed", `Quick, test_bisect_always_missed);
+    ("bisect: component table dedups", `Quick, test_component_table);
+    ("stats: tables render", `Slow, test_stats_tables_render);
+    ("tables: formatting", `Quick, test_tables_render);
+    ("triage: classification (Listing 4)", `Quick, test_triage_classifies);
+    ("triage: duplicate and fixed statuses", `Quick, test_triage_duplicate_and_fixed);
+  ]

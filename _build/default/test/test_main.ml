@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "dce-lens"
+    [
+      ("support", Suite_support.suite);
+      ("minic", Suite_minic.suite);
+      ("ir", Suite_ir.suite);
+      ("interp", Suite_interp.suite);
+      ("passes", Suite_passes.suite);
+      ("loop-passes", Suite_loop_passes.suite);
+      ("compiler", Suite_compiler.suite);
+      ("core", Suite_core.suite);
+      ("backend", Suite_backend.suite);
+      ("smith", Suite_smith.suite);
+      ("tools", Suite_tools.suite);
+      ("extension", Suite_extension.suite);
+      ("properties", Suite_properties.suite);
+      ("edge-cases", Suite_edge_cases.suite);
+    ]
