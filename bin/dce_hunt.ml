@@ -67,7 +67,13 @@ let analyze_cmd =
   let diagnose =
     Arg.(value & flag & info [ "diagnose" ] ~doc:"Root-cause each primary -O3 miss.")
   in
-  let run path diagnose =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Show per-configuration pass attribution (which stage eliminated which marker).")
+  in
+  let run path diagnose trace =
     let prog = read_program path in
     match Core.Analysis.run prog with
     | Core.Analysis.Rejected reason -> Printf.printf "rejected: %s\n" reason
@@ -85,7 +91,13 @@ let analyze_cmd =
             (C.Level.to_string pc.Core.Analysis.cfg_level)
             (iset_to_string pc.Core.Analysis.surviving)
             (iset_to_string pc.Core.Analysis.missed)
-            (iset_to_string pc.Core.Analysis.primary_missed))
+            (iset_to_string pc.Core.Analysis.primary_missed);
+          if trace then
+            List.iter
+              (fun (stage, markers) ->
+                Printf.printf "    %s eliminated {%s}\n" stage
+                  (String.concat "," (List.map string_of_int markers)))
+              (C.Passmgr.attribution pc.Core.Analysis.cfg_trace))
         a.Core.Analysis.configs;
       if diagnose then
         List.iter
@@ -98,8 +110,11 @@ let analyze_cmd =
                       (compiler_of_string pc.Core.Analysis.cfg_compiler)
                       C.Level.O3 a.Core.Analysis.instrumented ~marker:m
                   in
-                  Printf.printf "diagnosis: %s -O3 marker %d -> %s\n"
-                    pc.Core.Analysis.cfg_compiler m (Core.Diagnose.signature d))
+                  Printf.printf "diagnosis: %s -O3 marker %d -> %s%s\n"
+                    pc.Core.Analysis.cfg_compiler m (Core.Diagnose.signature d)
+                    (match d.Core.Diagnose.guilty_stage with
+                     | Some s -> Printf.sprintf " (guilty stage: %s)" s
+                     | None -> ""))
                 pc.Core.Analysis.primary_missed)
           a.Core.Analysis.configs
   in
@@ -108,7 +123,7 @@ let analyze_cmd =
        ~doc:
          "Instrument a program, execute it for ground truth, and compare both simulated \
           compilers at every level.")
-    Term.(const run $ file_arg $ diagnose)
+    Term.(const run $ file_arg $ diagnose $ trace)
 
 (* ---------- compile ---------- *)
 
@@ -147,6 +162,8 @@ let hunt_cmd =
     print_endline "Table 2 (% dead blocks primary missed):";
     print_string (Dce_report.Stats.table2 stats);
     print_string (Dce_report.Stats.differential_summary stats);
+    print_endline "Markers eliminated per stage at -O3 (pass attribution):";
+    print_string (Dce_report.Stats.attribution_table stats);
     let interesting =
       List.filter (fun (f : Dce_report.Stats.finding) -> f.Dce_report.Stats.f_primary)
         stats.Dce_report.Stats.findings
@@ -190,11 +207,12 @@ let triage_cmd =
     print_endline "report clusters:";
     List.iter
       (fun r ->
-        Printf.printf "  %-9s %-4s %-28s %-22s %-9s x%d (program %d, marker %d)\n"
+        Printf.printf "  %-9s %-4s %-28s %-22s %-12s %-9s x%d (program %d, marker %d)\n"
           r.Dce_report.Triage.r_compiler
           (C.Level.to_string r.Dce_report.Triage.r_level)
           r.Dce_report.Triage.r_signature
           (match r.Dce_report.Triage.r_component with Some c -> c | None -> "-")
+          (match r.Dce_report.Triage.r_guilty_stage with Some s -> s | None -> "-")
           (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
           r.Dce_report.Triage.r_occurrences r.Dce_report.Triage.r_example_program
           r.Dce_report.Triage.r_example_marker)
@@ -301,13 +319,35 @@ let explain_cmd =
   let comp = Arg.(value & opt string "gcc" & info [ "compiler" ] ~docv:"gcc|llvm") in
   let level = Arg.(value & opt string "O2" & info [ "level" ] ~docv:"O0..O3") in
   let history = Arg.(value & flag & info [ "history" ] ~doc:"Also print the commit history.") in
-  let run comp level history =
+  let trace =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE.c"
+          ~doc:
+            "Compile $(docv) (instrumenting it if it has no markers) and print the executed \
+             stage trace: per-stage wall time, IR deltas, and markers eliminated.")
+  in
+  let run comp level history trace =
     let compiler = compiler_of_string comp in
     let lv = level_of_string level in
     let feats = C.Compiler.features compiler lv in
     Printf.printf "%s %s features: %s\n" compiler.C.Compiler.name (C.Level.to_string lv)
       (C.Features.describe feats);
     Printf.printf "pass schedule: %s\n" (String.concat " -> " (C.Pipeline.stage_names feats));
+    (match trace with
+     | None -> ()
+     | Some path ->
+       let prog = read_program path in
+       let prog =
+         if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog
+         else prog
+       in
+       let _, t = C.Compiler.compile_traced compiler lv prog in
+       Printf.printf "stage trace of %s (%d of %d scheduled stages executed):\n" path
+         (List.length t)
+         (List.length (C.Pipeline.stage_names feats));
+       print_string (C.Passmgr.trace_to_string t));
     if history then begin
       Printf.printf "history (%d commits, HEAD at %d):\n"
         (List.length compiler.C.Compiler.history)
@@ -320,8 +360,10 @@ let explain_cmd =
         compiler.C.Compiler.history
     end
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Show a configuration's features, schedule, and history.")
-    Term.(const run $ comp $ level $ history)
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show a configuration's features, schedule, history, and per-program stage trace.")
+    Term.(const run $ comp $ level $ history $ trace)
 
 let () =
   let doc = "finding missed optimizations through the lens of dead code elimination" in

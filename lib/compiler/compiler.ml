@@ -6,13 +6,24 @@ let features t ?version level =
   let v = Option.value ~default:(head t) version in
   Version.features_at t.history v level
 
-let compile_ir t ?version ?(validate = false) level ast =
+let compile_ir_traced t ?version ?(validate = false) level ast =
   let feats = features t ?version level in
   let ir = Dce_ir.Lower.program ast in
-  Pipeline.run ~validate feats ir
+  Pipeline.run_traced ~validate feats ir
 
-let compile t ?version ?(validate = false) level ast =
-  Dce_backend.Codegen.program (compile_ir t ?version ~validate level ast)
+let compile_ir t ?version ?validate level ast =
+  fst (compile_ir_traced t ?version ?validate level ast)
+
+let compile_traced t ?version ?(validate = false) level ast =
+  let ir, trace = compile_ir_traced t ?version ~validate level ast in
+  (Dce_backend.Codegen.program ir, trace)
+
+let compile t ?version ?validate level ast =
+  fst (compile_traced t ?version ?validate level ast)
+
+let surviving_markers_traced t ?version level ast =
+  let asm, trace = compile_traced t ?version level ast in
+  (Dce_backend.Asm.surviving_markers asm, trace)
 
 let surviving_markers t ?version level ast =
-  Dce_backend.Asm.surviving_markers (compile t ?version level ast)
+  fst (surviving_markers_traced t ?version level ast)

@@ -27,3 +27,27 @@ val compile :
 val surviving_markers :
   t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list
 (** Convenience: marker ids still present in the generated assembly. *)
+
+(** {1 Traced variants}
+
+    Same results as the functions above, plus the {!Pipeline} stage trace
+    (per-stage wall time, IR deltas, markers eliminated). *)
+
+val compile_ir_traced :
+  t ->
+  ?version:int ->
+  ?validate:bool ->
+  Level.t ->
+  Dce_minic.Ast.program ->
+  Dce_ir.Ir.program * Passmgr.trace
+
+val compile_traced :
+  t ->
+  ?version:int ->
+  ?validate:bool ->
+  Level.t ->
+  Dce_minic.Ast.program ->
+  Dce_backend.Asm.t * Passmgr.trace
+
+val surviving_markers_traced :
+  t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list * Passmgr.trace

@@ -1,0 +1,248 @@
+module Ir = Dce_ir.Ir
+module Pi = Dce_opt.Passinfo
+
+(* ------------------------------------------------------------------ *)
+(* cache counters                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  meminfo_hits : int;
+  meminfo_misses : int;
+  cfg_hits : int;
+  cfg_misses : int;
+  dom_hits : int;
+  dom_misses : int;
+}
+
+let c_meminfo_hits = ref 0
+let c_meminfo_misses = ref 0
+let c_cfg_hits = ref 0
+let c_cfg_misses = ref 0
+let c_dom_hits = ref 0
+let c_dom_misses = ref 0
+
+let counters () =
+  {
+    meminfo_hits = !c_meminfo_hits;
+    meminfo_misses = !c_meminfo_misses;
+    cfg_hits = !c_cfg_hits;
+    cfg_misses = !c_cfg_misses;
+    dom_hits = !c_dom_hits;
+    dom_misses = !c_dom_misses;
+  }
+
+let reset_counters () =
+  c_meminfo_hits := 0;
+  c_meminfo_misses := 0;
+  c_cfg_hits := 0;
+  c_cfg_misses := 0;
+  c_dom_hits := 0;
+  c_dom_misses := 0
+
+let hit_rate c =
+  let hits = c.meminfo_hits + c.cfg_hits + c.dom_hits in
+  let total = hits + c.meminfo_misses + c.cfg_misses + c.dom_misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+(* ------------------------------------------------------------------ *)
+(* the analysis manager                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable cur : Ir.program;
+  mutable cached_meminfo : Dce_opt.Meminfo.t option;
+  preds : (string, Ir.label list Ir.Imap.t) Hashtbl.t;
+  doms : (string, Dce_ir.Dom.t) Hashtbl.t;
+}
+
+let create prog =
+  { cur = prog; cached_meminfo = None; preds = Hashtbl.create 8; doms = Hashtbl.create 8 }
+
+let meminfo t =
+  match t.cached_meminfo with
+  | Some mi ->
+    incr c_meminfo_hits;
+    mi
+  | None ->
+    incr c_meminfo_misses;
+    let mi = Dce_opt.Meminfo.analyze t.cur in
+    t.cached_meminfo <- Some mi;
+    mi
+
+let predecessors t fn =
+  match Hashtbl.find_opt t.preds fn.Ir.fn_name with
+  | Some p ->
+    incr c_cfg_hits;
+    p
+  | None ->
+    incr c_cfg_misses;
+    let p = Dce_ir.Cfg.predecessors fn in
+    Hashtbl.replace t.preds fn.Ir.fn_name p;
+    p
+
+let dominators t fn =
+  match Hashtbl.find_opt t.doms fn.Ir.fn_name with
+  | Some d ->
+    incr c_dom_hits;
+    d
+  | None ->
+    incr c_dom_misses;
+    let d = Dce_ir.Dom.compute fn in
+    Hashtbl.replace t.doms fn.Ir.fn_name d;
+    d
+
+(* ------------------------------------------------------------------ *)
+(* change detection and invalidation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Which functions a pass changed.  [Structure] covers everything that makes
+   name-keyed per-function caches unsafe wholesale: symbols, externs, or the
+   function list itself changed. *)
+type change = Unchanged | Funcs of string list | Structure
+
+let diff_programs (before : Ir.program) (after : Ir.program) =
+  if
+    before.Ir.prog_syms <> after.Ir.prog_syms
+    || before.Ir.prog_externs <> after.Ir.prog_externs
+    || List.map (fun f -> f.Ir.fn_name) before.Ir.prog_funcs
+       <> List.map (fun f -> f.Ir.fn_name) after.Ir.prog_funcs
+  then Structure
+  else begin
+    let changed =
+      List.fold_left2
+        (fun acc fb fa -> if fb = fa then acc else fb.Ir.fn_name :: acc)
+        [] before.Ir.prog_funcs after.Ir.prog_funcs
+    in
+    match changed with [] -> Unchanged | names -> Funcs names
+  end
+
+let invalidate t (info : Pi.t) = function
+  | Unchanged -> ()
+  | Structure ->
+    if not (Pi.preserves info Pi.Meminfo) then t.cached_meminfo <- None;
+    (* name-keyed caches cannot survive a change to the function set, even
+       under a [preserves] declaration *)
+    Hashtbl.reset t.preds;
+    Hashtbl.reset t.doms
+  | Funcs names ->
+    if not (Pi.preserves info Pi.Meminfo) then t.cached_meminfo <- None;
+    List.iter
+      (fun n ->
+        if not (Pi.preserves info Pi.Cfg) then Hashtbl.remove t.preds n;
+        if not (Pi.preserves info Pi.Dominators) then Hashtbl.remove t.doms n)
+      names
+
+(* ------------------------------------------------------------------ *)
+(* passes and instrumented execution                                   *)
+(* ------------------------------------------------------------------ *)
+
+type pass = {
+  p_info : Pi.t;
+  p_label : string;
+  p_run : t -> Ir.program -> Ir.program;
+}
+
+let make_pass ?label info run =
+  { p_info = info; p_label = Option.value ~default:info.Pi.pass_name label; p_run = run }
+
+type stage_record = {
+  sr_label : string;
+  sr_round : int;
+  sr_time : float;
+  sr_changed : bool;
+  sr_blocks_before : int;
+  sr_blocks_after : int;
+  sr_instrs_before : int;
+  sr_instrs_after : int;
+  sr_markers_eliminated : int list;
+}
+
+type trace = stage_record list
+
+let marker_set prog =
+  List.fold_left (fun s m -> Ir.Iset.add m s) Ir.Iset.empty (Ir.program_marker_ids prog)
+
+let run_pass ?(round = 0) ?check t pass prog =
+  t.cur <- prog;
+  let markers_before = marker_set prog in
+  let blocks_before = Ir.program_block_count prog in
+  let instrs_before = Ir.program_instr_count prog in
+  let t0 = Unix.gettimeofday () in
+  let prog' = pass.p_run t prog in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match check with Some f -> f pass.p_label prog' | None -> ());
+  let diff = diff_programs prog prog' in
+  invalidate t pass.p_info diff;
+  let changed = diff <> Unchanged in
+  (* keep the pre-pass value alive when nothing changed, so structurally
+     identical programs stay physically shared across no-op stages *)
+  let prog' = if changed then prog' else prog in
+  t.cur <- prog';
+  let record =
+    {
+      sr_label = pass.p_label;
+      sr_round = round;
+      sr_time = dt;
+      sr_changed = changed;
+      sr_blocks_before = blocks_before;
+      sr_blocks_after = (if changed then Ir.program_block_count prog' else blocks_before);
+      sr_instrs_before = instrs_before;
+      sr_instrs_after = (if changed then Ir.program_instr_count prog' else instrs_before);
+      sr_markers_eliminated =
+        (if changed then Ir.Iset.elements (Ir.Iset.diff markers_before (marker_set prog'))
+         else []);
+    }
+  in
+  (prog', record)
+
+let run_fixpoint ?check ~max_rounds t passes prog =
+  let trace = ref [] in
+  let rec go round prog =
+    let prog, round_changed =
+      List.fold_left
+        (fun (prog, any) pass ->
+          let prog, record = run_pass ~round ?check t pass prog in
+          trace := record :: !trace;
+          (prog, any || record.sr_changed))
+        (prog, false) passes
+    in
+    (* a round that changed nothing cannot change anything next time either:
+       every pass is a deterministic function of the program *)
+    if round_changed && round < max_rounds then go (round + 1) prog else prog
+  in
+  let prog = if max_rounds <= 0 then prog else go 1 prog in
+  (prog, List.rev !trace)
+
+(* ------------------------------------------------------------------ *)
+(* trace rendering and queries                                         *)
+(* ------------------------------------------------------------------ *)
+
+let markers_eliminated_by trace ~marker =
+  List.find_opt (fun r -> List.mem marker r.sr_markers_eliminated) trace
+
+let attribution trace =
+  List.filter_map
+    (fun r ->
+      if r.sr_markers_eliminated = [] then None
+      else Some (r.sr_label, r.sr_markers_eliminated))
+    trace
+
+let trace_to_string ?(changed_only = false) trace =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-5s %-18s %10s %14s %14s  %s\n" "round" "stage" "time" "blocks" "instrs"
+       "markers eliminated");
+  List.iter
+    (fun r ->
+      if r.sr_changed || not changed_only then
+        Buffer.add_string buf
+          (Printf.sprintf "%-5s %-18s %8.1fus %6d -> %-5d %6d -> %-5d  %s%s\n"
+             (if r.sr_round = 0 then "-" else string_of_int r.sr_round)
+             r.sr_label (r.sr_time *. 1e6) r.sr_blocks_before r.sr_blocks_after
+             r.sr_instrs_before r.sr_instrs_after
+             (match r.sr_markers_eliminated with
+              | [] -> "-"
+              | ms -> "{" ^ String.concat "," (List.map string_of_int ms) ^ "}")
+             (if r.sr_changed then "" else " (no change)")))
+    trace;
+  Buffer.contents buf

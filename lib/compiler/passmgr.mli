@@ -1,0 +1,123 @@
+(** The pass manager: cached analyses, instrumented pass execution, and
+    fixpoint round driving.
+
+    This is the subsystem {!Pipeline} schedules passes through.  It owns
+
+    - an {b analysis manager} caching {!Dce_opt.Meminfo.analyze} (whole
+      program) and per-function predecessor maps / dominator trees, with
+      invalidation driven by per-function change detection after every pass
+      and by each pass's {!Dce_opt.Passinfo} declaration (an analysis a pass
+      {e preserves} survives even when the pass changed the function);
+    - an {b instrumentation layer} recording, per executed stage, the wall
+      time, block/instruction deltas, whether the IR changed, and which
+      markers the stage eliminated — the {!trace} that {!Dce_core.Diagnose}
+      and [dce_hunt explain --trace] consume;
+    - a {b fixpoint driver} that repeats a round of passes until a whole
+      round leaves the IR unchanged (or a round budget is exhausted).
+
+    Caching is observably transparent: a cache hit returns a result
+    structurally identical to a fresh recomputation, so pipelines built on
+    the manager emit bit-identical code to uncached execution. *)
+
+module Ir = Dce_ir.Ir
+
+(** {1 Analysis cache counters} *)
+
+type counters = {
+  meminfo_hits : int;
+  meminfo_misses : int;
+  cfg_hits : int;
+  cfg_misses : int;
+  dom_hits : int;
+  dom_misses : int;
+}
+
+val counters : unit -> counters
+(** Process-wide totals since the last {!reset_counters}. *)
+
+val reset_counters : unit -> unit
+
+val hit_rate : counters -> float
+(** Overall hits / (hits + misses), [0.] when nothing was requested. *)
+
+(** {1 The analysis manager} *)
+
+type t
+(** Mutable: tracks the current program and the analyses computed for it. *)
+
+val create : Ir.program -> t
+
+val meminfo : t -> Dce_opt.Meminfo.t
+(** Whole-program memory analysis of the manager's current program, cached
+    until a pass reports a change. *)
+
+val predecessors : t -> Ir.func -> Ir.label list Ir.Imap.t
+(** Predecessor map of one function of the current program, cached per
+    function name. *)
+
+val dominators : t -> Ir.func -> Dce_ir.Dom.t
+
+(** {1 Passes and stage records} *)
+
+type pass = {
+  p_info : Dce_opt.Passinfo.t;
+  p_label : string;  (** display name; defaults to the registered name *)
+  p_run : t -> Ir.program -> Ir.program;
+}
+
+val make_pass : ?label:string -> Dce_opt.Passinfo.t -> (t -> Ir.program -> Ir.program) -> pass
+
+type stage_record = {
+  sr_label : string;
+  sr_round : int;  (** 1-based round within a fixpoint section, 0 outside *)
+  sr_time : float;  (** wall-clock seconds spent in the pass *)
+  sr_changed : bool;  (** the pass changed the IR structurally *)
+  sr_blocks_before : int;
+  sr_blocks_after : int;
+  sr_instrs_before : int;
+  sr_instrs_after : int;
+  sr_markers_eliminated : int list;  (** sorted marker ids *)
+}
+
+type trace = stage_record list
+(** In execution order.  Stages skipped by fixpoint early exit do not
+    appear. *)
+
+(** {1 Execution} *)
+
+val run_pass :
+  ?round:int ->
+  ?check:(string -> Ir.program -> unit) ->
+  t ->
+  pass ->
+  Ir.program ->
+  Ir.program * stage_record
+(** Runs one pass under the manager: times it, detects which functions
+    changed, invalidates cached analyses accordingly (honoring the pass's
+    [preserves] declaration), and records the stage.  [check] is called with
+    the stage label and the post-stage program (the validation hook). *)
+
+val run_fixpoint :
+  ?check:(string -> Ir.program -> unit) ->
+  max_rounds:int ->
+  t ->
+  pass list ->
+  Ir.program ->
+  Ir.program * trace
+(** Repeats the round until it makes no change, at most [max_rounds] times.
+    Running a round on IR it cannot change is observationally identical to
+    the old fixed-count schedule, so early exit never alters the output. *)
+
+(** {1 Trace rendering} *)
+
+val trace_to_string : ?changed_only:bool -> trace -> string
+(** A table with one line per stage: round, name, wall time, block and
+    instruction deltas, markers eliminated.  [changed_only] (default false)
+    drops no-op stages. *)
+
+val markers_eliminated_by : trace -> marker:int -> stage_record option
+(** The stage that eliminated the marker, if any stage did. *)
+
+val attribution : trace -> (string * int list) list
+(** Markers eliminated per stage label, in execution order, no-op stages
+    omitted. *)

@@ -1,21 +1,22 @@
 open Dce_opt
 module Ir = Dce_ir.Ir
 
-type stage = { stage_name : string; apply : Dce_ir.Ir.program -> Dce_ir.Ir.program }
+(* ------------------------------------------------------------------ *)
+(* pass instances                                                      *)
+(* ------------------------------------------------------------------ *)
 
-let per_func name f = { stage_name = name; apply = (fun prog -> Ir.map_func f prog) }
+let per_func ?label info f =
+  Passmgr.make_pass ?label info (fun _mgr prog -> Ir.map_func f prog)
 
-let with_info name f =
-  {
-    stage_name = name;
-    apply =
-      (fun prog ->
-        let info = Meminfo.analyze prog in
-        Ir.map_func (f info prog) prog);
-  }
+let with_info ?label info f =
+  Passmgr.make_pass ?label info (fun mgr prog ->
+      let mi = Passmgr.meminfo mgr in
+      Ir.map_func (f mi prog) prog)
 
-let sccp_stage (feats : Features.t) =
-  with_info "sccp" (fun info _prog fn ->
+let whole ?label info f = Passmgr.make_pass ?label info (fun _mgr prog -> f prog)
+
+let sccp_pass (feats : Features.t) =
+  with_info Sccp.info (fun info _prog fn ->
       Sccp.run
         {
           Sccp.addr_cmp = feats.addr_cmp;
@@ -24,8 +25,8 @@ let sccp_stage (feats : Features.t) =
         }
         info fn)
 
-let memcp_stage (feats : Features.t) =
-  with_info "memcp" (fun info _prog fn ->
+let memcp_pass (feats : Features.t) =
+  with_info Memcp.info (fun info _prog fn ->
       Memcp.run
         {
           Memcp.use_call_summaries = feats.call_summaries;
@@ -37,32 +38,42 @@ let memcp_stage (feats : Features.t) =
         }
         info fn)
 
-let gvn_stage (feats : Features.t) =
-  with_info "gvn" (fun info _prog fn ->
-      Gvn.run
-        {
-          Gvn.cse = feats.gvn_cse;
-          load_forward = feats.gvn_forward;
-          precision = feats.alias;
-          use_call_summaries = feats.call_summaries;
-        }
-        info fn)
+let gvn_pass (feats : Features.t) =
+  Passmgr.make_pass Gvn.info (fun mgr prog ->
+      let info = Passmgr.meminfo mgr in
+      Ir.map_func
+        (fun fn ->
+          Gvn.run
+            ~dom:(fun () -> Passmgr.dominators mgr fn)
+            {
+              Gvn.cse = feats.gvn_cse;
+              load_forward = feats.gvn_forward;
+              precision = feats.alias;
+              use_call_summaries = feats.call_summaries;
+            }
+            info fn)
+        prog)
 
-let vrp_stage (feats : Features.t) =
-  per_func "vrp" (fun fn ->
-      Vrp.run
-        {
-          Vrp.shift_rule = feats.vrp_shift_rule;
-          mod_singleton = feats.vrp_mod_singleton;
-          block_limit = feats.vrp_block_limit;
-        }
-        fn)
+let vrp_pass (feats : Features.t) =
+  Passmgr.make_pass Vrp.info (fun mgr prog ->
+      Ir.map_func
+        (fun fn ->
+          Vrp.run
+            ~dom:(fun () -> Passmgr.dominators mgr fn)
+            ~preds:(fun () -> Passmgr.predecessors mgr fn)
+            {
+              Vrp.shift_rule = feats.vrp_shift_rule;
+              mod_singleton = feats.vrp_mod_singleton;
+              block_limit = feats.vrp_block_limit;
+            }
+            fn)
+        prog)
 
-let peephole_stage (feats : Features.t) =
-  per_func "peephole" (fun fn -> Peephole.run { Peephole.level = feats.peephole_level } fn)
+let peephole_pass (feats : Features.t) =
+  per_func Peephole.info (fun fn -> Peephole.run { Peephole.level = feats.peephole_level } fn)
 
-let jump_thread_stage (feats : Features.t) =
-  per_func "jump-thread" (fun fn ->
+let jump_thread_pass (feats : Features.t) =
+  per_func Jump_thread.info (fun fn ->
       Jump_thread.run
         {
           Jump_thread.mode = feats.jump_thread;
@@ -71,8 +82,8 @@ let jump_thread_stage (feats : Features.t) =
         }
         fn)
 
-let dse_stage (feats : Features.t) =
-  with_info "dse" (fun info _prog fn ->
+let dse_pass (feats : Features.t) =
+  with_info Dse.info (fun info _prog fn ->
       Dse.run
         {
           Dse.strength = feats.dse_strength;
@@ -81,16 +92,15 @@ let dse_stage (feats : Features.t) =
         }
         info ~is_main:(fn.Ir.fn_name = "main") fn)
 
-let dce_stage = per_func "dce" Dce.run
+let dce_pass = per_func Dce.info Dce.run
+let simplify_pass = per_func Simplify_cfg.info Simplify_cfg.run
 
-let simplify_stage = per_func "simplify-cfg" Simplify_cfg.run
-
-let promote_stage (feats : Features.t) =
-  with_info "loop-promote" (fun info _prog fn ->
+let promote_pass (feats : Features.t) =
+  with_info Promote.info (fun info _prog fn ->
       Promote.run { Promote.precision = feats.alias } info fn)
 
-let unroll_stage (feats : Features.t) =
-  per_func "unroll" (fun fn ->
+let unroll_pass (feats : Features.t) =
+  per_func Unroll.info (fun fn ->
       Unroll.run
         {
           Unroll.max_trip = feats.unroll_trip;
@@ -101,110 +111,161 @@ let unroll_stage (feats : Features.t) =
         }
         fn)
 
-let unswitch_stage (feats : Features.t) =
-  with_info "unswitch" (fun info _prog fn ->
+let unswitch_pass (feats : Features.t) =
+  with_info Unswitch.info (fun info _prog fn ->
       Unswitch.run
         { Unswitch.max_body = 80; max_clones = 4; licm_loads = true; precision = feats.alias }
         info fn)
 
-let vectorize_stage =
-  { stage_name = "vectorize"; apply = Vectorize.run Vectorize.default_config }
+let vectorize_pass = whole Vectorize.info (Vectorize.run Vectorize.default_config)
+let function_dce_pass label = whole ~label Function_dce.info Function_dce.run
+let ipa_cp_pass = whole Ipa_cp.info Ipa_cp.run
 
-let function_dce_stage name = { stage_name = name; apply = Function_dce.run }
+let inline_pass (feats : Features.t) =
+  whole Inline.info
+    (Inline.run
+       {
+         Inline.threshold = feats.inline_threshold;
+         (* scale with the threshold: a level that inlines bigger callees
+            also tolerates more caller growth *)
+         growth_cap = 600 + (12 * feats.inline_threshold);
+       })
 
-let ipa_cp_stage = { stage_name = "ipa-cp"; apply = Ipa_cp.run }
+(* SSA construction lives below the opt library, so it registers here *)
+let ssa_info = Passinfo.v "ssa"
+let ssa_pass = whole ssa_info Dce_ir.Ssa.construct_program
 
-let inline_stage (feats : Features.t) =
-  {
-    stage_name = "inline";
-    apply =
-      Inline.run
-        {
-          Inline.threshold = feats.inline_threshold;
-          (* scale with the threshold: a level that inlines bigger callees
-             also tolerates more caller growth *)
-          growth_cap = 600 + (12 * feats.inline_threshold);
-        };
-  }
+(* ------------------------------------------------------------------ *)
+(* the schedule                                                        *)
+(* ------------------------------------------------------------------ *)
 
-let ssa_stage = { stage_name = "ssa"; apply = Dce_ir.Ssa.construct_program }
+(* A section is either a single pass or a pass-manager fixpoint round:
+   the round repeats until it changes nothing, bounded by [max_rounds]
+   (which keeps the output identical to the historical fixed-count
+   schedule — see {!Passmgr.run_fixpoint}). *)
+type section =
+  | Stage of Passmgr.pass
+  | Round of { max_rounds : int; passes : Passmgr.pass list }
 
 let main_round feats =
   List.concat
     [
-      (if feats.Features.sccp then [ sccp_stage feats ] else []);
-      (if feats.Features.memcp then [ memcp_stage feats ] else []);
-      (if feats.Features.gvn_cse || feats.Features.gvn_forward then [ gvn_stage feats ] else []);
+      (if feats.Features.sccp then [ sccp_pass feats ] else []);
+      (if feats.Features.memcp then [ memcp_pass feats ] else []);
+      (if feats.Features.gvn_cse || feats.Features.gvn_forward then [ gvn_pass feats ] else []);
       (* a second constant pass folds what forwarding just exposed, the way
          real pipelines interleave instcombine/SCCP with GVN *)
       (if feats.Features.sccp && (feats.Features.gvn_cse || feats.Features.gvn_forward) then
-         [ sccp_stage feats ]
+         [ sccp_pass feats ]
        else []);
-      (if feats.Features.vrp then [ vrp_stage feats ] else []);
-      (if feats.Features.peephole_level > 0 then [ peephole_stage feats ] else []);
-      (if feats.Features.jump_thread <> Jump_thread.Off then [ jump_thread_stage feats ] else []);
-      [ dce_stage; simplify_stage ];
+      (if feats.Features.vrp then [ vrp_pass feats ] else []);
+      (if feats.Features.peephole_level > 0 then [ peephole_pass feats ] else []);
+      (if feats.Features.jump_thread <> Jump_thread.Off then [ jump_thread_pass feats ] else []);
+      [ dce_pass; simplify_pass ];
     ]
 
-let stages (feats : Features.t) =
+let schedule (feats : Features.t) =
   if not feats.sccp then
     (* -O0: only the front end's trivial cleanup *)
-    [ simplify_stage ]
+    [ Stage simplify_pass ]
   else
     List.concat
       [
-        [ simplify_stage; ssa_stage ];
+        [ Stage simplify_pass; Stage ssa_pass ];
         (if feats.function_dce && feats.function_dce_early then
-           [ function_dce_stage "function-dce-early" ]
+           [ Stage (function_dce_pass "function-dce-early") ]
          else []);
-        (if feats.ipa_cp then [ ipa_cp_stage ] else []);
+        (if feats.ipa_cp then [ Stage ipa_cp_pass ] else []);
         (if feats.inline_threshold > 0 then
            (* functions orphaned by inlining itself are always cleaned up;
               only functions orphaned by later folding depend on where the
               unreachable-node removal sits (the Listing 9b regression) *)
-           [ inline_stage feats ]
-           @ (if feats.function_dce then [ function_dce_stage "inline-cleanup" ] else [])
-           @ [ simplify_stage ]
+           [ Stage (inline_pass feats) ]
+           @ (if feats.function_dce then [ Stage (function_dce_pass "inline-cleanup") ] else [])
+           @ [ Stage simplify_pass ]
          else []);
-        List.concat (List.init (max 1 feats.opt_rounds) (fun _ -> main_round feats));
+        [ Round { max_rounds = max 1 feats.opt_rounds; passes = main_round feats } ];
         (* promotion gives memory loop counters a register view; one folding
            round then materializes constant preheader seeds so the loop
            passes' trip counting can see them *)
         (if feats.unroll_trip > 0 || feats.vectorize then
-           (promote_stage feats :: main_round feats)
+           [ Stage (promote_pass feats); Round { max_rounds = 1; passes = main_round feats } ]
          else []);
         (* the vectorizer claims eligible loops before the unroller *)
-        (if feats.vectorize then [ vectorize_stage ] else []);
-        (if feats.unroll_trip > 0 then (unroll_stage feats :: main_round feats) else []);
-        (if feats.unswitch then (unswitch_stage feats :: main_round feats) else []);
+        (if feats.vectorize then [ Stage vectorize_pass ] else []);
+        (if feats.unroll_trip > 0 then
+           [ Stage (unroll_pass feats); Round { max_rounds = 1; passes = main_round feats } ]
+         else []);
+        (if feats.unswitch then
+           [ Stage (unswitch_pass feats); Round { max_rounds = 1; passes = main_round feats } ]
+         else []);
         (* DSE runs once, late: module-level global analyses must not observe
            dead-store-cleaned code (that would "fix" the paper's Listing 6a) *)
-        (if feats.dse_strength > 0 then [ dse_stage feats; dce_stage; simplify_stage ] else []);
-        (if feats.function_dce && not feats.function_dce_early then
-           [ function_dce_stage "function-dce" ]
+        (if feats.dse_strength > 0 then
+           [ Stage (dse_pass feats); Stage dce_pass; Stage simplify_pass ]
          else []);
-        [ dce_stage; simplify_stage ];
+        (if feats.function_dce && not feats.function_dce_early then
+           [ Stage (function_dce_pass "function-dce") ]
+         else []);
+        [ Stage dce_pass; Stage simplify_pass ];
       ]
 
-let stage_names feats = List.map (fun s -> s.stage_name) (stages feats)
+(* the maximal static expansion: what a run with no fixpoint early exit
+   executes, and exactly the historical fixed-count stage list *)
+let expand feats =
+  List.concat_map
+    (function
+      | Stage p -> [ p ]
+      | Round { max_rounds; passes } -> List.concat (List.init max_rounds (fun _ -> passes)))
+    (schedule feats)
 
-let run ?(validate = false) feats prog =
-  let prog, _mode =
-    List.fold_left
-      (fun (prog, mode) stage ->
-        let prog' = stage.apply prog in
-        (* the IR is pre-SSA until the ssa stage runs *)
-        let mode = if stage.stage_name = "ssa" then Dce_ir.Validate.Ssa else mode in
-        if validate then begin
-          match Dce_ir.Validate.program mode prog' with
-          | Ok () -> ()
-          | Error errs ->
-            failwith
-              (Printf.sprintf "pipeline stage %s broke the IR:\n%s" stage.stage_name
-                 (String.concat "\n" errs))
-        end;
-        (prog', mode))
-      (prog, Dce_ir.Validate.Pre_ssa)
-      (stages feats)
+let stage_names feats = List.map (fun p -> p.Passmgr.p_label) (expand feats)
+
+(* ------------------------------------------------------------------ *)
+(* execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ?(validate = false) feats prog =
+  let mgr = Passmgr.create prog in
+  (* the IR is pre-SSA until the ssa stage runs; its own output is already
+     in SSA form and is validated as such *)
+  let mode = ref Dce_ir.Validate.Pre_ssa in
+  let check label prog' =
+    if label = "ssa" then mode := Dce_ir.Validate.Ssa;
+    if validate then begin
+      match Dce_ir.Validate.program !mode prog' with
+      | Ok () -> ()
+      | Error errs ->
+        failwith
+          (Printf.sprintf "pipeline stage %s broke the IR:\n%s" label
+             (String.concat "\n" errs))
+    end
   in
-  prog
+  let trace = ref [] in
+  let prog =
+    List.fold_left
+      (fun prog section ->
+        match section with
+        | Stage pass ->
+          let prog, record = Passmgr.run_pass ~check mgr pass prog in
+          trace := record :: !trace;
+          prog
+        | Round { max_rounds; passes } ->
+          let prog, t = Passmgr.run_fixpoint ~check ~max_rounds mgr passes prog in
+          trace := List.rev_append t !trace;
+          prog)
+      prog (schedule feats)
+  in
+  (prog, List.rev !trace)
+
+let run ?validate feats prog = fst (run_traced ?validate feats prog)
+
+let run_reference feats prog =
+  (* the pre-pass-manager semantics, kept as a differential oracle: every
+     scheduled stage runs (no fixpoint exit) and nothing is cached (a fresh
+     manager per stage recomputes each analysis on the stage's input) *)
+  List.fold_left
+    (fun prog pass ->
+      let mgr = Passmgr.create prog in
+      fst (Passmgr.run_pass mgr pass prog))
+    prog (expand feats)

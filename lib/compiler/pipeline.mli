@@ -1,4 +1,5 @@
-(** The generic optimization pipeline, instantiated by a feature matrix.
+(** The generic optimization pipeline, instantiated by a feature matrix and
+    driven through the {!Passmgr} subsystem.
 
     Stage order (each stage gated/configured by {!Features.t}):
 
@@ -8,11 +9,20 @@
       the Listing 9b pass-ordering flaw: functions that later folding will
       orphan are no longer deleted;
     + inlining, vectorizer model;
-    + [opt_rounds] × the main round: SCCP → MemCP → GVN → VRP → peephole →
-      jump threading → DSE → DCE → SimplifyCFG;
+    + the main round — SCCP → MemCP → GVN → VRP → peephole → jump
+      threading → DCE → SimplifyCFG — iterated to a fixpoint, bounded by
+      [opt_rounds];
     + full unrolling, then another round (unrolled conditions need folding);
     + unswitching, then another round;
-    + late unreachable-function removal, final cleanup.
+    + late DSE, late unreachable-function removal, final cleanup.
+
+    Every pass executes under one {!Passmgr.t} per [run], so memory
+    analysis, predecessors, and dominators are computed once and reused
+    until a pass reports a change.  Rounds stop early once a whole round
+    leaves the IR unchanged; because every pass is a deterministic function
+    of the program, the skipped rounds could not have changed it either, so
+    the output is identical to the historical fixed-count schedule —
+    checked program-for-program by the [run_reference] differential test.
 
     [run] never changes observable behaviour: this is checked by the
     differential-interpretation tests and the qcheck property suite. *)
@@ -21,5 +31,19 @@ val run : ?validate:bool -> Features.t -> Dce_ir.Ir.program -> Dce_ir.Ir.program
 (** [validate] (default false) re-checks IR well-formedness after every
     stage and raises [Failure] naming the offending stage. *)
 
+val run_traced :
+  ?validate:bool -> Features.t -> Dce_ir.Ir.program -> Dce_ir.Ir.program * Passmgr.trace
+(** Like {!run}, also returning the per-stage trace: wall time, IR deltas,
+    and the markers each stage eliminated.  Consumed by
+    {!Dce_core.Diagnose} and [dce_hunt explain --trace]. *)
+
+val run_reference : Features.t -> Dce_ir.Ir.program -> Dce_ir.Ir.program
+(** The pre-pass-manager pipeline semantics, kept as a differential
+    oracle: the full static schedule with no fixpoint early exit, and a
+    fresh analysis computation for every stage (no caching).  Test-only;
+    {!run} must produce an identical program. *)
+
 val stage_names : Features.t -> string list
-(** The stages [run] would execute, in order (for [--explain] and tests). *)
+(** The maximal schedule [run] executes, in order (for [--explain] and
+    tests).  Fixpoint sections appear fully expanded; an actual run may
+    stop a round sequence early once the IR reaches a fixpoint. *)

@@ -7,6 +7,7 @@ type per_config = {
   surviving : Ir.Iset.t;
   missed : Ir.Iset.t;
   primary_missed : Ir.Iset.t;
+  cfg_trace : C.Passmgr.trace;
 }
 
 type t = {
@@ -37,7 +38,7 @@ let run ?compilers ?(levels = C.Level.all) ?fuel prog =
           List.map
             (fun level ->
               let cfg = { Differential.compiler; level; version = None } in
-              let surviving = Differential.surviving cfg instrumented in
+              let surviving, cfg_trace = Differential.surviving_traced cfg instrumented in
               let missed = Differential.missed ~surviving ~dead:truth.Ground_truth.dead in
               let primary_missed =
                 Primary.primary_missed graph ~alive:truth.Ground_truth.alive ~missed
@@ -48,6 +49,7 @@ let run ?compilers ?(levels = C.Level.all) ?fuel prog =
                 surviving;
                 missed;
                 primary_missed;
+                cfg_trace;
               })
             levels)
         compilers

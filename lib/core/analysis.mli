@@ -11,6 +11,9 @@ type per_config = {
   surviving : Dce_ir.Ir.Iset.t;
   missed : Dce_ir.Ir.Iset.t;          (** surviving ∩ dead *)
   primary_missed : Dce_ir.Ir.Iset.t;
+  cfg_trace : Dce_compiler.Passmgr.trace;
+      (** pipeline stage trace of this compile: which pass eliminated which
+          marker, with timing and IR deltas *)
 }
 
 type t = {

@@ -3,7 +3,12 @@ module F = C.Features
 
 type repair = { repair_name : string; repair_component : string; edit : F.t -> F.t }
 
-type t = { marker : int; diagnosis : repair option; tried : int }
+type t = {
+  marker : int;
+  guilty_stage : string option;
+  diagnosis : repair option;
+  tried : int;
+}
 
 let catalogue =
   [
@@ -106,22 +111,84 @@ let catalogue =
     };
   ]
 
-let eliminates feats prog marker =
-  let ir = Dce_ir.Lower.program prog in
-  let optimized = C.Pipeline.run feats ir in
-  let asm = Dce_backend.Codegen.program optimized in
-  not (Dce_backend.Asm.marker_survives asm marker)
+let component_of_stage = function
+  | "sccp" | "memcp" -> Some "Constant Propagation"
+  | "gvn" -> Some "Alias Analysis"
+  | "vrp" -> Some "Value Propagation"
+  | "peephole" -> Some "Peephole Optimizations"
+  | "jump-thread" -> Some "Jump Threading"
+  | "dse" -> Some "SSA Memory Analysis"
+  | "inline" -> Some "Inlining"
+  | "ipa-cp" | "function-dce" | "function-dce-early" | "inline-cleanup" ->
+    Some "Interprocedural Analyses"
+  | "unroll" | "unswitch" | "vectorize" | "loop-promote" -> Some "Loop Transformations"
+  | "dce" | "simplify-cfg" | "ssa" -> Some "Pass Management"
+  | _ -> None
+
+(* markers physically disappear in the cleanup passes; the interesting stage
+   is the nearest earlier change outside this set — the pass that proved the
+   marker's block dead, not the one that swept it up *)
+let cleanup = [ "dce"; "simplify-cfg"; "ssa" ]
+
+let trace_guilty trace ~marker =
+  match C.Passmgr.markers_eliminated_by trace ~marker with
+  | None -> None
+  | Some elim when not (List.mem elim.C.Passmgr.sr_label cleanup) ->
+    Some elim.C.Passmgr.sr_label
+  | Some elim ->
+    let rec enabler best = function
+      | [] -> best
+      | r :: _ when r == elim -> best
+      | r :: rest ->
+        let best =
+          if r.C.Passmgr.sr_changed && not (List.mem r.C.Passmgr.sr_label cleanup) then
+            Some r.C.Passmgr.sr_label
+          else best
+        in
+        enabler best rest
+    in
+    (match enabler None trace with
+     | Some label -> Some label
+     | None -> Some elim.C.Passmgr.sr_label)
 
 let run compiler level prog ~marker =
+  (* lower exactly once; every repair attempt re-optimizes the same IR *)
+  let ir = Dce_ir.Lower.program prog in
+  let eliminates feats =
+    let optimized = C.Pipeline.run feats ir in
+    let asm = Dce_backend.Codegen.program optimized in
+    not (Dce_backend.Asm.marker_survives asm marker)
+  in
   let base = C.Compiler.features compiler level in
+  (* the fully-fixed pipeline (every post-HEAD fix applied) eliminates the
+     marker iff the miss is a modeled bug; its stage trace then names the
+     pass that catches it — the component whose repairs we try first *)
+  let fixed =
+    C.Compiler.features compiler
+      ~version:(List.length compiler.C.Compiler.history)
+      level
+  in
+  let guilty =
+    if fixed = base then None
+    else
+      let _, trace = C.Pipeline.run_traced fixed ir in
+      trace_guilty trace ~marker
+  in
+  let ordered =
+    match Option.bind guilty component_of_stage with
+    | None -> catalogue
+    | Some comp ->
+      let first, rest = List.partition (fun r -> r.repair_component = comp) catalogue in
+      first @ rest
+  in
   let rec try_repairs tried = function
-    | [] -> { marker; diagnosis = None; tried }
+    | [] -> { marker; guilty_stage = guilty; diagnosis = None; tried }
     | r :: rest ->
-      if eliminates (r.edit base) prog marker then
-        { marker; diagnosis = Some r; tried = tried + 1 }
+      if eliminates (r.edit base) then
+        { marker; guilty_stage = guilty; diagnosis = Some r; tried = tried + 1 }
       else try_repairs (tried + 1) rest
   in
-  try_repairs 0 catalogue
+  try_repairs 0 ordered
 
 let signature t =
   match t.diagnosis with

@@ -4,7 +4,14 @@
     configuration that misses a marker, try a catalogue of single "repairs"
     (upgrade one feature of the pipeline) and report the first that makes the
     configuration eliminate the marker.  The repair's name doubles as a
-    deduplication signature for the reporting pipeline ({!Dce_report}). *)
+    deduplication signature for the reporting pipeline ({!Dce_report}).
+
+    Before falling back to brute catalogue order, the diagnosis consults the
+    {!Dce_compiler.Passmgr} stage trace of the {e fully-fixed} pipeline
+    (every post-HEAD fix applied): the stage that eliminates the marker
+    there names the guilty component, whose repairs are tried first.  The
+    program is lowered exactly once per {!run}; only the optimization
+    pipeline reruns per attempted repair. *)
 
 type repair = {
   repair_name : string;       (** e.g. ["gva:flow-sensitive"] *)
@@ -14,6 +21,11 @@ type repair = {
 
 type t = {
   marker : int;
+  guilty_stage : string option;
+      (** the stage of the fully-fixed pipeline that eliminates the marker
+          (cleanup stages are walked back to the enabling transform);
+          [None] when no fix history exists or the fixed pipeline misses
+          the marker too *)
   diagnosis : repair option;  (** [None]: no single-feature repair suffices *)
   tried : int;               (** repairs attempted *)
 }
@@ -33,3 +45,7 @@ val run :
 
 val signature : t -> string
 (** Deduplication key: the repair name, or ["unknown"]. *)
+
+val component_of_stage : string -> string option
+(** The catalogue component a pipeline stage label belongs to, e.g.
+    ["sccp"] → ["Constant Propagation"]. *)

@@ -9,11 +9,13 @@ let config_name cfg =
   | None -> base
   | Some v -> Printf.sprintf "%s @v%d" base v
 
-let surviving cfg prog =
-  let markers =
-    C.Compiler.surviving_markers cfg.compiler ?version:cfg.version cfg.level prog
+let surviving_traced cfg prog =
+  let markers, trace =
+    C.Compiler.surviving_markers_traced cfg.compiler ?version:cfg.version cfg.level prog
   in
-  List.fold_left (fun s n -> Ir.Iset.add n s) Ir.Iset.empty markers
+  (List.fold_left (fun s n -> Ir.Iset.add n s) Ir.Iset.empty markers, trace)
+
+let surviving cfg prog = fst (surviving_traced cfg prog)
 
 let missed ~surviving ~dead = Ir.Iset.inter surviving dead
 

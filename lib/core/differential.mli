@@ -18,6 +18,11 @@ val config_name : config -> string
 val surviving : config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t
 (** Compile the instrumented program and scan the assembly. *)
 
+val surviving_traced :
+  config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t * Dce_compiler.Passmgr.trace
+(** Like {!surviving}, also returning the pipeline stage trace — which pass
+    eliminated which marker, with timing and IR deltas. *)
+
 val missed :
   surviving:Dce_ir.Ir.Iset.t -> dead:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
 (** Markers the configuration kept although they are dead. *)

@@ -144,6 +144,11 @@ let instr_count fn =
 let program_instr_count prog =
   List.fold_left (fun acc fn -> acc + instr_count fn) 0 prog.prog_funcs
 
+let block_count fn = Imap.cardinal fn.fn_blocks
+
+let program_block_count prog =
+  List.fold_left (fun acc fn -> acc + block_count fn) 0 prog.prog_funcs
+
 let iter_instrs f fn =
   Imap.iter (fun l b -> List.iter (fun i -> f l i) b.b_instrs) fn.fn_blocks
 

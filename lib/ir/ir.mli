@@ -127,6 +127,11 @@ val instr_count : func -> int
 
 val program_instr_count : program -> int
 
+val block_count : func -> int
+(** Number of basic blocks (unreachable ones included). *)
+
+val program_block_count : program -> int
+
 val iter_instrs : (label -> instr -> unit) -> func -> unit
 (** Iterates in increasing label order; deterministic. *)
 

@@ -33,3 +33,5 @@ let run fn =
   { fn with fn_blocks = blocks }
 
 let run_program prog = { prog with prog_funcs = List.map run prog.prog_funcs }
+
+let info = Passinfo.v ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "dce"

@@ -119,3 +119,5 @@ let run config info ~is_main fn =
     let blocks = Imap.mapi process_block fn.fn_blocks in
     { fn with fn_blocks = blocks }
   end
+
+let info = Passinfo.v ~requires:[ Passinfo.Meminfo ] ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "dse"

@@ -27,3 +27,5 @@ let run prog =
       prog.prog_syms
   in
   { prog with prog_funcs = funcs; prog_syms = syms }
+
+let info = Passinfo.v "function-dce"

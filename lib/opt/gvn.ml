@@ -48,8 +48,10 @@ let pure_key rv =
   | Op _ | Load _ | Phi _ -> None
 
 (* dominator-scoped CSE *)
-let cse fn =
-  let dom = Dom.compute fn in
+let cse ?dom fn =
+  (* copy_prop/forwarding never touch successor labels, so a dominator tree
+     computed on the pass's input function is still exact here *)
+  let dom = match dom with Some f -> f () | None -> Dom.compute fn in
   let table : (rvalue, var) Hashtbl.t = Hashtbl.create 64 in
   let blocks = ref fn.fn_blocks in
   let rec walk l =
@@ -141,10 +143,12 @@ let forward config info fn =
   in
   { fn with fn_blocks = blocks }
 
-let run config info fn =
+let run ?dom config info fn =
   let fn = copy_prop fn in
   let fn = if config.load_forward then forward config info fn else fn in
   (* forwarding introduces fresh copies; canonicalize again before CSE *)
   let fn = if config.load_forward then copy_prop fn else fn in
-  let fn = if config.cse then cse fn else fn in
+  let fn = if config.cse then cse ?dom fn else fn in
   fn
+
+let info = Passinfo.v ~requires:[ Passinfo.Meminfo; Passinfo.Dominators ] ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "gvn"

@@ -17,4 +17,10 @@ type config = {
 
 val default_config : config
 
-val run : config -> Meminfo.t -> Dce_ir.Ir.func -> Dce_ir.Ir.func
+val run :
+  ?dom:(unit -> Dce_ir.Dom.t) -> config -> Meminfo.t -> Dce_ir.Ir.func -> Dce_ir.Ir.func
+(** [dom], when provided, supplies a (possibly cached) dominator tree for the
+    input function instead of recomputing one for the CSE walk. *)
+
+val info : Passinfo.t
+(** Pass-manager registration: consumes {!Meminfo} and dominators; rewrites defs and terminator operands only (never labels). *)

@@ -236,3 +236,5 @@ let run config prog =
   in
   let funcs = List.map inline_into !prog_ref.prog_funcs in
   { !prog_ref with prog_funcs = funcs }
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg ] "inline"

@@ -64,3 +64,5 @@ let run prog =
       prog.prog_funcs
   in
   { prog with prog_funcs = funcs }
+
+let info = Passinfo.v ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "ipa-cp"

@@ -168,3 +168,5 @@ let run config fn =
     in
     attempt fn config.max_threads
   end
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg ] "jump-thread"

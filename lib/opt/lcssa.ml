@@ -125,3 +125,5 @@ let close_loop fn (loop : Loops.loop) =
       end
     | _ -> None
   end
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg ] ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "lcssa"

@@ -1,0 +1,17 @@
+type analysis = Meminfo | Cfg | Dominators
+
+type t = {
+  pass_name : string;
+  requires : analysis list;
+  preserves : analysis list;
+}
+
+let v ?(requires = []) ?(preserves = []) pass_name = { pass_name; requires; preserves }
+
+let preserves t a = List.mem a t.preserves
+let requires t a = List.mem a t.requires
+
+let analysis_name = function
+  | Meminfo -> "meminfo"
+  | Cfg -> "cfg"
+  | Dominators -> "dom"

@@ -150,3 +150,5 @@ let run config fn =
     fn := { !fn with fn_blocks = blocks }
   done;
   !fn
+
+let info = Passinfo.v ~preserves:[ Passinfo.Cfg; Passinfo.Dominators ] "peephole"

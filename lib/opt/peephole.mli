@@ -19,3 +19,6 @@ type config = { level : int }
 val default_config : config
 
 val run : config -> Dce_ir.Ir.func -> Dce_ir.Ir.func
+
+val info : Passinfo.t
+(** Pass-manager registration: rewrites def rvalues only, so CFG-shape analyses stay exact. *)

@@ -185,3 +185,5 @@ let run config info fn =
     end
   in
   attempt fn
+
+let info = Passinfo.v ~requires:[ Passinfo.Meminfo; Passinfo.Cfg; Passinfo.Dominators ] "loop-promote"

@@ -199,3 +199,5 @@ let run config info fn =
     (* folded branches removed edges: restore the phi/CFG invariant *)
     Cfg.prune_phi_args { fn with fn_blocks = blocks }
   end
+
+let info = Passinfo.v ~requires:[ Passinfo.Meminfo ] "sccp"

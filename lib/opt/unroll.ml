@@ -286,3 +286,5 @@ let run config fn =
     end
   in
   attempt fn 8
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg ] "unroll"

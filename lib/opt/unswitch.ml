@@ -238,3 +238,5 @@ let run config info fn =
     end
   in
   attempt fn 6
+
+let info = Passinfo.v ~requires:[ Passinfo.Meminfo; Passinfo.Cfg ] "unswitch"

@@ -95,3 +95,5 @@ let run config prog =
           ];
     }
   else prog
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg ] "vectorize"

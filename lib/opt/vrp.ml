@@ -216,12 +216,12 @@ let refinements_at config an fn dom preds l =
   in
   walk l Imap.empty
 
-let run config fn =
+let run ?dom ?preds config fn =
   if Imap.cardinal fn.fn_blocks > config.block_limit then fn
   else begin
     let an = compute_base config fn in
-    let dom = Dom.compute fn in
-    let preds = Cfg.predecessors fn in
+    let dom = match dom with Some f -> f () | None -> Dom.compute fn in
+    let preds = match preds with Some f -> f () | None -> Cfg.predecessors fn in
     let reach = Cfg.reachable fn in
     let changed = ref false in
     let blocks =
@@ -284,3 +284,5 @@ let run config fn =
     in
     if !changed then Cfg.prune_phi_args { fn with fn_blocks = blocks } else fn
   end
+
+let info = Passinfo.v ~requires:[ Passinfo.Cfg; Passinfo.Dominators ] "vrp"

@@ -22,4 +22,14 @@ type config = {
 
 val default_config : config
 
-val run : config -> Dce_ir.Ir.func -> Dce_ir.Ir.func
+val run :
+  ?dom:(unit -> Dce_ir.Dom.t) ->
+  ?preds:(unit -> Dce_ir.Ir.label list Dce_ir.Ir.Imap.t) ->
+  config ->
+  Dce_ir.Ir.func ->
+  Dce_ir.Ir.func
+(** [dom]/[preds], when provided, supply (possibly cached) CFG analyses for
+    the input function instead of recomputing them. *)
+
+val info : Passinfo.t
+(** Pass-manager registration: consumes predecessors and dominators; folds branches, so no analysis survives a change. *)

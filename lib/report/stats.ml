@@ -25,6 +25,13 @@ type finding = {
   f_primary : bool;
 }
 
+type pass_totals = {
+  pt_compiler : string;
+  pt_level : C.Level.t;
+  pt_stage : string;
+  pt_markers : int;
+}
+
 type t = {
   programs : int;
   rejected : int;
@@ -32,6 +39,7 @@ type t = {
   alive_markers : int;
   dead_markers : int;
   per_config : config_totals list;
+  per_pass : pass_totals list;
   cross_compiler : diff_pair list;
   level_regressions : diff_pair list;
   findings : finding list;
@@ -47,6 +55,7 @@ let collect outcomes =
   let alive_markers = ref 0 in
   let dead_markers = ref 0 in
   let per_config : (string * C.Level.t, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let per_pass : (string * C.Level.t * string, int) Hashtbl.t = Hashtbl.create 64 in
   let cross : (string * string, int * int) Hashtbl.t = Hashtbl.create 8 in
   let level_reg : (string * string, int * int) Hashtbl.t = Hashtbl.create 8 in
   let findings = ref [] in
@@ -69,7 +78,16 @@ let collect outcomes =
             add per_config
               (pc.Core.Analysis.cfg_compiler, pc.Core.Analysis.cfg_level)
               ( Ir.Iset.cardinal pc.Core.Analysis.missed,
-                Ir.Iset.cardinal pc.Core.Analysis.primary_missed ))
+                Ir.Iset.cardinal pc.Core.Analysis.primary_missed );
+            (* which pass eliminated how many markers, from the stage trace *)
+            List.iter
+              (fun (stage, markers) ->
+                let key =
+                  (pc.Core.Analysis.cfg_compiler, pc.Core.Analysis.cfg_level, stage)
+                in
+                let n = Option.value ~default:0 (Hashtbl.find_opt per_pass key) in
+                Hashtbl.replace per_pass key (n + List.length markers))
+              (C.Passmgr.attribution pc.Core.Analysis.cfg_trace))
           a.Core.Analysis.configs;
         (* cross-compiler differential at -O3 *)
         let find name level = Core.Analysis.find_config a name level in
@@ -143,6 +161,16 @@ let collect outcomes =
              (a.ct_compiler, C.Level.compare_strength a.ct_level b.ct_level)
              (b.ct_compiler, 0))
   in
+  let per_pass =
+    Hashtbl.fold
+      (fun (c, l, s) n acc ->
+        { pt_compiler = c; pt_level = l; pt_stage = s; pt_markers = n } :: acc)
+      per_pass []
+    |> List.sort (fun a b ->
+           compare
+             (a.pt_compiler, C.Level.to_string a.pt_level, -a.pt_markers, a.pt_stage)
+             (b.pt_compiler, C.Level.to_string b.pt_level, -b.pt_markers, b.pt_stage))
+  in
   let pairs tbl =
     Hashtbl.fold
       (fun (l, r) (m, p) acc ->
@@ -157,6 +185,7 @@ let collect outcomes =
     alive_markers = !alive_markers;
     dead_markers = !dead_markers;
     per_config;
+    per_pass;
     cross_compiler = pairs cross;
     level_regressions = pairs level_reg;
     findings = List.rev !findings;
@@ -189,6 +218,35 @@ let prevalence t =
     t.programs t.rejected t.total_markers
     (Tables.pct t.dead_markers t.total_markers)
     (Tables.pct t.alive_markers t.total_markers)
+
+let attribution_table ?(level = C.Level.O3) t =
+  let stages =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun pt -> if pt.pt_level = level then Some pt.pt_stage else None)
+         t.per_pass)
+  in
+  let count comp stage =
+    match
+      List.find_opt
+        (fun pt -> pt.pt_compiler = comp && pt.pt_level = level && pt.pt_stage = stage)
+        t.per_pass
+    with
+    | Some pt -> string_of_int pt.pt_markers
+    | None -> "0"
+  in
+  let total = function
+    | [ _; g; l ] -> int_of_string g + int_of_string l
+    | _ -> 0
+  in
+  let rows =
+    (* most productive stage first, by the combined count *)
+    List.map (fun s -> [ s; count "gcc-sim" s; count "llvm-sim" s ]) stages
+    |> List.sort (fun a b -> compare (total b, a) (total a, b))
+  in
+  Tables.render
+    ~header:[ Printf.sprintf "Stage (%s)" (C.Level.to_string level); "gcc-sim"; "llvm-sim" ]
+    rows
 
 let differential_summary t =
   let buf = Buffer.create 256 in

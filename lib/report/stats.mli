@@ -30,6 +30,15 @@ type finding = {
   f_primary : bool;
 }
 
+(** markers a pipeline stage eliminated, aggregated over the corpus from
+    the {!Dce_compiler.Passmgr} stage traces *)
+type pass_totals = {
+  pt_compiler : string;
+  pt_level : Dce_compiler.Level.t;
+  pt_stage : string;
+  pt_markers : int;
+}
+
 type t = {
   programs : int;
   rejected : int;
@@ -37,6 +46,8 @@ type t = {
   alive_markers : int;
   dead_markers : int;
   per_config : config_totals list;
+  per_pass : pass_totals list;
+      (** per configuration, markers eliminated per stage, largest first *)
   cross_compiler : diff_pair list;   (** both directions at -O3 *)
   level_regressions : diff_pair list;
       (** per compiler: missed at -O3 but eliminated at -O1 or -O2 *)
@@ -59,3 +70,7 @@ val prevalence : t -> string
 
 val differential_summary : t -> string
 (** §4.2 numbers: cross-compiler and cross-level missed counts. *)
+
+val attribution_table : ?level:Dce_compiler.Level.t -> t -> string
+(** Markers eliminated per pipeline stage per compiler at [level] (default
+    -O3), most productive stage first. *)

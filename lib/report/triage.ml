@@ -8,6 +8,7 @@ type report = {
   r_level : C.Level.t;
   r_signature : string;
   r_component : string option;
+  r_guilty_stage : string option;
   r_status : status;
   r_occurrences : int;
   r_example_program : int;
@@ -31,25 +32,28 @@ let triage ~programs findings =
   (* cluster findings by (compiler, diagnosis signature); diagnose once per
      finding but reuse per-cluster results where possible *)
   let clusters : (string * string, Stats.finding list ref) Hashtbl.t = Hashtbl.create 32 in
-  let diag_cache : (string * int * int, string) Hashtbl.t = Hashtbl.create 64 in
+  let diag_cache : (string * int * int, string * string option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let diagnose (f : Stats.finding) =
+    let key = (f.Stats.f_compiler, f.Stats.f_program, f.Stats.f_marker) in
+    match Hashtbl.find_opt diag_cache key with
+    | Some r -> r
+    | None ->
+      let prog = programs.(f.Stats.f_program) in
+      let d =
+        Core.Diagnose.run
+          (compiler_of_name f.Stats.f_compiler)
+          f.Stats.f_level prog ~marker:f.Stats.f_marker
+      in
+      let r = (Core.Diagnose.signature d, d.Core.Diagnose.guilty_stage) in
+      Hashtbl.replace diag_cache key r;
+      r
+  in
   List.iter
     (fun (f : Stats.finding) ->
       if f.Stats.f_primary then begin
-        let key = (f.Stats.f_compiler, f.Stats.f_program, f.Stats.f_marker) in
-        let signature =
-          match Hashtbl.find_opt diag_cache key with
-          | Some s -> s
-          | None ->
-            let prog = programs.(f.Stats.f_program) in
-            let d =
-              Core.Diagnose.run
-                (compiler_of_name f.Stats.f_compiler)
-                f.Stats.f_level prog ~marker:f.Stats.f_marker
-            in
-            let s = Core.Diagnose.signature d in
-            Hashtbl.replace diag_cache key s;
-            s
-        in
+        let signature, _guilty = diagnose f in
         let ckey = (f.Stats.f_compiler, signature) in
         match Hashtbl.find_opt clusters ckey with
         | Some r -> r := f :: !r
@@ -66,6 +70,7 @@ let triage ~programs findings =
     (fun (comp, signature) fs acc ->
       let fs = List.rev !fs in
       let example = List.hd fs in
+      let _, guilty = diagnose example in
       let compiler = compiler_of_name comp in
       let full_version = List.length compiler.C.Compiler.history in
       let prog = programs.(example.Stats.f_program) in
@@ -86,6 +91,7 @@ let triage ~programs findings =
         r_level = example.Stats.f_level;
         r_signature = signature;
         r_component = component_of_signature signature;
+        r_guilty_stage = guilty;
         r_status = status;
         r_occurrences = List.length fs;
         r_example_program = example.Stats.f_program;

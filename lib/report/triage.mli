@@ -23,6 +23,9 @@ type report = {
   r_level : Dce_compiler.Level.t;
   r_signature : string;     (** dedup key from {!Dce_core.Diagnose} *)
   r_component : string option;
+  r_guilty_stage : string option;
+      (** stage of the fixed pipeline that eliminates the example marker
+          (from the {!Dce_compiler.Passmgr} stage trace via diagnosis) *)
   r_status : status;
   r_occurrences : int;       (** findings collapsed into this report *)
   r_example_program : int;   (** corpus index of a witness *)

@@ -1,0 +1,295 @@
+(* The pass-manager subsystem: analysis caching and invalidation, fixpoint
+   early exit, stage-trace marker attribution, and the differential against
+   the pre-pass-manager reference pipeline. *)
+
+open Helpers
+module Pm = C.Passmgr
+module Pi = Dce_opt.Passinfo
+module Mi = Dce_opt.Meminfo
+
+(* ---- custom passes used to exercise invalidation ---- *)
+
+(* deletes every store: changes Meminfo's stored/const-store facts *)
+let strip_stores_pass =
+  Pm.make_pass (Pi.v "strip-stores") (fun _mgr prog ->
+      Ir.map_func
+        (fun fn ->
+          {
+            fn with
+            Ir.fn_blocks =
+              Ir.Imap.map
+                (fun b ->
+                  {
+                    b with
+                    Ir.b_instrs =
+                      List.filter
+                        (function Ir.Store _ -> false | _ -> true)
+                        b.Ir.b_instrs;
+                  })
+                fn.Ir.fn_blocks;
+          })
+        prog)
+
+(* rewrites every conditional branch to its true edge: changes predecessors
+   and dominators without touching the block set *)
+let force_jmp_pass =
+  Pm.make_pass (Pi.v "force-jmp") (fun _mgr prog ->
+      Ir.map_func
+        (fun fn ->
+          {
+            fn with
+            Ir.fn_blocks =
+              Ir.Imap.map
+                (fun b ->
+                  {
+                    b with
+                    Ir.b_term =
+                      (match b.Ir.b_term with
+                       | Ir.Br (_, lt, _) -> Ir.Jmp lt
+                       | t -> t);
+                  })
+                fn.Ir.fn_blocks;
+          })
+        prog)
+
+(* ---- analysis cache ---- *)
+
+let test_meminfo_counters () =
+  Pm.reset_counters ();
+  let prog = lower "static int g = 1; int main(void) { g = 2; return g; }" in
+  let mgr = Pm.create prog in
+  ignore (Pm.meminfo mgr);
+  ignore (Pm.meminfo mgr);
+  let c = Pm.counters () in
+  Alcotest.(check int) "one computation" 1 c.Pm.meminfo_misses;
+  Alcotest.(check int) "one cache hit" 1 c.Pm.meminfo_hits
+
+let test_meminfo_invalidation () =
+  let prog = lower "static int g = 1; int main(void) { g = 2; return g; }" in
+  let mgr = Pm.create prog in
+  let mi0 = Pm.meminfo mgr in
+  Alcotest.(check bool) "g is stored before the pass" true (Mi.ever_stored mi0 "g");
+  let prog', record = Pm.run_pass mgr strip_stores_pass prog in
+  Alcotest.(check bool) "the pass changed the program" true record.Pm.sr_changed;
+  (* the cached Meminfo must be indistinguishable from a fresh analysis of
+     the post-pass program — stale facts must never be observable *)
+  let cached = Pm.meminfo mgr in
+  let fresh = Mi.analyze prog' in
+  Alcotest.(check bool) "ever_stored agrees with fresh analysis"
+    (Mi.ever_stored fresh "g") (Mi.ever_stored cached "g");
+  Alcotest.(check bool) "stores_only_init_consts agrees with fresh analysis"
+    (Mi.stores_only_init_consts fresh "g")
+    (Mi.stores_only_init_consts cached "g");
+  Alcotest.(check bool) "escaped agrees with fresh analysis" (Mi.escaped fresh "g")
+    (Mi.escaped cached "g");
+  Alcotest.(check bool) "the store deletion is visible" false (Mi.ever_stored cached "g")
+
+let test_cfg_invalidation () =
+  let prog =
+    lower "int main(void) { int x = ext(0); if (x) { use(1); } else { use(2); } return 0; }"
+  in
+  let mgr = Pm.create prog in
+  let main0 = List.find (fun f -> f.Ir.fn_name = "main") prog.Ir.prog_funcs in
+  ignore (Pm.predecessors mgr main0);
+  ignore (Pm.dominators mgr main0);
+  let prog', record = Pm.run_pass mgr force_jmp_pass prog in
+  Alcotest.(check bool) "the pass changed the program" true record.Pm.sr_changed;
+  let main' = List.find (fun f -> f.Ir.fn_name = "main") prog'.Ir.prog_funcs in
+  let cached_preds = Pm.predecessors mgr main' in
+  let fresh_preds = Dce_ir.Cfg.predecessors main' in
+  let cached_dom = Pm.dominators mgr main' in
+  let fresh_dom = Dce_ir.Dom.compute main' in
+  Ir.Imap.iter
+    (fun l _ ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "predecessors of block %d agree with fresh analysis" l)
+        (Option.value ~default:[] (Ir.Imap.find_opt l fresh_preds))
+        (Option.value ~default:[] (Ir.Imap.find_opt l cached_preds));
+      Alcotest.(check (option int))
+        (Printf.sprintf "idom of block %d agrees with fresh analysis" l)
+        (Dce_ir.Dom.idom fresh_dom l)
+        (Dce_ir.Dom.idom cached_dom l))
+    main'.Ir.fn_blocks
+
+let test_pipeline_cache_hits () =
+  Pm.reset_counters ();
+  let src =
+    {|
+int a;
+int b[2];
+int main(void) {
+  int i = 0;
+  int s = 0;
+  for (i = 0; i < 8; i = i + 1) { s = s + b[i % 2]; }
+  if (&a == &b[1]) { DCEMarker0(); }
+  return s;
+}
+|}
+  in
+  ignore (surviving "gcc" C.Level.O3 src);
+  let c = Pm.counters () in
+  Alcotest.(check bool) "meminfo served from cache at least once" true (c.Pm.meminfo_hits > 0);
+  Alcotest.(check bool) "meminfo computed at least once" true (c.Pm.meminfo_misses > 0);
+  let rate = Pm.hit_rate c in
+  Alcotest.(check bool) "hit rate strictly between 0 and 1" true (rate > 0.0 && rate < 1.0)
+
+(* ---- fixpoint driving ---- *)
+
+let test_fixpoint_early_exit () =
+  let feats = C.Compiler.features C.Gcc_sim.compiler C.Level.O3 in
+  Alcotest.(check bool) "several rounds are scheduled" true (feats.C.Features.opt_rounds >= 2);
+  (* nothing to optimize: every round after the first is provably a no-op *)
+  let prog = lower "int main(void) { return 0; }" in
+  let _, trace = C.Pipeline.run_traced feats prog in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %s did not run a second round" r.Pm.sr_label)
+        true (r.Pm.sr_round <= 1))
+    trace;
+  Alcotest.(check bool) "early exit shortens the executed schedule" true
+    (List.length trace < List.length (C.Pipeline.stage_names feats))
+
+let test_stage_names_static () =
+  (* the advertised schedule is the static expansion and ignores early exit *)
+  List.iter
+    (fun level ->
+      let feats = C.Compiler.features C.Gcc_sim.compiler level in
+      let names = C.Pipeline.stage_names feats in
+      Alcotest.(check bool)
+        (Printf.sprintf "schedule at %s is non-empty" (C.Level.to_string level))
+        true (names <> []);
+      Alcotest.(check (list string))
+        (Printf.sprintf "schedule at %s is deterministic" (C.Level.to_string level))
+        names
+        (C.Pipeline.stage_names feats))
+    C.Level.all
+
+(* ---- stage-trace marker attribution ---- *)
+
+let listing3 =
+  {|
+char a;
+char b[2];
+int main(void) {
+  char *c = &a;
+  char *d = &b[1];
+  if (c == d) { DCEMarker0(); }
+  return 0;
+}
+|}
+
+let listing4 =
+  {|
+static int a = 0;
+int main(void) {
+  if (a) { DCEMarker0(); }
+  a = 0;
+  return 0;
+}
+|}
+
+let check_attribution ~src ~eliminator ~misser =
+  let prog = parse src in
+  let surv_e, trace_e =
+    C.Compiler.surviving_markers_traced (compiler_named eliminator) C.Level.O3 prog
+  in
+  Alcotest.(check bool)
+    (eliminator ^ " eliminates marker 0")
+    false (List.mem 0 surv_e);
+  (match Pm.markers_eliminated_by trace_e ~marker:0 with
+   | Some r ->
+     Alcotest.(check bool)
+       (Printf.sprintf "%s records the elimination in a changed stage (%s)" eliminator
+          r.Pm.sr_label)
+       true r.Pm.sr_changed
+   | None -> Alcotest.failf "%s trace does not attribute marker 0" eliminator);
+  let surv_m, trace_m =
+    C.Compiler.surviving_markers_traced (compiler_named misser) C.Level.O3 prog
+  in
+  Alcotest.(check bool) (misser ^ " keeps marker 0") true (List.mem 0 surv_m);
+  Alcotest.(check bool)
+    (misser ^ " trace attributes no elimination")
+    true
+    (Pm.markers_eliminated_by trace_m ~marker:0 = None)
+
+let test_attribution_listing3 () =
+  check_attribution ~src:listing3 ~eliminator:"gcc" ~misser:"llvm"
+
+let test_attribution_listing4 () =
+  check_attribution ~src:listing4 ~eliminator:"llvm" ~misser:"gcc"
+
+let test_diagnose_guilty_stage () =
+  (* llvm misses Listing 3's marker; its fully-fixed pipeline (addr_cmp
+     upgraded post-HEAD) folds the compare in sccp, so the trace walk-back
+     must name sccp, not the simplify-cfg pass that swept the block *)
+  let instr =
+    Core.Instrument.program
+      (parse
+         {|
+int a;
+int b[2];
+int main(void) {
+  if (&a == &b[1]) { use(1); }
+  return 0;
+}
+|})
+  in
+  let d = Core.Diagnose.run C.Llvm_sim.compiler C.Level.O3 instr ~marker:0 in
+  Alcotest.(check (option string)) "guilty stage is sccp" (Some "sccp")
+    d.Core.Diagnose.guilty_stage;
+  Alcotest.(check string) "repair signature unchanged" "addr-cmp:full"
+    (Core.Diagnose.signature d);
+  Alcotest.(check (option string)) "sccp maps to the constant-propagation component"
+    (Some "Constant Propagation")
+    (Core.Diagnose.component_of_stage "sccp")
+
+(* ---- differential against the reference pipeline, validated smoke ---- *)
+
+let test_matches_reference_corpus () =
+  let corpus = Dce_smith.Smith.generate_corpus ~seed:20220228 ~count:50 in
+  List.iter
+    (fun (raw, _kinds) ->
+      let ir = Dce_ir.Lower.program (Core.Instrument.program raw) in
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun level ->
+              let feats = C.Compiler.features compiler level in
+              let fast = C.Pipeline.run feats ir in
+              let slow = C.Pipeline.run_reference feats ir in
+              if fast <> slow then
+                Alcotest.failf "cached fixpoint pipeline diverges from reference: %s %s"
+                  compiler.C.Compiler.name (C.Level.to_string level))
+            C.Level.all)
+        [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ])
+    corpus
+
+let test_validated_smoke_corpus () =
+  (* every stage output of every compile re-checked by the IR validator *)
+  let corpus = Dce_smith.Smith.generate_corpus ~seed:424242 ~count:25 in
+  List.iter
+    (fun (raw, _kinds) ->
+      let instr = Core.Instrument.program raw in
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun level -> ignore (C.Compiler.compile compiler ~validate:true level instr))
+            C.Level.all)
+        [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ])
+    corpus
+
+let suite =
+  [
+    ("meminfo: hit/miss counters", `Quick, test_meminfo_counters);
+    ("meminfo: invalidated after a mutating pass", `Quick, test_meminfo_invalidation);
+    ("cfg/dom: invalidated after a terminator rewrite", `Quick, test_cfg_invalidation);
+    ("pipeline: analysis cache hits during a compile", `Quick, test_pipeline_cache_hits);
+    ("fixpoint: early exit on already-optimal IR", `Quick, test_fixpoint_early_exit);
+    ("schedule: stage names are the static expansion", `Quick, test_stage_names_static);
+    ("trace: listing-3 attribution (gcc eliminates)", `Quick, test_attribution_listing3);
+    ("trace: listing-4 attribution (llvm eliminates)", `Quick, test_attribution_listing4);
+    ("diagnose: guilty stage from the fixed pipeline", `Quick, test_diagnose_guilty_stage);
+    ("differential: run = run_reference on 50 programs", `Slow, test_matches_reference_corpus);
+    ("smoke: validated pipeline over 25 programs", `Slow, test_validated_smoke_corpus);
+  ]

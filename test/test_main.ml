@@ -8,6 +8,7 @@ let () =
       ("passes", Suite_passes.suite);
       ("loop-passes", Suite_loop_passes.suite);
       ("compiler", Suite_compiler.suite);
+      ("passmgr", Suite_passmgr.suite);
       ("core", Suite_core.suite);
       ("backend", Suite_backend.suite);
       ("smith", Suite_smith.suite);
