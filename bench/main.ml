@@ -14,11 +14,19 @@ module Core = Dce_core
 module Ir = Dce_ir.Ir
 module Smith = Dce_smith.Smith
 module R = Dce_report
+module Campaign = Dce_campaign
 
 let corpus_size =
   match Sys.getenv_opt "DCE_BENCH_PROGRAMS" with
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 150)
   | None -> 150
+
+(* worker domains for the campaign engine; results are identical for any
+   value (deterministic sharding), so this only changes wall-clock *)
+let jobs =
+  match Sys.getenv_opt "DCE_BENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
 
 let section title =
   Printf.printf "\n=== %s ===\n" title
@@ -27,25 +35,13 @@ let section title =
 (* corpus and analysis (shared by all tables)                          *)
 (* ------------------------------------------------------------------ *)
 
-let corpus = lazy (Smith.generate_corpus ~seed:20220228 ~count:corpus_size)
+let campaign = lazy (Campaign.Corpus.run ~jobs ~seed:20220228 ~count:corpus_size ())
 
-let analyses =
-  lazy
-    (List.map
-       (fun (prog, _kinds) -> (Core.Analysis.run prog, prog))
-       (Lazy.force corpus))
+let analyses = lazy (List.map snd (Campaign.Corpus.outcomes (Lazy.force campaign)))
 
-let stats = lazy (R.Stats.collect (Lazy.force analyses))
+let stats = lazy (Campaign.Corpus.stats (Lazy.force campaign))
 
-let instrumented_programs =
-  lazy
-    (Array.of_list
-       (List.map
-          (fun (outcome, raw) ->
-            match outcome with
-            | Core.Analysis.Analyzed a -> a.Core.Analysis.instrumented
-            | Core.Analysis.Rejected _ -> Core.Instrument.program raw)
-          (Lazy.force analyses)))
+let instrumented_programs = lazy (Campaign.Corpus.instrumented_programs (Lazy.force campaign))
 
 (* ------------------------------------------------------------------ *)
 (* §4.1 prevalence + Tables 1/2                                        *)
@@ -85,6 +81,16 @@ let print_passmgr () =
   Printf.printf "overall cache hit rate: %.1f%%\n" (100.0 *. C.Passmgr.hit_rate c);
   print_endline "Markers eliminated per stage at -O3 (stage-trace attribution):";
   print_string (R.Stats.attribution_table st)
+
+let print_campaign_metrics () =
+  section
+    (Printf.sprintf "Campaign engine: %d worker domain(s), per-stage wall-time percentiles" jobs);
+  let c = Lazy.force campaign in
+  print_string (Campaign.Metrics.to_string c.Campaign.Corpus.c_metrics);
+  if c.Campaign.Corpus.c_quarantine <> [] then begin
+    Printf.printf "%d case(s) quarantined:\n" (List.length c.Campaign.Corpus.c_quarantine);
+    print_string (Campaign.Corpus.quarantine_to_string c)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* §4.2 differentials                                                  *)
@@ -291,47 +297,10 @@ int main(void) {
 
 let print_value_checks () =
   section "Extension (§4.4): value checks after loops — % checks missed";
-  let sample = Dce_support.Listx.take 60 (Lazy.force corpus) in
-  let total = ref 0 in
-  let missed : (string * C.Level.t, int) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (prog, _) ->
-      match Core.Value_instrument.instrument prog with
-      | None -> ()
-      | Some (vi, stats) ->
-        if stats.Core.Value_instrument.checks_planted > 0 then begin
-          match Core.Ground_truth.compute vi with
-          | Core.Ground_truth.Rejected _ -> ()
-          | Core.Ground_truth.Valid truth ->
-            total := !total + Ir.Iset.cardinal truth.Core.Ground_truth.all;
-            List.iter
-              (fun compiler ->
-                List.iter
-                  (fun level ->
-                    let surv = C.Compiler.surviving_markers compiler level vi in
-                    let n = List.length surv in
-                    let key = (compiler.C.Compiler.name, level) in
-                    Hashtbl.replace missed key
-                      (n + Option.value ~default:0 (Hashtbl.find_opt missed key)))
-                  C.Level.all)
-              [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
-        end)
-    sample;
-  Printf.printf "%d value checks planted over %d programs (all dead by construction)
-" !total
-    (List.length sample);
-  print_string
-    (R.Tables.render
-       ~header:[ "Level"; "gcc-sim"; "llvm-sim" ]
-       (List.map
-          (fun level ->
-            let cell comp =
-              R.Tables.pct
-                (Option.value ~default:0 (Hashtbl.find_opt missed (comp, level)))
-                !total
-            in
-            [ C.Level.to_string level; cell "gcc-sim"; cell "llvm-sim" ])
-          C.Level.all));
+  let v =
+    Campaign.Corpus.run_value ~jobs ~seed:20220228 ~count:(min 60 corpus_size) ()
+  in
+  print_string (Campaign.Corpus.value_table v);
   print_endline
     "(the paper proposes this mode as future work; checks probe scalar-evolution reasoning,";
   print_endline
@@ -454,6 +423,7 @@ let () =
   print_table2 ();
   print_differentials ();
   print_passmgr ();
+  print_campaign_metrics ();
   print_tables34 ();
   print_table5 ();
   figure1_demo ();

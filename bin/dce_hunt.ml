@@ -42,7 +42,7 @@ let generate_cmd =
   let count = Arg.(value & opt int 10 & info [ "count" ] ~docv:"N" ~doc:"Programs to generate.") in
   let out = Arg.(value & opt string "corpus" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.") in
   let run seed count out =
-    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    Dce_support.Fsx.mkdir_p out;
     List.iteri
       (fun i (prog, kinds) ->
         let path = Filename.concat out (Printf.sprintf "p%04d.c" i) in
@@ -147,15 +147,62 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile one program and print assembly (or IR).")
     Term.(const run $ file_arg $ comp $ level $ version $ dump_ir $ instrument)
 
+(* ---------- campaign flags shared by hunt / triage / value-hunt ---------- *)
+
+module Campaign = Dce_campaign
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains.  Sharding is deterministic: findings and reports are identical for \
+           every $(docv), and $(docv)=1 runs the historical sequential path.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "JSONL checkpoint journal.  Each completed case is appended as it finishes; re-running \
+           with the same $(docv) resumes, skipping every case already recorded (a journal \
+           truncated mid-line resumes from the last complete record).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print campaign metrics: throughput, analysis-cache hit rate, and per-stage wall-time \
+           percentiles aggregated across workers.")
+
+let print_epilogue ?(metrics = false) ~quarantine ~quarantine_text ~resumed summary =
+  if quarantine <> [] then begin
+    Printf.printf "%d case(s) quarantined (campaign completed without them):\n"
+      (List.length quarantine);
+    print_string quarantine_text
+  end;
+  if resumed > 0 then Printf.printf "(%d case(s) restored from the journal, not re-run)\n" resumed;
+  if metrics then print_string (Campaign.Metrics.to_string summary)
+
 (* ---------- hunt ---------- *)
 
 let hunt_cmd =
   let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
   let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
-  let run seed count =
-    let corpus = Dce_smith.Smith.generate_corpus ~seed ~count in
-    let outcomes = List.map (fun (p, _) -> (Core.Analysis.run p, p)) corpus in
-    let stats = Dce_report.Stats.collect outcomes in
+  let inject =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "inject-crash" ] ~docv:"I,J,.."
+          ~doc:
+            "Fault-injection: crash the generate stage of the listed corpus indices to exercise \
+             quarantine (testing hook).")
+  in
+  let run seed count jobs journal inject metrics =
+    let c = Campaign.Corpus.run ?journal ~inject_crash:inject ~jobs ~seed ~count () in
+    let stats = Campaign.Corpus.stats c in
     print_endline (Dce_report.Stats.prevalence stats);
     print_endline "Table 1 (% dead blocks missed):";
     print_string (Dce_report.Stats.table1 stats);
@@ -175,30 +222,27 @@ let hunt_cmd =
           f.Dce_report.Stats.f_program f.Dce_report.Stats.f_marker f.Dce_report.Stats.f_compiler
           (C.Level.to_string f.Dce_report.Stats.f_level)
           f.Dce_report.Stats.f_witness)
-      (Dce_support.Listx.take 10 interesting)
+      (Dce_support.Listx.take 10 interesting);
+    print_epilogue ~metrics ~quarantine:c.Campaign.Corpus.c_quarantine
+      ~quarantine_text:(Campaign.Corpus.quarantine_to_string c)
+      ~resumed:c.Campaign.Corpus.c_resumed c.Campaign.Corpus.c_metrics
   in
   Cmd.v
-    (Cmd.info "hunt" ~doc:"Generate a corpus and run the full differential campaign over it.")
-    Term.(const run $ seed $ count)
+    (Cmd.info "hunt"
+       ~doc:
+         "Generate a corpus and run the full differential campaign over it — sharded over \
+          $(b,--jobs) worker domains, fault isolated, and resumable via $(b,--journal).")
+    Term.(const run $ seed $ count $ jobs_arg $ journal_arg $ inject $ metrics_arg)
 
 (* ---------- triage ---------- *)
 
 let triage_cmd =
   let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
   let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
-  let run seed count =
-    let corpus = Dce_smith.Smith.generate_corpus ~seed ~count in
-    let outcomes = List.map (fun (p, _) -> (Core.Analysis.run p, p)) corpus in
-    let stats = Dce_report.Stats.collect outcomes in
-    let programs =
-      Array.of_list
-        (List.map
-           (fun (outcome, raw) ->
-             match outcome with
-             | Core.Analysis.Analyzed a -> a.Core.Analysis.instrumented
-             | Core.Analysis.Rejected _ -> Core.Instrument.program raw)
-           outcomes)
-    in
+  let run seed count jobs journal metrics =
+    let c = Campaign.Corpus.run ?journal ~jobs ~seed ~count () in
+    let stats = Campaign.Corpus.stats c in
+    let programs = Campaign.Corpus.instrumented_programs c in
     let reports =
       Dce_report.Triage.triage ~programs
         (stats.Dce_report.Stats.findings @ stats.Dce_report.Stats.regression_findings)
@@ -216,19 +260,31 @@ let triage_cmd =
           (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
           r.Dce_report.Triage.r_occurrences r.Dce_report.Triage.r_example_program
           r.Dce_report.Triage.r_example_marker)
-      reports
+      reports;
+    print_epilogue ~metrics ~quarantine:c.Campaign.Corpus.c_quarantine
+      ~quarantine_text:(Campaign.Corpus.quarantine_to_string c)
+      ~resumed:c.Campaign.Corpus.c_resumed c.Campaign.Corpus.c_metrics
   in
   Cmd.v
     (Cmd.info "triage"
        ~doc:
          "Run the full reporting pipeline on a generated corpus: differential campaign, \
           root-cause diagnosis, deduplication into reports, and Table-5 style statuses.")
-    Term.(const run $ seed $ count)
+    Term.(const run $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg)
 
 (* ---------- value-hunt (the §4.4 extension) ---------- *)
 
 let value_hunt_cmd =
-  let run path =
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.c"
+          ~doc:"Single-program mode; omit to run a generated-corpus campaign instead.")
+  in
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 30 & info [ "count" ] ~docv:"N") in
+  let run_file path =
     let prog = read_program path in
     match Core.Value_instrument.instrument prog with
     | None -> print_endline "profiling failed (trap or non-termination)"
@@ -247,12 +303,33 @@ let value_hunt_cmd =
             C.Level.all)
         [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
   in
+  let run_corpus seed count jobs journal metrics =
+    let v = Campaign.Corpus.run_value ?journal ~jobs ~seed ~count () in
+    print_string (Campaign.Corpus.value_table v);
+    let quarantine_text =
+      String.concat ""
+        (List.map
+           (fun (q : Campaign.Engine.quarantined) ->
+             Printf.sprintf "  case %d (seed %d): crashed in stage %s: %s\n"
+               q.Campaign.Engine.q_case
+               v.Campaign.Corpus.v_seeds.(q.Campaign.Engine.q_case)
+               q.Campaign.Engine.q_stage q.Campaign.Engine.q_error)
+           v.Campaign.Corpus.v_quarantine)
+    in
+    print_epilogue ~metrics ~quarantine:v.Campaign.Corpus.v_quarantine ~quarantine_text
+      ~resumed:v.Campaign.Corpus.v_resumed v.Campaign.Corpus.v_metrics
+  in
+  let run path seed count jobs journal metrics =
+    match path with
+    | Some path -> run_file path
+    | None -> run_corpus seed count jobs journal metrics
+  in
   Cmd.v
     (Cmd.info "value-hunt"
        ~doc:
          "Plant profiled value checks after loops (the paper's future-work mode) and show which \
-          configurations prove them.")
-    Term.(const run $ file_arg)
+          configurations prove them — on one file, or as a campaign over a generated corpus.")
+    Term.(const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg)
 
 (* ---------- reduce ---------- *)
 

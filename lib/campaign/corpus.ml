@@ -1,0 +1,377 @@
+module C = Dce_compiler
+module Core = Dce_core
+module Ir = Dce_ir.Ir
+module Smith = Dce_smith.Smith
+module Stats = Dce_report.Stats
+
+type case_result =
+  | Case of Core.Analysis.outcome * Dce_minic.Ast.program
+  | Quarantined of Engine.quarantined
+
+type t = {
+  c_seed : int;
+  c_count : int;
+  c_jobs : int;
+  c_seeds : int array;
+  c_cases : case_result array;
+  c_quarantine : Engine.quarantined list;
+  c_metrics : Metrics.summary;
+  c_resumed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec for analysis outcomes                                    *)
+(* ------------------------------------------------------------------ *)
+
+type payload = {
+  p_seed : int;
+  p_outcome : Core.Analysis.outcome;
+  p_raw : Dce_minic.Ast.program;
+}
+
+let iset_to_json s = Json.List (List.map (fun i -> Json.Int i) (Ir.Iset.elements s))
+
+let iset_of_json j =
+  match Json.to_list j with
+  | Some l -> List.fold_left (fun s v -> Ir.Iset.add (Json.int_exn v) s) Ir.Iset.empty l
+  | None -> failwith "journal record: expected a marker list"
+
+let level_to_json l = Json.String (C.Level.to_string l)
+
+let level_of_json j =
+  match Json.to_str j with
+  | Some s -> (
+    match C.Level.of_string s with
+    | Some l -> l
+    | None -> failwith (Printf.sprintf "journal record: unknown level %S" s))
+  | None -> failwith "journal record: expected a level string"
+
+let config_to_json (pc : Core.Analysis.per_config) =
+  Json.Obj
+    [
+      ("compiler", Json.String pc.Core.Analysis.cfg_compiler);
+      ("level", level_to_json pc.Core.Analysis.cfg_level);
+      ("surviving", iset_to_json pc.Core.Analysis.surviving);
+      ( "attrib",
+        Json.List
+          (List.map
+             (fun (stage, markers) ->
+               Json.List
+                 [ Json.String stage; Json.List (List.map (fun m -> Json.Int m) markers) ])
+             (C.Passmgr.attribution pc.Core.Analysis.cfg_trace)) );
+    ]
+
+(* a stage trace carrying exactly the journaled attribution: labels and
+   eliminated markers survive the round trip, measurements (time, IR deltas)
+   do not — they are not results *)
+let synthetic_trace attrib : C.Passmgr.trace =
+  List.map
+    (fun (label, markers) ->
+      {
+        C.Passmgr.sr_label = label;
+        sr_round = 0;
+        sr_time = 0.;
+        sr_changed = true;
+        sr_blocks_before = 0;
+        sr_blocks_after = 0;
+        sr_instrs_before = 0;
+        sr_instrs_after = 0;
+        sr_markers_eliminated = markers;
+      })
+    attrib
+
+let encode_payload p =
+  let common = [ ("seed", Json.Int p.p_seed) ] in
+  match p.p_outcome with
+  | Core.Analysis.Rejected reason ->
+    Json.Obj (common @ [ ("kind", Json.String "rejected"); ("reason", Json.String reason) ])
+  | Core.Analysis.Analyzed a ->
+    let truth = a.Core.Analysis.truth in
+    let live_blocks =
+      Hashtbl.fold (fun (fn, label) () acc -> (fn, label) :: acc)
+        truth.Core.Ground_truth.live_blocks []
+      |> List.sort compare
+      |> List.map (fun (fn, label) -> Json.List [ Json.String fn; Json.Int label ])
+    in
+    Json.Obj
+      (common
+      @ [
+          ("kind", Json.String "analyzed");
+          ("alive", iset_to_json truth.Core.Ground_truth.alive);
+          ("dead", iset_to_json truth.Core.Ground_truth.dead);
+          ("steps", Json.Int truth.Core.Ground_truth.steps);
+          ("live_blocks", Json.List live_blocks);
+          ("configs", Json.List (List.map config_to_json a.Core.Analysis.configs));
+        ])
+
+let decode_payload j =
+  let seed = Json.get_int j "seed" in
+  let raw = fst (Smith.generate (Smith.default_config seed)) in
+  match Json.get_str j "kind" with
+  | "rejected" ->
+    { p_seed = seed; p_outcome = Core.Analysis.Rejected (Json.get_str j "reason"); p_raw = raw }
+  | "analyzed" ->
+    let alive = iset_of_json (Json.get j "alive") in
+    let dead = iset_of_json (Json.get j "dead") in
+    let live_blocks = Hashtbl.create 64 in
+    List.iter
+      (fun entry ->
+        match Json.to_list entry with
+        | Some [ fn; label ] -> (
+          match (Json.to_str fn, Json.to_int label) with
+          | Some fn, Some label -> Hashtbl.replace live_blocks (fn, label) ()
+          | _ -> failwith "journal record: bad live_blocks entry")
+        | _ -> failwith "journal record: bad live_blocks entry")
+      (Json.get_list j "live_blocks");
+    let truth =
+      {
+        Core.Ground_truth.alive;
+        dead;
+        all = Ir.Iset.union alive dead;
+        live_blocks;
+        steps = Json.get_int j "steps";
+      }
+    in
+    (* everything below is a cheap deterministic derivation of the journaled
+       data: regenerate, re-instrument, rebuild the marker graph *)
+    let instrumented = Core.Instrument.program raw in
+    let graph =
+      Core.Primary.build
+        ~block_live:(Core.Ground_truth.block_live truth)
+        (Dce_ir.Lower.program instrumented)
+    in
+    let configs =
+      List.map
+        (fun cj ->
+          let surviving = iset_of_json (Json.get cj "surviving") in
+          let attrib =
+            List.map
+              (fun entry ->
+                match Json.to_list entry with
+                | Some [ stage; markers ] -> (
+                  match (Json.to_str stage, Json.to_list markers) with
+                  | Some stage, Some markers -> (stage, List.map Json.int_exn markers)
+                  | _ -> failwith "journal record: bad attrib entry")
+                | _ -> failwith "journal record: bad attrib entry")
+              (Json.get_list cj "attrib")
+          in
+          let missed = Core.Differential.missed ~surviving ~dead in
+          {
+            Core.Analysis.cfg_compiler = Json.get_str cj "compiler";
+            cfg_level = level_of_json (Json.get cj "level");
+            surviving;
+            missed;
+            primary_missed = Core.Primary.primary_missed graph ~alive ~missed;
+            cfg_trace = synthetic_trace attrib;
+          })
+        (Json.get_list j "configs")
+    in
+    {
+      p_seed = seed;
+      p_outcome = Core.Analysis.Analyzed { Core.Analysis.instrumented; truth; graph; configs };
+      p_raw = raw;
+    }
+  | other -> failwith (Printf.sprintf "journal record: unknown case kind %S" other)
+
+let codec = { Engine.encode = encode_payload; decode = decode_payload }
+
+(* ------------------------------------------------------------------ *)
+(* the campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?journal ?fuel ?(inject_crash = []) ~jobs ~seed ~count () =
+  let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
+  let runner ctx i =
+    let raw =
+      Engine.stage ctx "generate" (fun () ->
+          if List.mem i inject_crash then
+            failwith (Printf.sprintf "injected crash (case %d)" i);
+          fst (Smith.generate (Smith.default_config seeds.(i))))
+    in
+    let hook = { Core.Analysis.wrap = (fun name f -> Engine.stage ctx name f) } in
+    { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ~hook raw; p_raw = raw }
+  in
+  let result = Engine.run ?journal ~codec ~campaign:"hunt" ~seed ~jobs ~count runner in
+  let cases =
+    Array.map
+      (function
+        | Engine.Done p -> Case (p.p_outcome, p.p_raw)
+        | Engine.Crashed q -> Quarantined q)
+      result.Engine.outcomes
+  in
+  {
+    c_seed = seed;
+    c_count = count;
+    c_jobs = jobs;
+    c_seeds = seeds;
+    c_cases = cases;
+    c_quarantine = result.Engine.quarantine;
+    c_metrics = result.Engine.metrics;
+    c_resumed = result.Engine.resumed;
+  }
+
+let outcomes t =
+  Array.to_list (Array.mapi (fun i c -> (i, c)) t.c_cases)
+  |> List.filter_map (function
+       | i, Case (o, raw) -> Some (i, (o, raw))
+       | _, Quarantined _ -> None)
+
+let stats t =
+  let jobs = max 1 t.c_jobs in
+  let shards = Array.make jobs [] in
+  List.iter
+    (fun ((i, _) as case) ->
+      let w = Shard.worker_of_case ~jobs i in
+      shards.(w) <- case :: shards.(w))
+    (outcomes t);
+  match Array.to_list shards |> List.map (fun l -> Stats.collect_indexed (List.rev l)) with
+  | [] -> Stats.collect_indexed []
+  | s :: rest -> List.fold_left Stats.merge s rest
+
+let trivial_main =
+  lazy
+    (Core.Instrument.program
+       (Dce_minic.Typecheck.check_exn
+          (Dce_minic.Parser.parse_program "int main(void) { return 0; }")))
+
+let instrumented_programs t =
+  Array.map
+    (function
+      | Case (Core.Analysis.Analyzed a, _) -> a.Core.Analysis.instrumented
+      | Case (Core.Analysis.Rejected _, raw) -> Core.Instrument.program raw
+      | Quarantined _ -> Lazy.force trivial_main)
+    t.c_cases
+
+let quarantine_to_string t =
+  String.concat ""
+    (List.map
+       (fun (q : Engine.quarantined) ->
+         Printf.sprintf "  case %d (seed %d): crashed in stage %s: %s\n" q.Engine.q_case
+           t.c_seeds.(q.Engine.q_case) q.Engine.q_stage q.Engine.q_error)
+       t.c_quarantine)
+
+(* ------------------------------------------------------------------ *)
+(* §4.4 value-check campaign                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value_case = {
+  vc_seed : int;
+  vc_checks : int;
+  vc_kept : (string * C.Level.t * int) list;
+}
+
+let encode_value vc =
+  Json.Obj
+    [
+      ("seed", Json.Int vc.vc_seed);
+      ("checks", Json.Int vc.vc_checks);
+      ( "kept",
+        Json.List
+          (List.map
+             (fun (comp, level, n) ->
+               Json.List [ Json.String comp; level_to_json level; Json.Int n ])
+             vc.vc_kept) );
+    ]
+
+let decode_value j =
+  {
+    vc_seed = Json.get_int j "seed";
+    vc_checks = Json.get_int j "checks";
+    vc_kept =
+      List.map
+        (fun entry ->
+          match Json.to_list entry with
+          | Some [ comp; level; n ] -> (
+            match (Json.to_str comp, Json.to_int n) with
+            | Some comp, Some n -> (comp, level_of_json level, n)
+            | _ -> failwith "journal record: bad kept entry")
+          | _ -> failwith "journal record: bad kept entry")
+        (Json.get_list j "kept");
+  }
+
+let value_codec = { Engine.encode = encode_value; decode = decode_value }
+
+type value_campaign = {
+  v_cases : value_case Engine.case_outcome array;
+  v_quarantine : Engine.quarantined list;
+  v_metrics : Metrics.summary;
+  v_seeds : int array;
+  v_resumed : int;
+}
+
+let run_value ?journal ~jobs ~seed ~count () =
+  let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
+  let runner ctx i =
+    let case_seed = seeds.(i) in
+    let raw =
+      Engine.stage ctx "generate" (fun () -> fst (Smith.generate (Smith.default_config case_seed)))
+    in
+    let none = { vc_seed = case_seed; vc_checks = 0; vc_kept = [] } in
+    match Engine.stage ctx "value-instrument" (fun () -> Core.Value_instrument.instrument raw) with
+    | None -> none
+    | Some (_, st) when st.Core.Value_instrument.checks_planted = 0 -> none
+    | Some (vi, _) -> (
+      match Engine.stage ctx "ground-truth" (fun () -> Core.Ground_truth.compute vi) with
+      | Core.Ground_truth.Rejected _ -> none
+      | Core.Ground_truth.Valid truth ->
+        let kept =
+          List.concat_map
+            (fun compiler ->
+              List.map
+                (fun level ->
+                  let surv =
+                    Engine.stage ctx "differential" (fun () ->
+                        C.Compiler.surviving_markers compiler level vi)
+                  in
+                  (compiler.C.Compiler.name, level, List.length surv))
+                C.Level.all)
+            [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
+        in
+        {
+          vc_seed = case_seed;
+          vc_checks = Ir.Iset.cardinal truth.Core.Ground_truth.all;
+          vc_kept = kept;
+        })
+  in
+  let result =
+    Engine.run ?journal ~codec:value_codec ~campaign:"value-hunt" ~seed ~jobs ~count runner
+  in
+  {
+    v_cases = result.Engine.outcomes;
+    v_quarantine = result.Engine.quarantine;
+    v_metrics = result.Engine.metrics;
+    v_seeds = seeds;
+    v_resumed = result.Engine.resumed;
+  }
+
+let value_table v =
+  let total = ref 0 in
+  let kept : (string * C.Level.t, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Engine.Done vc ->
+        total := !total + vc.vc_checks;
+        List.iter
+          (fun (comp, level, n) ->
+            Hashtbl.replace kept (comp, level)
+              (n + Option.value ~default:0 (Hashtbl.find_opt kept (comp, level))))
+          vc.vc_kept
+      | Engine.Crashed _ -> ())
+    v.v_cases;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d value checks planted over %d programs (all dead by construction)\n"
+       !total (Array.length v.v_cases));
+  Buffer.add_string buf
+    (Dce_report.Tables.render
+       ~header:[ "Level"; "gcc-sim"; "llvm-sim" ]
+       (List.map
+          (fun level ->
+            let cell comp =
+              Dce_report.Tables.pct
+                (Option.value ~default:0 (Hashtbl.find_opt kept (comp, level)))
+                !total
+            in
+            [ C.Level.to_string level; cell "gcc-sim"; cell "llvm-sim" ])
+          C.Level.all));
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+(** The standard DCE campaign run through the {!Engine}: generate the seeded
+    corpus, analyze every program (ground truth + both compilers at all
+    levels), aggregate statistics — sharded over worker domains, fault
+    isolated, and journaled.
+
+    Program [i] of a campaign with master seed [s] is generated from
+    [List.nth (Smith.corpus_seeds ~seed:s ~count) i] regardless of [jobs],
+    scheduling, or resume history, so findings and reports are identical
+    across any worker count — [jobs = 1] reproduces the historical
+    sequential path byte for byte.
+
+    {b Journal payloads} store what is expensive to recompute (ground-truth
+    execution, ten per-config compiles) and re-derive the rest on decode:
+    the program is regenerated from its seed, re-instrumented, and the
+    primary-marker graph is rebuilt from the journaled block-liveness; the
+    per-config stage traces are reconstituted from the journaled per-stage
+    marker attribution (timings are not preserved — they are measurements,
+    not results). *)
+
+type case_result =
+  | Case of Dce_core.Analysis.outcome * Dce_minic.Ast.program
+      (** analysis outcome and the raw (uninstrumented) program *)
+  | Quarantined of Engine.quarantined
+
+type t = {
+  c_seed : int;
+  c_count : int;
+  c_jobs : int;
+  c_seeds : int array;             (** per-program generator seeds *)
+  c_cases : case_result array;     (** indexed by corpus position *)
+  c_quarantine : Engine.quarantined list;
+  c_metrics : Metrics.summary;
+  c_resumed : int;                 (** cases restored from the journal *)
+}
+
+val run :
+  ?journal:string ->
+  ?fuel:int ->
+  ?inject_crash:int list ->
+  jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  t
+(** [inject_crash] lists corpus indices whose generate stage raises — the
+    fault-injection hook behind [dce_hunt hunt --inject-crash] and the
+    isolation tests.  [fuel] bounds the ground-truth interpreter per case
+    (exhaustion is a rejection, not a crash). *)
+
+val outcomes : t -> (int * (Dce_core.Analysis.outcome * Dce_minic.Ast.program)) list
+(** Non-quarantined cases with their corpus indices, ascending — the input
+    shape of {!Dce_report.Stats.collect_indexed}. *)
+
+val stats : t -> Dce_report.Stats.t
+(** Campaign statistics: per-worker-shard {!Dce_report.Stats.collect_indexed}
+    merged with {!Dce_report.Stats.merge} — equal to collecting the whole
+    corpus at once (property-tested). *)
+
+val instrumented_programs : t -> Dce_minic.Ast.program array
+(** Instrumented program per corpus slot (the triage/bisect input);
+    quarantined slots hold a trivial empty [main]. *)
+
+val quarantine_to_string : t -> string
+(** One line per quarantined case: index, seed, guilty stage, error. *)
+
+(** {1 The §4.4 value-check campaign} *)
+
+type value_case = {
+  vc_seed : int;
+  vc_checks : int;  (** validated dead value checks planted in this program *)
+  vc_kept : (string * Dce_compiler.Level.t * int) list;
+      (** (compiler, level, surviving check count) per configuration *)
+}
+
+type value_campaign = {
+  v_cases : value_case Engine.case_outcome array;
+  v_quarantine : Engine.quarantined list;
+  v_metrics : Metrics.summary;
+  v_seeds : int array;
+  v_resumed : int;
+}
+
+val run_value : ?journal:string -> jobs:int -> seed:int -> count:int -> unit -> value_campaign
+
+val value_table : value_campaign -> string
+(** Totals line plus the per-level "% checks missed" table (the bench's
+    §4.4 extension table, now campaign-powered). *)

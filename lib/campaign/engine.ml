@@ -1,0 +1,175 @@
+module Passmgr = Dce_compiler.Passmgr
+
+type ctx = {
+  c_worker : int;
+  mutable c_stage : string;
+  c_metrics : Metrics.t;
+}
+
+let worker ctx = ctx.c_worker
+
+let stage ctx name f =
+  let prev = ctx.c_stage in
+  ctx.c_stage <- name;
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v ->
+    Metrics.record ctx.c_metrics name (Unix.gettimeofday () -. t0);
+    (* deliberately not restored on the exception path: the quarantine reads
+       the innermost stage that was active at the throw point *)
+    ctx.c_stage <- prev;
+    v
+
+type quarantined = {
+  q_case : int;
+  q_stage : string;
+  q_error : string;
+}
+
+type 'a case_outcome =
+  | Done of 'a
+  | Crashed of quarantined
+
+type 'a codec = {
+  encode : 'a -> Json.t;
+  decode : Json.t -> 'a;
+}
+
+type 'a result = {
+  outcomes : 'a case_outcome array;
+  quarantine : quarantined list;
+  metrics : Metrics.summary;
+  resumed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* journal record codec                                                *)
+(* ------------------------------------------------------------------ *)
+
+let case_to_json codec i = function
+  | Done v ->
+    Json.Obj [ ("case", Json.Int i); ("status", Json.String "done"); ("data", codec.encode v) ]
+  | Crashed q ->
+    Json.Obj
+      [
+        ("case", Json.Int i);
+        ("status", Json.String "crashed");
+        ("stage", Json.String q.q_stage);
+        ("error", Json.String q.q_error);
+      ]
+
+let case_of_json codec j =
+  let i = Json.get_int j "case" in
+  match Json.get_str j "status" with
+  | "done" -> Some (i, Done (codec.decode (Json.get j "data")))
+  | "crashed" ->
+    Some
+      ( i,
+        Crashed
+          { q_case = i; q_stage = Json.get_str j "stage"; q_error = Json.get_str j "error" } )
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* cache-counter deltas                                                *)
+(* ------------------------------------------------------------------ *)
+
+let counters_delta (a : Passmgr.counters) (b : Passmgr.counters) : Passmgr.counters =
+  {
+    meminfo_hits = b.meminfo_hits - a.meminfo_hits;
+    meminfo_misses = b.meminfo_misses - a.meminfo_misses;
+    cfg_hits = b.cfg_hits - a.cfg_hits;
+    cfg_misses = b.cfg_misses - a.cfg_misses;
+    dom_hits = b.dom_hits - a.dom_hits;
+    dom_misses = b.dom_misses - a.dom_misses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(seed = 0) ~jobs
+    ~count (runner : ctx -> int -> a) : a result =
+  if jobs < 1 then invalid_arg "Engine.run: jobs must be >= 1";
+  if count < 0 then invalid_arg "Engine.run: count must be >= 0";
+  if journal <> None && codec = None then
+    invalid_arg "Engine.run: journaling requires a codec";
+  let t0 = Unix.gettimeofday () in
+  let cache0 = Passmgr.counters () in
+  (* slot None = still to run; journal replay fills slots up front *)
+  let outcomes : a case_outcome option array = Array.make count None in
+  let resumed = ref 0 in
+  let jnl =
+    match journal with
+    | None -> None
+    | Some path ->
+      let codec = Option.get codec in
+      let header = { Journal.h_campaign = campaign; h_seed = seed; h_count = count } in
+      (match Journal.load ~path with
+       | Some (h, cases) when h = header ->
+         List.iter
+           (fun record ->
+             match case_of_json codec record with
+             | Some (i, outcome) when i >= 0 && i < count ->
+               if outcomes.(i) = None then incr resumed;
+               outcomes.(i) <- Some outcome
+             | Some _ | None -> ()
+             | exception Failure _ -> ()
+             | exception Not_found -> ())
+           cases
+       | Some _ | None -> ());
+      (* open_append validates the header and rewrites the valid prefix *)
+      Some (Journal.open_append ~path header)
+  in
+  let record_completion i outcome =
+    (match (jnl, codec) with
+     | Some j, Some codec -> Journal.append j (case_to_json codec i outcome)
+     | _ -> ());
+    outcomes.(i) <- Some outcome
+  in
+  let run_case ctx i =
+    ctx.c_stage <- "setup";
+    let outcome =
+      match stage ctx "case" (fun () -> runner ctx i) with
+      | v -> Done v
+      | exception e ->
+        Crashed { q_case = i; q_stage = ctx.c_stage; q_error = Printexc.to_string e }
+    in
+    record_completion i outcome
+  in
+  let worker_body w =
+    let ctx = { c_worker = w; c_stage = "setup"; c_metrics = Metrics.create () } in
+    List.iter
+      (fun i -> if outcomes.(i) = None then run_case ctx i)
+      (Shard.cases_of ~count ~jobs w);
+    ctx.c_metrics
+  in
+  let metrics =
+    if jobs = 1 then worker_body 0
+    else
+      (* workers never share a case slot (shards are disjoint), and
+         Domain.join publishes their writes back to this domain *)
+      Array.to_list (Array.init jobs (fun w -> Domain.spawn (fun () -> worker_body w)))
+      |> List.map Domain.join
+      |> List.fold_left Metrics.merge (Metrics.create ())
+  in
+  (match jnl with Some j -> Journal.close j | None -> ());
+  let outcomes =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some o -> o
+        | None -> Crashed { q_case = i; q_stage = "engine"; q_error = "case never completed" })
+      outcomes
+  in
+  let quarantine =
+    Array.to_list outcomes |> List.filter_map (function Crashed q -> Some q | Done _ -> None)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let cache = counters_delta cache0 (Passmgr.counters ()) in
+  let executed = count - !resumed in
+  {
+    outcomes;
+    quarantine;
+    metrics = Metrics.summarize ~cases:executed ~wall ~cache metrics;
+    resumed = !resumed;
+  }

@@ -1,0 +1,76 @@
+(** The parallel campaign engine: a Domain-based worker pool with
+    deterministic sharding, per-case fault isolation, and JSONL
+    checkpoint/resume.
+
+    The engine runs [count] cases through a user-supplied runner.  Case [i]
+    is executed by worker [Shard.worker_of_case ~jobs i]; each worker walks
+    its shard in increasing case order, and results land in a [count]-sized
+    array indexed by case — so the campaign's output is a pure function of
+    the case set, independent of [jobs], scheduling, or resume history.
+    With [jobs = 1] no domain is spawned and the engine is a plain
+    sequential loop, byte-identical in behaviour to pre-engine code.
+
+    {b Fault isolation.}  A runner exception (from a generator bug, a
+    compiler crash, a step-budget blow-up surfacing as an exception…) kills
+    only its case: the case is quarantined with the innermost {!stage} name
+    active at the throw point and the exception text, and the worker moves
+    on.  The quarantine bucket is part of the result and of the journal.
+
+    {b Checkpoint/resume.}  With [~journal], every completed case (done or
+    quarantined) is appended to a JSONL file as it finishes.  Re-running
+    the same campaign with the same journal path skips every case already
+    recorded, decoding its payload via the codec instead of re-executing;
+    a journal truncated mid-line resumes from the last complete record. *)
+
+type ctx
+(** Per-worker execution context handed to the runner. *)
+
+val worker : ctx -> int
+(** Index of the worker running the current case. *)
+
+val stage : ctx -> string -> (unit -> 'a) -> 'a
+(** [stage ctx name f] runs [f], recording its wall time under [name] in the
+    campaign metrics.  Nests; on an exception the innermost active name is
+    what the quarantine records as the guilty stage. *)
+
+type quarantined = {
+  q_case : int;       (** corpus index of the crashed case *)
+  q_stage : string;   (** innermost {!stage} active when it threw *)
+  q_error : string;   (** [Printexc.to_string] of the exception *)
+}
+
+type 'a case_outcome =
+  | Done of 'a
+  | Crashed of quarantined
+
+type 'a codec = {
+  encode : 'a -> Json.t;
+  decode : Json.t -> 'a;
+      (** may raise; an undecodable journal payload re-runs the case *)
+}
+
+type 'a result = {
+  outcomes : 'a case_outcome array;  (** indexed by case, length [count] *)
+  quarantine : quarantined list;     (** crashed cases, ascending *)
+  metrics : Metrics.summary;
+  resumed : int;  (** cases restored from the journal instead of executed *)
+}
+
+val run :
+  ?journal:string ->
+  ?codec:'a codec ->
+  ?campaign:string ->
+  ?seed:int ->
+  jobs:int ->
+  count:int ->
+  (ctx -> int -> 'a) ->
+  'a result
+(** [run ~jobs ~count runner] — [runner ctx i] computes case [i].
+
+    [journal] names the JSONL checkpoint file (created, parents included, if
+    missing; resumed if present).  Journaling requires [codec];
+    [campaign]/[seed] identify the campaign in the journal header and guard
+    resume against parameter mismatches (which raise [Failure]).
+
+    Raises [Invalid_argument] when [jobs < 1], [count < 0], or [journal] is
+    given without [codec]. *)

@@ -1,0 +1,111 @@
+type header = {
+  h_campaign : string;
+  h_seed : int;
+  h_count : int;
+}
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+}
+
+let header_to_json h =
+  Json.Obj
+    [
+      ("journal", Json.String "dce-campaign");
+      ("version", Json.Int 1);
+      ("campaign", Json.String h.h_campaign);
+      ("seed", Json.Int h.h_seed);
+      ("count", Json.Int h.h_count);
+    ]
+
+let header_of_json j =
+  match Json.member "journal" j with
+  | Some (Json.String "dce-campaign") ->
+    Some
+      {
+        h_campaign = Json.get_str j "campaign";
+        h_seed = Json.get_int j "seed";
+        h_count = Json.get_int j "count";
+      }
+  | _ -> None
+
+(* read all complete (newline-terminated) lines; an unterminated tail is the
+   in-flight write of an interrupted campaign and is ignored *)
+let read_complete_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  let lines = String.split_on_char '\n' content in
+  match List.rev lines with
+  | last :: rest when last <> "" ->
+    ignore rest;
+    (* no trailing newline: the final line may be half-written *)
+    List.filteri (fun i _ -> i < List.length lines - 1) lines
+  | _ -> lines
+
+let load ~path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let lines = List.filter (fun l -> l <> "") (read_complete_lines path) in
+    match lines with
+    | [] -> None
+    | first :: rest -> (
+      match Json.of_string first with
+      | Error _ -> None
+      | Ok j -> (
+        match header_of_json j with
+        | None -> None
+        | Some h ->
+          (* drop any line that does not parse — the truncation point — and
+             everything after it: later lines could depend on the campaign
+             state the lost line recorded *)
+          let rec take acc = function
+            | [] -> List.rev acc
+            | l :: ls -> (
+              match Json.of_string l with
+              | Ok v -> take (v :: acc) ls
+              | Error _ -> List.rev acc)
+          in
+          Some (h, take [] rest)))
+  end
+
+let open_append ~path header =
+  Dce_support.Fsx.mkdir_p (Filename.dirname path);
+  let existing = load ~path in
+  (match existing with
+   | None -> ()
+   | Some (h, _) ->
+     if h <> header then
+       failwith
+         (Printf.sprintf
+            "journal %s belongs to campaign %s seed=%d count=%d, not %s seed=%d count=%d — \
+             delete it or change parameters"
+            path h.h_campaign h.h_seed h.h_count header.h_campaign header.h_seed header.h_count));
+  (* rewrite the valid prefix and append from there: a truncated trailing
+     line must not be glued to the next record, and a file with no valid
+     header (fresh, or truncated before the first newline) starts over *)
+  let oc = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 path in
+  let t = { oc; lock = Mutex.create () } in
+  output_string oc (Json.to_string (header_to_json header));
+  output_char oc '\n';
+  (match existing with
+   | None -> ()
+   | Some (_, cases) ->
+     List.iter
+       (fun case ->
+         output_string oc (Json.to_string case);
+         output_char oc '\n')
+       cases);
+  flush oc;
+  t
+
+let append t v =
+  let line = Json.to_string v in
+  Mutex.protect t.lock (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)

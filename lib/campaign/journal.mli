@@ -1,0 +1,34 @@
+(** The JSONL campaign journal: one JSON record per line, appended as cases
+    complete, enabling checkpoint/resume of interrupted campaigns.
+
+    Line 1 is a header identifying the campaign parameters; every further
+    line is one completed case.  The file is append-only and flushed per
+    line, so a campaign killed mid-run loses at most the line being written.
+    {!load} tolerates exactly that: a trailing line that does not parse (or
+    lacks a newline terminator) is discarded, earlier lines survive. *)
+
+type header = {
+  h_campaign : string;  (** e.g. ["hunt"] — which runner wrote the journal *)
+  h_seed : int;
+  h_count : int;
+}
+
+type t
+(** An open journal being appended to.  Writes are serialized internally, so
+    worker domains may append concurrently. *)
+
+val open_append : path:string -> header -> t
+(** Open [path] for appending, creating parent directories as needed.  When
+    the file is empty or new, the header line is written first; when it
+    already has content, the existing header must match (the resume case) —
+    a mismatch raises [Failure] naming both parameter sets. *)
+
+val append : t -> Json.t -> unit
+(** Serialize on one line, append, flush.  Thread/domain-safe. *)
+
+val close : t -> unit
+
+val load : path:string -> (header * Json.t list) option
+(** Parse an existing journal: [None] when the file does not exist or has no
+    valid header line; otherwise the header and every parseable complete
+    case line, in file order.  A truncated final line is dropped silently. *)

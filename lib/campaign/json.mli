@@ -1,0 +1,39 @@
+(** A minimal JSON value type, printer, and parser for the campaign journal.
+
+    Deliberately tiny: the journal only needs objects, arrays, strings,
+    booleans, null, and integers (floats are emitted for metrics but parsed
+    back as [Float]).  One journal record is one value serialized on one line
+    ([to_string] never emits newlines), which is what makes the JSONL journal
+    truncation-tolerant: a partial trailing line simply fails to parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line serialization with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one value; [Error] describes the first syntax error.  Trailing
+    garbage after the value is an error. *)
+
+(** {1 Accessors} — all return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+(** {1 Exception-raising accessors} for decoding trusted journal lines;
+    raise [Failure] with a field-path message on mismatch. *)
+
+val get : t -> string -> t
+val get_int : t -> string -> int
+val get_str : t -> string -> string
+val get_list : t -> string -> t list
+val int_exn : t -> int

@@ -1,0 +1,86 @@
+module Passmgr = Dce_compiler.Passmgr
+
+type t = { mutable samples : (string * float) list }
+
+let create () = { samples = [] }
+let record t stage dt = t.samples <- (stage, dt) :: t.samples
+let merge a b = { samples = a.samples @ b.samples }
+
+type stage_summary = {
+  ss_stage : string;
+  ss_samples : int;
+  ss_total : float;
+  ss_p50 : float;
+  ss_p90 : float;
+  ss_p99 : float;
+}
+
+type summary = {
+  cases : int;
+  wall : float;
+  throughput : float;
+  stages : stage_summary list;
+  cache : Passmgr.counters;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    (* nearest-rank: smallest value with at least q*n samples at or below *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let summarize ~cases ~wall ~cache t =
+  let by_stage : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (stage, dt) ->
+      match Hashtbl.find_opt by_stage stage with
+      | Some l -> l := dt :: !l
+      | None -> Hashtbl.add by_stage stage (ref [ dt ]))
+    t.samples;
+  let stages =
+    Hashtbl.fold
+      (fun stage samples acc ->
+        let arr = Array.of_list !samples in
+        Array.sort compare arr;
+        {
+          ss_stage = stage;
+          ss_samples = Array.length arr;
+          ss_total = Array.fold_left ( +. ) 0. arr;
+          ss_p50 = percentile arr 0.50;
+          ss_p90 = percentile arr 0.90;
+          ss_p99 = percentile arr 0.99;
+        }
+        :: acc)
+      by_stage []
+    |> List.sort (fun a b -> compare (-.a.ss_total, a.ss_stage) (-.b.ss_total, b.ss_stage))
+  in
+  {
+    cases;
+    wall;
+    throughput = (if wall > 0. then float_of_int cases /. wall else 0.);
+    stages;
+    cache;
+  }
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d cases in %.2fs (%.1f cases/sec)\n" s.cases s.wall s.throughput);
+  Buffer.add_string buf
+    (Printf.sprintf "analysis-cache hit rate across workers: %.1f%%\n"
+       (100.0 *. Passmgr.hit_rate s.cache));
+  if s.stages <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-16s %8s %10s %10s %10s %10s\n" "stage" "samples" "total" "p50" "p90"
+         "p99");
+    List.iter
+      (fun st ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-16s %8d %9.2fs %8.2fms %8.2fms %8.2fms\n" st.ss_stage st.ss_samples
+             st.ss_total (1e3 *. st.ss_p50) (1e3 *. st.ss_p90) (1e3 *. st.ss_p99)))
+      s.stages
+  end;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Campaign metrics: per-stage wall-time samples, throughput, and the
+    analysis-cache hit rate aggregated across workers.
+
+    Each worker records [(stage, seconds)] samples into its own [t] (no
+    cross-domain sharing); the engine {!merge}s them after the join and
+    {!summarize}s the union. *)
+
+type t
+(** A mutable per-worker sample accumulator. *)
+
+val create : unit -> t
+val record : t -> string -> float -> unit
+val merge : t -> t -> t
+(** Functional union of two accumulators' samples (inputs unchanged). *)
+
+type stage_summary = {
+  ss_stage : string;
+  ss_samples : int;
+  ss_total : float;   (** summed wall seconds across all samples *)
+  ss_p50 : float;
+  ss_p90 : float;
+  ss_p99 : float;
+}
+
+type summary = {
+  cases : int;            (** cases newly executed (journal replays excluded) *)
+  wall : float;           (** campaign wall-clock seconds *)
+  throughput : float;     (** cases / wall, 0 when wall is 0 *)
+  stages : stage_summary list;  (** by summed time, largest first *)
+  cache : Dce_compiler.Passmgr.counters;
+      (** pass-manager analysis-cache counter deltas over the campaign,
+          aggregated across every worker domain *)
+}
+
+val summarize :
+  cases:int -> wall:float -> cache:Dce_compiler.Passmgr.counters -> t -> summary
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0,1]: nearest-rank on a sorted array;
+    0 on the empty array.  Exposed for tests. *)
+
+val to_string : summary -> string
+(** Human-readable block: throughput line, cache hit-rate line, and one row
+    per stage with sample count, total, and p50/p90/p99. *)

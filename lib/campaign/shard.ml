@@ -1,0 +1,17 @@
+let check ~count ~jobs =
+  if jobs < 1 then invalid_arg "Shard: jobs must be >= 1";
+  if count < 0 then invalid_arg "Shard: count must be >= 0"
+
+let worker_of_case ~jobs i =
+  if jobs < 1 then invalid_arg "Shard: jobs must be >= 1";
+  i mod jobs
+
+let cases_of ~count ~jobs w =
+  check ~count ~jobs;
+  if w < 0 || w >= jobs then invalid_arg "Shard: worker index out of range";
+  let rec go i acc = if i >= count then List.rev acc else go (i + jobs) (i :: acc) in
+  go w []
+
+let plan ~count ~jobs =
+  check ~count ~jobs;
+  Array.init jobs (fun w -> cases_of ~count ~jobs w)

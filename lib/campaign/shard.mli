@@ -1,0 +1,23 @@
+(** Deterministic seed-space sharding.
+
+    A campaign over [count] cases split across [jobs] workers assigns case
+    index [i] to worker [i mod jobs] (round-robin).  The assignment is a pure
+    function of [(count, jobs)], so a resumed or re-run campaign distributes
+    identically; round-robin also balances the front of the corpus across
+    workers, which matters because case cost is roughly uniform but the
+    campaign may be interrupted at any prefix.
+
+    Invariants (property-tested): the shards are pairwise disjoint, their
+    union is exactly [{0, …, count-1}], each shard is strictly increasing,
+    and no shard exists for a worker index outside [0, jobs). *)
+
+val worker_of_case : jobs:int -> int -> int
+(** [worker_of_case ~jobs i] — the worker owning case [i]. *)
+
+val cases_of : count:int -> jobs:int -> int -> int list
+(** [cases_of ~count ~jobs w] — worker [w]'s case indices, strictly
+    increasing.  Empty when [w >= count].  Raises [Invalid_argument] when
+    [jobs < 1], [count < 0], or [w] is outside [0, jobs). *)
+
+val plan : count:int -> jobs:int -> int list array
+(** All shards: [(plan ~count ~jobs).(w) = cases_of ~count ~jobs w]. *)

@@ -14,30 +14,35 @@ type counters = {
   dom_misses : int;
 }
 
-let c_meminfo_hits = ref 0
-let c_meminfo_misses = ref 0
-let c_cfg_hits = ref 0
-let c_cfg_misses = ref 0
-let c_dom_hits = ref 0
-let c_dom_misses = ref 0
+(* atomics: campaign workers compile from several domains at once, and the
+   process-wide totals must aggregate across all of them without losing
+   increments *)
+let c_meminfo_hits = Atomic.make 0
+let c_meminfo_misses = Atomic.make 0
+let c_cfg_hits = Atomic.make 0
+let c_cfg_misses = Atomic.make 0
+let c_dom_hits = Atomic.make 0
+let c_dom_misses = Atomic.make 0
+
+let bump c = Atomic.incr c
 
 let counters () =
   {
-    meminfo_hits = !c_meminfo_hits;
-    meminfo_misses = !c_meminfo_misses;
-    cfg_hits = !c_cfg_hits;
-    cfg_misses = !c_cfg_misses;
-    dom_hits = !c_dom_hits;
-    dom_misses = !c_dom_misses;
+    meminfo_hits = Atomic.get c_meminfo_hits;
+    meminfo_misses = Atomic.get c_meminfo_misses;
+    cfg_hits = Atomic.get c_cfg_hits;
+    cfg_misses = Atomic.get c_cfg_misses;
+    dom_hits = Atomic.get c_dom_hits;
+    dom_misses = Atomic.get c_dom_misses;
   }
 
 let reset_counters () =
-  c_meminfo_hits := 0;
-  c_meminfo_misses := 0;
-  c_cfg_hits := 0;
-  c_cfg_misses := 0;
-  c_dom_hits := 0;
-  c_dom_misses := 0
+  Atomic.set c_meminfo_hits 0;
+  Atomic.set c_meminfo_misses 0;
+  Atomic.set c_cfg_hits 0;
+  Atomic.set c_cfg_misses 0;
+  Atomic.set c_dom_hits 0;
+  Atomic.set c_dom_misses 0
 
 let hit_rate c =
   let hits = c.meminfo_hits + c.cfg_hits + c.dom_hits in
@@ -61,10 +66,10 @@ let create prog =
 let meminfo t =
   match t.cached_meminfo with
   | Some mi ->
-    incr c_meminfo_hits;
+    bump c_meminfo_hits;
     mi
   | None ->
-    incr c_meminfo_misses;
+    bump c_meminfo_misses;
     let mi = Dce_opt.Meminfo.analyze t.cur in
     t.cached_meminfo <- Some mi;
     mi
@@ -72,10 +77,10 @@ let meminfo t =
 let predecessors t fn =
   match Hashtbl.find_opt t.preds fn.Ir.fn_name with
   | Some p ->
-    incr c_cfg_hits;
+    bump c_cfg_hits;
     p
   | None ->
-    incr c_cfg_misses;
+    bump c_cfg_misses;
     let p = Dce_ir.Cfg.predecessors fn in
     Hashtbl.replace t.preds fn.Ir.fn_name p;
     p
@@ -83,10 +88,10 @@ let predecessors t fn =
 let dominators t fn =
   match Hashtbl.find_opt t.doms fn.Ir.fn_name with
   | Some d ->
-    incr c_dom_hits;
+    bump c_dom_hits;
     d
   | None ->
-    incr c_dom_misses;
+    bump c_dom_misses;
     let d = Dce_ir.Dom.compute fn in
     Hashtbl.replace t.doms fn.Ir.fn_name d;
     d

@@ -19,18 +19,22 @@ type t = {
 
 type outcome = Analyzed of t | Rejected of string
 
+type phase_hook = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+
+let default_hook = { wrap = (fun _name f -> f ()) }
 let default_compilers () = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
 
-let run ?compilers ?(levels = C.Level.all) ?fuel prog =
+let run ?compilers ?(levels = C.Level.all) ?fuel ?(hook = default_hook) prog =
   let compilers = match compilers with Some cs -> cs | None -> default_compilers () in
-  let instrumented = Instrument.program prog in
-  match Ground_truth.compute ?fuel instrumented with
+  let instrumented = hook.wrap "instrument" (fun () -> Instrument.program prog) in
+  match hook.wrap "ground-truth" (fun () -> Ground_truth.compute ?fuel instrumented) with
   | Ground_truth.Rejected reason -> Rejected reason
   | Ground_truth.Valid truth ->
     let graph =
-      Primary.build
-        ~block_live:(Ground_truth.block_live truth)
-        (Dce_ir.Lower.program instrumented)
+      hook.wrap "primary-graph" (fun () ->
+          Primary.build
+            ~block_live:(Ground_truth.block_live truth)
+            (Dce_ir.Lower.program instrumented))
     in
     let configs =
       List.concat_map
@@ -38,7 +42,10 @@ let run ?compilers ?(levels = C.Level.all) ?fuel prog =
           List.map
             (fun level ->
               let cfg = { Differential.compiler; level; version = None } in
-              let surviving, cfg_trace = Differential.surviving_traced cfg instrumented in
+              let surviving, cfg_trace =
+                hook.wrap "differential" (fun () ->
+                    Differential.surviving_traced cfg instrumented)
+              in
               let missed = Differential.missed ~surviving ~dead:truth.Ground_truth.dead in
               let primary_missed =
                 Primary.primary_missed graph ~alive:truth.Ground_truth.alive ~missed

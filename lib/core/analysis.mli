@@ -27,10 +27,18 @@ type outcome =
   | Analyzed of t
   | Rejected of string  (** ground truth rejected the program *)
 
+type phase_hook = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+(** Observation hook around each pipeline phase of {!run}: called with the
+    phase name ("instrument", "ground-truth", "primary-graph", or
+    "differential") and the thunk computing that phase.  The campaign engine
+    uses it to time phases and to attribute per-case faults to the guilty
+    stage; the default hook just runs the thunk. *)
+
 val run :
   ?compilers:Dce_compiler.Compiler.t list ->
   ?levels:Dce_compiler.Level.t list ->
   ?fuel:int ->
+  ?hook:phase_hook ->
   Dce_minic.Ast.program ->
   outcome
 (** [run raw_program] — the program must be uninstrumented and type-checked.

@@ -33,8 +33,10 @@ let reach_map prog =
   done;
   tbl
 
-(* a unique-ish suffix for cloned frame symbols *)
-let clone_counter = ref 0
+(* a unique-ish suffix for cloned frame symbols; atomic because campaign
+   workers inline from several domains concurrently (uniqueness is only
+   needed within one compilation, but increments must not tear) *)
+let clone_counter = Atomic.make 0
 
 (* splice [callee] into [caller] at the call site (block [l], index [idx]);
    returns the new caller and the frame symbols to add to the program *)
@@ -43,8 +45,7 @@ let inline_site caller callee ~callee_frames l idx res args =
   let prefix = Dce_support.Listx.take idx b.b_instrs in
   let suffix = Dce_support.Listx.drop (idx + 1) b.b_instrs in
   (* frame symbol renaming for this call site *)
-  incr clone_counter;
-  let sym_suffix = Printf.sprintf "$i%d" !clone_counter in
+  let sym_suffix = Printf.sprintf "$i%d" (1 + Atomic.fetch_and_add clone_counter 1) in
   let sym_rename name = name ^ sym_suffix in
   (* label/var offsets into the caller's namespace *)
   let loff = caller.fn_next_label in

@@ -48,7 +48,24 @@ type t = {
 
 let config_name c l = Printf.sprintf "%s %s" c (C.Level.to_string l)
 
-let collect outcomes =
+(* collect's deterministic output orderings, shared with [merge] *)
+let sort_per_config l =
+  List.sort
+    (fun a b ->
+      compare
+        (a.ct_compiler, C.Level.compare_strength a.ct_level b.ct_level)
+        (b.ct_compiler, 0))
+    l
+
+let sort_per_pass l =
+  List.sort
+    (fun a b ->
+      compare
+        (a.pt_compiler, C.Level.to_string a.pt_level, -a.pt_markers, a.pt_stage)
+        (b.pt_compiler, C.Level.to_string b.pt_level, -b.pt_markers, b.pt_stage))
+    l
+
+let collect_indexed outcomes =
   let programs = List.length outcomes in
   let rejected = ref 0 in
   let total_markers = ref 0 in
@@ -64,8 +81,8 @@ let collect outcomes =
     let m0, p0 = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
     Hashtbl.replace tbl key (m0 + m, p0 + p)
   in
-  List.iteri
-    (fun idx (outcome, _raw) ->
+  List.iter
+    (fun (idx, (outcome, _raw)) ->
       match outcome with
       | Core.Analysis.Rejected _ -> incr rejected
       | Core.Analysis.Analyzed a ->
@@ -156,20 +173,14 @@ let collect outcomes =
       (fun (c, l) (m, p) acc ->
         { ct_compiler = c; ct_level = l; ct_missed = m; ct_primary = p } :: acc)
       per_config []
-    |> List.sort (fun a b ->
-           compare
-             (a.ct_compiler, C.Level.compare_strength a.ct_level b.ct_level)
-             (b.ct_compiler, 0))
+    |> sort_per_config
   in
   let per_pass =
     Hashtbl.fold
       (fun (c, l, s) n acc ->
         { pt_compiler = c; pt_level = l; pt_stage = s; pt_markers = n } :: acc)
       per_pass []
-    |> List.sort (fun a b ->
-           compare
-             (a.pt_compiler, C.Level.to_string a.pt_level, -a.pt_markers, a.pt_stage)
-             (b.pt_compiler, C.Level.to_string b.pt_level, -b.pt_markers, b.pt_stage))
+    |> sort_per_pass
   in
   let pairs tbl =
     Hashtbl.fold
@@ -190,6 +201,77 @@ let collect outcomes =
     level_regressions = pairs level_reg;
     findings = List.rev !findings;
     regression_findings = List.rev !regression_findings;
+  }
+
+let collect outcomes = collect_indexed (List.mapi (fun i o -> (i, o)) outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* merging per-worker shard statistics                                 *)
+(* ------------------------------------------------------------------ *)
+
+let merge_assoc keys_of combine items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun it ->
+      let k = keys_of it in
+      match Hashtbl.find_opt tbl k with
+      | Some prev -> Hashtbl.replace tbl k (combine prev it)
+      | None ->
+        Hashtbl.add tbl k it;
+        order := k :: !order)
+    items;
+  List.rev_map (Hashtbl.find tbl) !order
+
+(* findings of one program always come from exactly one shard, so a stable
+   sort on the program index recovers the global corpus order *)
+let merge_findings a b =
+  List.stable_sort (fun f g -> compare f.f_program g.f_program) (a @ b)
+
+let merge a b =
+  {
+    programs = a.programs + b.programs;
+    rejected = a.rejected + b.rejected;
+    total_markers = a.total_markers + b.total_markers;
+    alive_markers = a.alive_markers + b.alive_markers;
+    dead_markers = a.dead_markers + b.dead_markers;
+    per_config =
+      merge_assoc
+        (fun ct -> (ct.ct_compiler, ct.ct_level))
+        (fun x y ->
+          { x with ct_missed = x.ct_missed + y.ct_missed; ct_primary = x.ct_primary + y.ct_primary })
+        (a.per_config @ b.per_config)
+      |> sort_per_config;
+    per_pass =
+      merge_assoc
+        (fun pt -> (pt.pt_compiler, pt.pt_level, pt.pt_stage))
+        (fun x y -> { x with pt_markers = x.pt_markers + y.pt_markers })
+        (a.per_pass @ b.per_pass)
+      |> sort_per_pass;
+    cross_compiler =
+      merge_assoc
+        (fun d -> (d.left, d.right))
+        (fun x y ->
+          {
+            x with
+            only_left_misses = x.only_left_misses + y.only_left_misses;
+            only_left_primary = x.only_left_primary + y.only_left_primary;
+          })
+        (a.cross_compiler @ b.cross_compiler)
+      |> List.sort compare;
+    level_regressions =
+      merge_assoc
+        (fun d -> (d.left, d.right))
+        (fun x y ->
+          {
+            x with
+            only_left_misses = x.only_left_misses + y.only_left_misses;
+            only_left_primary = x.only_left_primary + y.only_left_primary;
+          })
+        (a.level_regressions @ b.level_regressions)
+      |> List.sort compare;
+    findings = merge_findings a.findings b.findings;
+    regression_findings = merge_findings a.regression_findings b.regression_findings;
   }
 
 let totals_for t comp level =

@@ -596,8 +596,12 @@ let generate config =
          (String.concat "\n" errs)
          (Dce_minic.Pretty.program_to_string prog))
 
-let generate_corpus ~seed ~count =
+(* the per-program seed sequence behind [generate_corpus], exposed so a
+   sharded campaign can regenerate any single corpus program from its index
+   without drawing the whole corpus *)
+let corpus_seeds ~seed ~count =
   let rng = Rng.make seed in
-  List.init count (fun _ ->
-      let s = Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2) in
-      generate (default_config s))
+  List.init count (fun _ -> Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2))
+
+let generate_corpus ~seed ~count =
+  List.map (fun s -> generate (default_config s)) (corpus_seeds ~seed ~count)

@@ -60,5 +60,11 @@ val generate : config -> Dce_minic.Ast.program * (kind * int) list
 (** Returns the (type-checked) program and the count of planted sites per
     kind.  Same config ⇒ identical program. *)
 
+val corpus_seeds : seed:int -> count:int -> int list
+(** The per-program seeds [generate_corpus] derives from the master [seed]:
+    program [i] of the corpus is exactly
+    [generate (default_config (List.nth (corpus_seeds ~seed ~count) i))].
+    Lets a sharded campaign regenerate any corpus program from its index. *)
+
 val generate_corpus : seed:int -> count:int -> (Dce_minic.Ast.program * (kind * int) list) list
 (** [count] programs from derived seeds. *)

@@ -1,0 +1,8 @@
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    (* tolerate a concurrent creator (two campaign workers journaling into
+       the same fresh directory) *)
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end

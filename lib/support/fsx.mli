@@ -1,0 +1,6 @@
+(** Tiny filesystem helpers. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents ([mkdir -p]).  No-op when the
+    path already exists; raises [Sys_error] only when creation genuinely
+    fails (e.g. permission denied, or a path component is a regular file). *)

@@ -1,0 +1,351 @@
+(* The determinism/property wall around the campaign engine:
+
+   - jobs-independence: a parallel campaign yields byte-identical statistics,
+     findings, and triage tables to the sequential one
+   - seed-sharding invariants (QCheck): disjoint shards covering the range
+   - fault isolation: an injected per-case crash quarantines that case only
+   - checkpoint/resume: a journal truncated mid-line resumes to the same
+     final report as an uninterrupted run
+   - JSON and journal codecs, metrics percentiles, Stats.merge *)
+
+open Helpers
+module Campaign = Dce_campaign
+module Engine = Campaign.Engine
+module Json = Campaign.Json
+module Shard = Campaign.Shard
+module Metrics = Campaign.Metrics
+module Stats = Dce_report.Stats
+
+let corpus_count = 50
+let corpus_seed = 20220228
+
+(* the two campaigns the determinism tests compare; shared across tests *)
+let seq = lazy (Campaign.Corpus.run ~jobs:1 ~seed:corpus_seed ~count:corpus_count ())
+let par = lazy (Campaign.Corpus.run ~jobs:4 ~seed:corpus_seed ~count:corpus_count ())
+
+let temp_journal () = Filename.temp_file "dce_campaign_test" ".jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* keep the header plus [cases] complete case lines, then a torn partial
+   line — the shape a killed campaign leaves behind *)
+let truncate_journal path ~cases =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let kept = List.filteri (fun i _ -> i <= cases) lines in
+  write_file path (String.concat "\n" kept ^ "\n{\"case\":99,\"stat")
+
+(* ------------------------------------------------------------------ *)
+(* determinism: jobs must not change any result                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs_determinism_stats () =
+  let sa = Campaign.Corpus.stats (Lazy.force seq) in
+  let sb = Campaign.Corpus.stats (Lazy.force par) in
+  Alcotest.(check int) "programs" sa.Stats.programs sb.Stats.programs;
+  Alcotest.(check bool) "findings identical" true (sa.Stats.findings = sb.Stats.findings);
+  Alcotest.(check bool) "regression findings identical" true
+    (sa.Stats.regression_findings = sb.Stats.regression_findings);
+  Alcotest.(check bool) "full stats identical" true (sa = sb);
+  Alcotest.(check string) "table1" (Stats.table1 sa) (Stats.table1 sb);
+  Alcotest.(check string) "table2" (Stats.table2 sa) (Stats.table2 sb);
+  Alcotest.(check string) "differentials" (Stats.differential_summary sa)
+    (Stats.differential_summary sb);
+  Alcotest.(check string) "attribution" (Stats.attribution_table sa)
+    (Stats.attribution_table sb)
+
+let test_jobs_determinism_triage () =
+  let triage c =
+    let st = Campaign.Corpus.stats c in
+    Dce_report.Triage.triage
+      ~programs:(Campaign.Corpus.instrumented_programs c)
+      (st.Stats.findings @ st.Stats.regression_findings)
+  in
+  let ra = triage (Lazy.force seq) in
+  let rb = triage (Lazy.force par) in
+  Alcotest.(check bool) "report clusters identical" true (ra = rb);
+  Alcotest.(check string) "table5 identical" (Dce_report.Triage.table5 ra)
+    (Dce_report.Triage.table5 rb)
+
+let test_metrics_sanity () =
+  let c = Lazy.force seq in
+  let m = c.Campaign.Corpus.c_metrics in
+  Alcotest.(check int) "every case executed" corpus_count m.Metrics.cases;
+  Alcotest.(check bool) "throughput positive" true (m.Metrics.throughput > 0.);
+  let diff =
+    List.find_opt (fun s -> s.Metrics.ss_stage = "differential") m.Metrics.stages
+  in
+  (match diff with
+   | None -> Alcotest.fail "no differential stage in metrics"
+   | Some s ->
+     Alcotest.(check bool) "differential sampled" true (s.Metrics.ss_samples > 0);
+     Alcotest.(check bool) "p50 <= p90 <= p99" true
+       (s.Metrics.ss_p50 <= s.Metrics.ss_p90 && s.Metrics.ss_p90 <= s.Metrics.ss_p99));
+  let cache = m.Metrics.cache in
+  Alcotest.(check bool) "cache counters moved" true
+    (cache.Dce_compiler.Passmgr.cfg_hits + cache.Dce_compiler.Passmgr.cfg_misses > 0)
+
+(* ------------------------------------------------------------------ *)
+(* seed sharding (QCheck)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shard_gen = QCheck2.Gen.(pair (int_bound 300) (int_range 1 12))
+
+let rec strictly_increasing = function
+  | a :: (b :: _ as tl) -> a < b && strictly_increasing tl
+  | _ -> true
+
+let shard_disjoint_cover =
+  qtest ~count:200 "shards partition 0..count-1" shard_gen (fun (count, jobs) ->
+      let plan = Shard.plan ~count ~jobs in
+      let all = List.concat (Array.to_list plan) in
+      (* strictly increasing within each shard *)
+      Array.for_all strictly_increasing plan
+      (* pairwise disjoint: total size equals the union's size *)
+      && List.length all = count
+      (* union covers the range exactly *)
+      && List.sort compare all = List.init count Fun.id)
+
+let shard_owner_consistent =
+  qtest ~count:200 "worker_of_case agrees with cases_of" shard_gen (fun (count, jobs) ->
+      List.for_all
+        (fun i ->
+          let w = Shard.worker_of_case ~jobs i in
+          0 <= w && w < jobs && List.mem i (Shard.cases_of ~count ~jobs w))
+        (List.init count Fun.id))
+
+let test_shard_invalid () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Shard: jobs must be >= 1") (fun () ->
+      ignore (Shard.cases_of ~count:4 ~jobs:0 0));
+  Alcotest.check_raises "worker out of range" (Invalid_argument "Shard: worker index out of range")
+    (fun () -> ignore (Shard.cases_of ~count:4 ~jobs:2 2))
+
+(* ------------------------------------------------------------------ *)
+(* engine semantics on a toy runner (cheap, no compilation)            *)
+(* ------------------------------------------------------------------ *)
+
+let toy_codec = { Engine.encode = (fun i -> Json.Int i); decode = Json.int_exn }
+
+let test_engine_toy_parallel () =
+  let r = Engine.run ~jobs:8 ~count:5 (fun _ctx i -> i * i) in
+  Alcotest.(check bool) "squares in case order" true
+    (Array.to_list r.Engine.outcomes = List.map (fun i -> Engine.Done (i * i)) [ 0; 1; 2; 3; 4 ]);
+  Alcotest.(check int) "no quarantine" 0 (List.length r.Engine.quarantine);
+  let r0 = Engine.run ~jobs:3 ~count:0 (fun _ctx i -> i) in
+  Alcotest.(check int) "empty campaign" 0 (Array.length r0.Engine.outcomes)
+
+let test_engine_innermost_stage () =
+  let r =
+    Engine.run ~jobs:2 ~count:6 (fun ctx i ->
+        Engine.stage ctx "outer" (fun () ->
+            Engine.stage ctx "inner" (fun () ->
+                if i = 3 then failwith "boom";
+                i)))
+  in
+  match r.Engine.quarantine with
+  | [ q ] ->
+    Alcotest.(check int) "guilty case" 3 q.Engine.q_case;
+    Alcotest.(check string) "innermost stage" "inner" q.Engine.q_stage;
+    Alcotest.(check bool) "error text kept" true (contains q.Engine.q_error "boom")
+  | qs -> Alcotest.failf "expected one quarantined case, got %d" (List.length qs)
+
+let test_engine_toy_resume () =
+  let path = temp_journal () in
+  let executed = ref [] in
+  let runner _ctx i =
+    executed := i :: !executed;
+    i + 100
+  in
+  let r1 = Engine.run ~journal:path ~codec:toy_codec ~seed:7 ~jobs:1 ~count:10 runner in
+  Alcotest.(check int) "first run executes all" 10 (List.length !executed);
+  truncate_journal path ~cases:6;
+  executed := [];
+  let r2 = Engine.run ~journal:path ~codec:toy_codec ~seed:7 ~jobs:1 ~count:10 runner in
+  Alcotest.(check int) "six cases restored" 6 r2.Engine.resumed;
+  Alcotest.(check int) "four cases re-executed" 4 (List.length !executed);
+  Alcotest.(check bool) "same outcomes" true (r1.Engine.outcomes = r2.Engine.outcomes);
+  (* the rewritten journal is complete again: a third run re-executes nothing *)
+  executed := [];
+  let r3 = Engine.run ~journal:path ~codec:toy_codec ~seed:7 ~jobs:4 ~count:10 runner in
+  Alcotest.(check int) "all restored" 10 r3.Engine.resumed;
+  Alcotest.(check int) "nothing re-executed" 0 (List.length !executed);
+  Alcotest.(check bool) "same outcomes across jobs" true (r1.Engine.outcomes = r3.Engine.outcomes);
+  Sys.remove path
+
+let test_engine_journal_mismatch () =
+  let path = temp_journal () in
+  ignore (Engine.run ~journal:path ~codec:toy_codec ~seed:1 ~jobs:1 ~count:3 (fun _ i -> i));
+  (match
+     Engine.run ~journal:path ~codec:toy_codec ~seed:2 ~jobs:1 ~count:3 (fun _ i -> i)
+   with
+   | _ -> Alcotest.fail "expected a header-mismatch failure"
+   | exception Failure msg ->
+     Alcotest.(check bool) "mismatch names both campaigns" true (contains msg "seed=1"));
+  (match Engine.run ~journal:path ~jobs:1 ~count:3 (fun _ i -> i) with
+   | _ -> Alcotest.fail "expected journal-without-codec rejection"
+   | exception Invalid_argument _ -> ());
+  Sys.remove path
+
+let test_engine_crash_checkpointed () =
+  let path = temp_journal () in
+  let runner _ctx i = if i = 2 then failwith "flaky" else i in
+  let r1 = Engine.run ~journal:path ~codec:toy_codec ~jobs:2 ~count:5 runner in
+  Alcotest.(check int) "one quarantined" 1 (List.length r1.Engine.quarantine);
+  (* resume with a runner that would now succeed: the journaled crash is
+     replayed, not retried — quarantine is part of the campaign's record *)
+  let r2 = Engine.run ~journal:path ~codec:toy_codec ~jobs:1 ~count:5 (fun _ i -> i) in
+  Alcotest.(check int) "all five restored" 5 r2.Engine.resumed;
+  Alcotest.(check bool) "quarantine replayed" true
+    (r1.Engine.quarantine = r2.Engine.quarantine);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* fault isolation on the real corpus campaign                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_isolation () =
+  let count = 8 in
+  let clean = Campaign.Corpus.run ~jobs:2 ~seed:4242 ~count () in
+  let crashed = Campaign.Corpus.run ~jobs:2 ~seed:4242 ~count ~inject_crash:[ 1; 6 ] () in
+  Alcotest.(check int) "campaign completed all slots" count
+    (Array.length crashed.Campaign.Corpus.c_cases);
+  (match crashed.Campaign.Corpus.c_quarantine with
+   | [ a; b ] ->
+     Alcotest.(check (list int)) "quarantined cases" [ 1; 6 ]
+       [ a.Engine.q_case; b.Engine.q_case ];
+     Alcotest.(check string) "guilty stage" "generate" a.Engine.q_stage;
+     Alcotest.(check bool) "error recorded" true (contains a.Engine.q_error "injected");
+     let text = Campaign.Corpus.quarantine_to_string crashed in
+     Alcotest.(check bool) "report names the seed" true
+       (contains text (string_of_int crashed.Campaign.Corpus.c_seeds.(1)))
+   | qs -> Alcotest.failf "expected 2 quarantined cases, got %d" (List.length qs));
+  (* the surviving cases are untouched: findings minus the crashed programs *)
+  let surviving_findings c =
+    List.filter
+      (fun (f : Stats.finding) -> f.Stats.f_program <> 1 && f.Stats.f_program <> 6)
+      (Campaign.Corpus.stats c).Stats.findings
+  in
+  Alcotest.(check bool) "other cases' findings preserved" true
+    (surviving_findings clean = (Campaign.Corpus.stats crashed).Stats.findings)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint/resume on the real corpus campaign                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_resume () =
+  let count = 8 and seed = 555 in
+  let path = temp_journal () in
+  let full = Campaign.Corpus.run ~journal:path ~jobs:1 ~seed ~count () in
+  truncate_journal path ~cases:3;
+  let resumed = Campaign.Corpus.run ~journal:path ~jobs:2 ~seed ~count () in
+  Alcotest.(check int) "three cases restored" 3 resumed.Campaign.Corpus.c_resumed;
+  let sa = Campaign.Corpus.stats full and sb = Campaign.Corpus.stats resumed in
+  Alcotest.(check bool) "stats equal after resume" true (sa = sb);
+  Alcotest.(check string) "table1 equal" (Stats.table1 sa) (Stats.table1 sb);
+  Sys.remove path
+
+let test_value_campaign_determinism () =
+  let a = Campaign.Corpus.run_value ~jobs:1 ~seed:corpus_seed ~count:6 () in
+  let b = Campaign.Corpus.run_value ~jobs:3 ~seed:corpus_seed ~count:6 () in
+  Alcotest.(check bool) "value cases identical" true
+    (a.Campaign.Corpus.v_cases = b.Campaign.Corpus.v_cases);
+  Alcotest.(check string) "value table identical" (Campaign.Corpus.value_table a)
+    (Campaign.Corpus.value_table b)
+
+(* ------------------------------------------------------------------ *)
+(* Stats.merge                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_merge_equals_collect () =
+  let cases = Campaign.Corpus.outcomes (Lazy.force seq) in
+  let whole = Stats.collect_indexed cases in
+  let bucket k = List.filter (fun (i, _) -> i mod 3 = k) cases in
+  let parts = List.map (fun k -> Stats.collect_indexed (bucket k)) [ 0; 1; 2 ] in
+  let fold l = List.fold_left Stats.merge (List.hd l) (List.tl l) in
+  Alcotest.(check bool) "merge of shards = collect of union" true (fold parts = whole);
+  (* associativity / order-independence *)
+  Alcotest.(check bool) "merge order irrelevant" true (fold (List.rev parts) = whole)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec and metrics helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  let finite_float = map (fun (a, b) -> float_of_int a /. float_of_int (1 + abs b)) (pair int int) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.String s) string;
+      ]
+  in
+  let rec value n =
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map (fun l -> Json.List l) (list_size (int_bound 4) (value (n - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_bound 4) (pair string (value (n - 1))));
+        ]
+  in
+  value 3
+
+let json_roundtrip =
+  qtest ~count:300 "json: of_string (to_string v) = v" json_gen (fun v ->
+      Json.of_string (Json.to_string v) = Ok v)
+
+let test_json_escaping () =
+  let v = Json.Obj [ ("k\"ey\n", Json.String "a\tb\\c\x01d\xc3\xa9") ] in
+  Alcotest.(check bool) "awkward strings round-trip" true
+    (Json.of_string (Json.to_string v) = Ok v);
+  (match Json.of_string "{\"a\":[1,tru" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "truncated input must not parse");
+  Alcotest.(check bool) "single line" true
+    (not (String.contains (Json.to_string v) '\n'))
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Metrics.percentile xs 0.5);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (Metrics.percentile xs 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (Metrics.percentile xs 1.0);
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Metrics.percentile [||] 0.5);
+  Alcotest.(check (float 0.0)) "singleton" 7.0 (Metrics.percentile [| 7.0 |] 0.9)
+
+let suite =
+  [
+    ("jobs determinism: stats and findings", `Slow, test_jobs_determinism_stats);
+    ("jobs determinism: triage tables", `Slow, test_jobs_determinism_triage);
+    ("campaign metrics sanity", `Slow, test_metrics_sanity);
+    shard_disjoint_cover;
+    shard_owner_consistent;
+    ("shard: invalid arguments", `Quick, test_shard_invalid);
+    ("engine: toy parallel run", `Quick, test_engine_toy_parallel);
+    ("engine: innermost stage blamed", `Quick, test_engine_innermost_stage);
+    ("engine: resume from torn journal", `Quick, test_engine_toy_resume);
+    ("engine: journal header mismatch", `Quick, test_engine_journal_mismatch);
+    ("engine: crashes are checkpointed", `Quick, test_engine_crash_checkpointed);
+    ("fault isolation: injected crash quarantined", `Slow, test_fault_isolation);
+    ("checkpoint/resume: corpus campaign", `Slow, test_corpus_resume);
+    ("value campaign: jobs determinism", `Slow, test_value_campaign_determinism);
+    ("stats: merge equals collect", `Slow, test_stats_merge_equals_collect);
+    json_roundtrip;
+    ("json: escaping and truncation", `Quick, test_json_escaping);
+    ("metrics: nearest-rank percentile", `Quick, test_percentile);
+  ]

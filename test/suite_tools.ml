@@ -230,6 +230,31 @@ int main(void) {
         (Dce_report.Triage.status_name r.Dce_report.Triage.r_status)
     | None -> Alcotest.fail "expected a gcc report")
 
+(* ---- generate --out with nested directories (regression) ---- *)
+
+let test_mkdir_p_nested () =
+  (* `dce_hunt generate --out a/b` used a bare Sys.mkdir and failed whenever
+     the parent did not exist; the CLI now goes through Fsx.mkdir_p *)
+  let base = Filename.temp_file "dce_mkdirp" "" in
+  Sys.remove base;
+  let nested = Filename.concat (Filename.concat base "a") "b" in
+  Dce_support.Fsx.mkdir_p nested;
+  Alcotest.(check bool) "nested directory created" true
+    (Sys.file_exists nested && Sys.is_directory nested);
+  (* idempotent on an existing directory *)
+  Dce_support.Fsx.mkdir_p nested;
+  Alcotest.(check bool) "still a directory" true (Sys.is_directory nested);
+  (* a corpus file can be written inside, as generate does *)
+  let f = Filename.concat nested "p0000.c" in
+  let oc = open_out f in
+  output_string oc "int main(void) { return 0; }\n";
+  close_out oc;
+  Alcotest.(check bool) "file written in new tree" true (Sys.file_exists f);
+  Sys.remove f;
+  Sys.rmdir nested;
+  Sys.rmdir (Filename.concat base "a");
+  Sys.rmdir base
+
 let suite =
   [
     ("reduce: shrinks and preserves", `Slow, test_reduce_shrinks_and_preserves);
@@ -243,4 +268,5 @@ let suite =
     ("tables: formatting", `Quick, test_tables_render);
     ("triage: classification (Listing 4)", `Quick, test_triage_classifies);
     ("triage: duplicate and fixed statuses", `Quick, test_triage_duplicate_and_fixed);
+    ("fsx: mkdir_p nested out dir (generate regression)", `Quick, test_mkdir_p_nested);
   ]
