@@ -28,8 +28,46 @@ let jobs =
   | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
+(* When set, the whole run is additionally dumped as one JSON document:
+   every section's name, wall time, and rendered text, plus the structured
+   reduction metrics.  BENCH_reduce.json is written regardless. *)
+let json_path = Sys.getenv_opt "DCE_BENCH_JSON"
+
 let section title =
   Printf.printf "\n=== %s ===\n" title
+
+let section_log : (string * float * string) list ref = ref []
+
+(* Run one section, timing it; with DCE_BENCH_JSON set, tee its stdout
+   through a temp file so the dump carries the rendered text verbatim. *)
+let run_section name f =
+  let t0 = Unix.gettimeofday () in
+  let text =
+    match json_path with
+    | None ->
+      f ();
+      ""
+    | Some _ ->
+      flush stdout;
+      let tmp = Filename.temp_file "dce_bench" ".txt" in
+      let saved = Unix.dup Unix.stdout in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      Fun.protect
+        ~finally:(fun () ->
+          flush stdout;
+          Unix.dup2 saved Unix.stdout;
+          Unix.close saved)
+        f;
+      let ic = open_in_bin tmp in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove tmp;
+      print_string text;
+      text
+  in
+  section_log := (name, Unix.gettimeofday () -. t0, text) :: !section_log
 
 (* ------------------------------------------------------------------ *)
 (* corpus and analysis (shared by all tables)                          *)
@@ -362,6 +400,117 @@ let print_ablations () =
     with_edge without_edge
 
 (* ------------------------------------------------------------------ *)
+(* Reduction engine benchmark (§4.3 / lib/reduce)                      *)
+(* ------------------------------------------------------------------ *)
+
+module Reduce = Dce_reduce
+
+(* (instrumented program, marker) pairs where gcc -O3 keeps a dead marker
+   that llvm -O3 eliminates — the paper's reduction predicate, drawn from
+   the differentials the campaign already computed *)
+let reduction_corpus = lazy begin
+  List.filter_map
+    (fun (outcome, _) ->
+      match outcome with
+      | Core.Analysis.Analyzed a -> (
+        match
+          ( Core.Analysis.find_config a "gcc-sim" C.Level.O3,
+            Core.Analysis.find_config a "llvm-sim" C.Level.O3 )
+        with
+        | Some g, Some l -> (
+          let cand =
+            Ir.Iset.filter
+              (fun m -> not (Ir.Iset.mem m l.Core.Analysis.surviving))
+              g.Core.Analysis.missed
+          in
+          match Ir.Iset.min_elt_opt cand with
+          | Some m -> Some (a.Core.Analysis.instrumented, m)
+          | None -> None)
+        | _ -> None)
+      | Core.Analysis.Rejected _ -> None)
+    (Lazy.force analyses)
+end
+
+let reduce_bench_json : Campaign.Json.t ref = ref Campaign.Json.Null
+
+let print_reduction () =
+  section
+    (Printf.sprintf "Reduction engine: staged + memoized predicate, %d worker domain(s)" jobs);
+  let cases = Dce_support.Listx.take 8 (Lazy.force reduction_corpus) in
+  if cases = [] then print_endline "no gcc-keeps/llvm-kills differential in this corpus; skipping"
+  else begin
+    C.Compiler.clear_caches ();
+    let mk compiler = { Core.Differential.compiler; level = C.Level.O3; version = None } in
+    let naive = ref 0 and staged = ref 0 and run_ = ref 0 and charged = ref 0 in
+    let case_rows =
+      List.mapi
+        (fun i (prog, marker) ->
+          let predicate =
+            Reduce.Predicate.marker_diff ~compile_cache:true
+              ~keep_missed_by:(mk C.Gcc_sim.compiler) ~eliminated_by:(mk C.Llvm_sim.compiler)
+              ~marker
+          in
+          let r = Reduce.Engine.reduce ~max_tests:250 ~jobs ~predicate prog in
+          let s = r.Reduce.Engine.stats in
+          naive := !naive + s.Reduce.Engine.s_pipelines_naive;
+          staged := !staged + s.Reduce.Engine.s_pipelines_staged;
+          run_ := !run_ + s.Reduce.Engine.s_pipelines_run;
+          charged := !charged + s.Reduce.Engine.s_charged;
+          Printf.printf
+            "  case %d marker %-3d  size %4d -> %-4d  %d rounds, %d tests, pipelines %d (naive %d)\n"
+            i marker r.Reduce.Engine.initial_size r.Reduce.Engine.final_size
+            r.Reduce.Engine.rounds r.Reduce.Engine.tests_run s.Reduce.Engine.s_pipelines_run
+            s.Reduce.Engine.s_pipelines_naive;
+          Campaign.Json.Obj
+            [
+              ("case", Campaign.Json.Int i);
+              ("marker", Campaign.Json.Int marker);
+              ("initial_size", Campaign.Json.Int r.Reduce.Engine.initial_size);
+              ("final_size", Campaign.Json.Int r.Reduce.Engine.final_size);
+              ("rounds", Campaign.Json.Int r.Reduce.Engine.rounds);
+              ("tests_run", Campaign.Json.Int r.Reduce.Engine.tests_run);
+              ("stats", Reduce.Engine.stats_json s);
+            ])
+        cases
+    in
+    let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+    Printf.printf
+      "pipeline executions over %d cases (%d charged tests): %d actual vs %d naive (%.1fx fewer) \
+       and %d staged-uncached (%.1fx)\n"
+      (List.length cases) !charged !run_ !naive
+      (ratio !naive !run_)
+      !staged
+      (ratio !staged !run_);
+    let cs = C.Compiler.cache_stats () in
+    Printf.printf "compile cache: surviving %d hits / %d misses; lower-fn %d hits / %d misses\n"
+      cs.C.Compiler.cs_surviving.C.Compile_cache.hits
+      cs.C.Compiler.cs_surviving.C.Compile_cache.misses
+      cs.C.Compiler.cs_lower_fn.C.Compile_cache.hits
+      cs.C.Compiler.cs_lower_fn.C.Compile_cache.misses;
+    let doc =
+      Campaign.Json.Obj
+        [
+          ("cases", Campaign.Json.List case_rows);
+          ( "aggregate",
+            Campaign.Json.Obj
+              [
+                ("charged_tests", Campaign.Json.Int !charged);
+                ("pipelines_naive", Campaign.Json.Int !naive);
+                ("pipelines_staged_uncached", Campaign.Json.Int !staged);
+                ("pipelines_run", Campaign.Json.Int !run_);
+                ("speedup_vs_naive", Campaign.Json.Float (ratio !naive !run_));
+              ] );
+        ]
+    in
+    reduce_bench_json := doc;
+    let oc = open_out "BENCH_reduce.json" in
+    output_string oc (Campaign.Json.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    print_endline "wrote BENCH_reduce.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,17 +567,51 @@ let () =
   Printf.printf "DCE-lens reproduction harness — corpus of %d generated programs\n" corpus_size;
   let t0 = Unix.gettimeofday () in
   C.Passmgr.reset_counters ();
-  print_prevalence ();
-  print_table1 ();
-  print_table2 ();
-  print_differentials ();
-  print_passmgr ();
-  print_campaign_metrics ();
-  print_tables34 ();
-  print_table5 ();
-  figure1_demo ();
-  figure2_demo ();
-  print_value_checks ();
-  print_ablations ();
+  List.iter
+    (fun (name, f) -> run_section name f)
+    [
+      ("prevalence", print_prevalence);
+      ("table1", print_table1);
+      ("table2", print_table2);
+      ("differentials", print_differentials);
+      ("passmgr", print_passmgr);
+      ("campaign_metrics", print_campaign_metrics);
+      ("tables34", print_tables34);
+      ("table5", print_table5);
+      ("figure1", figure1_demo);
+      ("figure2", figure2_demo);
+      ("value_checks", print_value_checks);
+      ("ablations", print_ablations);
+      ("reduction", print_reduction);
+    ];
   Printf.printf "\nreproduction sections completed in %.1fs\n" (Unix.gettimeofday () -. t0);
-  micro_benchmarks ()
+  run_section "micro_benchmarks" micro_benchmarks;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let sections =
+      List.rev_map
+        (fun (name, seconds, text) ->
+          Campaign.Json.Obj
+            [
+              ("name", Campaign.Json.String name);
+              ("seconds", Campaign.Json.Float seconds);
+              ("text", Campaign.Json.String text);
+            ])
+        !section_log
+    in
+    let doc =
+      Campaign.Json.Obj
+        [
+          ("corpus_size", Campaign.Json.Int corpus_size);
+          ("jobs", Campaign.Json.Int jobs);
+          ("wall_seconds", Campaign.Json.Float (Unix.gettimeofday () -. t0));
+          ("sections", Campaign.Json.List sections);
+          ("reduce", !reduce_bench_json);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Campaign.Json.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path

@@ -340,26 +340,56 @@ let reduce_cmd =
   let elim = Arg.(value & opt string "llvm" & info [ "eliminated-by" ] ~docv:"gcc|llvm") in
   let elim_level = Arg.(value & opt string "O3" & info [ "eliminated-at" ] ~docv:"O0..O3") in
   let max_tests = Arg.(value & opt int 4000 & info [ "max-tests" ] ~docv:"N") in
-  let run path marker keeper keeper_level elim elim_level max_tests =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print engine statistics on stderr: per-stage hit/reject counters, verdict- and \
+             compile-cache counters, pipeline executions vs the naive predicate, and per-stage \
+             wall-time percentiles.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the content-addressed verdict cache (every charged candidate re-evaluates). \
+             The reduction result is identical either way; this exists for measurement.")
+  in
+  let run path marker keeper keeper_level elim elim_level max_tests jobs journal stats no_cache =
     let prog = read_program path in
     let prog =
       if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
     in
     let mk c l = { Core.Differential.compiler = compiler_of_string c; level = level_of_string l; version = None } in
     let predicate =
-      Dce_reduce.Reduce.marker_diff_predicate ~keep_missed_by:(mk keeper keeper_level)
-        ~eliminated_by:(mk elim elim_level) ~marker
+      Dce_reduce.Predicate.marker_diff ~compile_cache:(not no_cache)
+        ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level) ~marker
     in
-    let result = Dce_reduce.Reduce.reduce ~max_tests ~predicate prog in
+    let result =
+      Dce_reduce.Engine.reduce ~max_tests ~jobs ~cache:(not no_cache) ?journal ~predicate prog
+    in
     Printf.printf "// reduced in %d rounds, %d predicate runs (size %d -> %d)\n"
-      result.Dce_reduce.Reduce.rounds result.Dce_reduce.Reduce.tests_run
-      result.Dce_reduce.Reduce.initial_size result.Dce_reduce.Reduce.final_size;
-    print_string (Dce_minic.Pretty.program_to_string result.Dce_reduce.Reduce.program)
+      result.Dce_reduce.Engine.rounds result.Dce_reduce.Engine.tests_run
+      result.Dce_reduce.Engine.initial_size result.Dce_reduce.Engine.final_size;
+    print_string (Dce_minic.Pretty.program_to_string result.Dce_reduce.Engine.program);
+    if stats then begin
+      let s = result.Dce_reduce.Engine.stats in
+      prerr_string (Dce_reduce.Engine.stats_to_string s);
+      prerr_string (Campaign.Metrics.to_string s.Dce_reduce.Engine.s_metrics)
+    end
   in
   Cmd.v
     (Cmd.info "reduce"
-       ~doc:"Shrink a test case while one configuration keeps the marker and another eliminates it.")
-    Term.(const run $ file_arg $ marker $ keeper $ keeper_level $ elim $ elim_level $ max_tests)
+       ~doc:
+         "Shrink a test case while one configuration keeps the marker and another eliminates it. \
+          The engine stages the predicate cheapest-check-first, memoizes verdicts and compiles by \
+          content hash, and searches candidates on a worker pool ($(b,--jobs)); results are \
+          byte-identical for every jobs value and cache setting.")
+    Term.(
+      const run $ file_arg $ marker $ keeper $ keeper_level $ elim $ elim_level $ max_tests
+      $ jobs_arg $ journal_arg $ stats $ no_cache)
 
 (* ---------- bisect ---------- *)
 

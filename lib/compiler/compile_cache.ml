@@ -1,0 +1,89 @@
+type counters = { hits : int; misses : int; collisions : int; entries : int }
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  table : (int, ('k * 'v) list) Hashtbl.t;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+  mutable entries : int;
+}
+
+let create ~hash ~equal () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 256;
+    hash;
+    equal;
+    hits = 0;
+    misses = 0;
+    collisions = 0;
+    entries = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_or_add t key compute =
+  let h = t.hash key in
+  let found =
+    locked t (fun () ->
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table h) in
+        match List.find_opt (fun (k, _) -> t.equal k key) bucket with
+        | Some (_, v) ->
+          t.hits <- t.hits + 1;
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          if bucket <> [] then t.collisions <- t.collisions + 1;
+          None)
+  in
+  match found with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    locked t (fun () ->
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table h) in
+        match List.find_opt (fun (k, _) -> t.equal k key) bucket with
+        | Some (_, v') -> v' (* another domain won the race; use its value *)
+        | None ->
+          Hashtbl.replace t.table h ((key, v) :: bucket);
+          t.entries <- t.entries + 1;
+          v)
+
+let find t key =
+  let h = t.hash key in
+  locked t (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table h) in
+      match List.find_opt (fun (k, _) -> t.equal k key) bucket with
+      | Some (_, v) ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        if bucket <> [] then t.collisions <- t.collisions + 1;
+        None)
+
+let add t key v =
+  let h = t.hash key in
+  locked t (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table h) in
+      if not (List.exists (fun (k, _) -> t.equal k key) bucket) then begin
+        Hashtbl.replace t.table h ((key, v) :: bucket);
+        t.entries <- t.entries + 1
+      end)
+
+let counters t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; collisions = t.collisions; entries = t.entries })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.collisions <- 0;
+      t.entries <- 0)

@@ -1,0 +1,43 @@
+(** Content-addressed memo tables for the compilation fast paths.
+
+    A table maps a structural key to a computed value through the key's
+    content hash.  Because the hash can collide, every lookup double-checks
+    the candidate entry with the caller's [equal] — a hit is only reported
+    for a structurally identical key, so memoized compilation is observably
+    identical to fresh compilation (the same guarantee {!Passmgr} gives for
+    analyses).  Tables are domain-safe: lookups and inserts are serialized
+    by a mutex, while the (potentially expensive) compute runs outside it —
+    two domains racing on the same missing key both compute, and the first
+    insert wins. *)
+
+type counters = {
+  hits : int;        (** lookups answered from the table *)
+  misses : int;      (** lookups that had to compute *)
+  collisions : int;  (** misses whose hash bucket held only different keys *)
+  entries : int;     (** distinct keys currently stored *)
+}
+
+type ('k, 'v) t
+
+val create : hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit -> ('k, 'v) t
+(** [equal] must refine [hash]: equal keys must hash equal. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Return the memoized value for the key, computing and storing it on a
+    miss.  The compute function runs without the table lock held; if another
+    domain inserted the key meanwhile, the already-stored value is returned
+    (values must be deterministic in the key, so the choice is unobservable). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Probe without computing (counted as a hit or miss).  Callers that
+    evaluate misses themselves — e.g. in a parallel batch — pair this with
+    {!add}. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Store a value computed outside the table; a key already present is left
+    unchanged (first insert wins, as in {!find_or_add}). *)
+
+val counters : ('k, 'v) t -> counters
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries and zero the counters. *)

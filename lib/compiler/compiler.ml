@@ -27,3 +27,65 @@ let surviving_markers_traced t ?version level ast =
 
 let surviving_markers t ?version level ast =
   fst (surviving_markers_traced t ?version level ast)
+
+(* ------------------------------------------------------------------ *)
+(* content-addressed compile caches (the reduction fast path)          *)
+(* ------------------------------------------------------------------ *)
+
+module Ast = Dce_minic.Ast
+module Lower = Dce_ir.Lower
+
+(* Per-function lowering memo.  Lowering a function reads nothing but the
+   function itself and the global name→type environment (see {!Lower.func}),
+   so (environment signature, function) is a complete key; candidates of a
+   reduction share almost every function with their parent, so all but the
+   edited function hit.  The cached IR is shared structurally — the IR is
+   persistent data (symbols' init arrays are never written after build). *)
+let lower_fn_cache :
+    ((string * Ast.typ) list * Ast.func, Dce_ir.Ir.func * Dce_ir.Ir.symbol list) Compile_cache.t =
+  Compile_cache.create
+    ~hash:(fun (env_sig, fn) -> Hashtbl.hash env_sig lxor Ast.hash_func fn)
+    ~equal:( = ) ()
+
+let lower_cached ast =
+  Lower.program_with
+    ~lower_func:(fun env fn ->
+      Compile_cache.find_or_add lower_fn_cache
+        (Lower.env_signature env, fn)
+        (fun () -> Lower.func env fn))
+    ast
+
+(* Whole-compile verdict memo: (compiler, version, level, program) →
+   surviving markers.  The program itself is part of the key (compared
+   structurally on every lookup), so a hash collision can never alias two
+   different candidates.  The memo granularity is deliberately the whole
+   program: per-function memoization of the *optimized* pipeline would be
+   unsound under the cross-function passes (inline, ipa-cp, function-dce,
+   whole-program memory analysis) — see DESIGN.md. *)
+let surviving_cache : (string * int * Level.t * Ast.program, int list) Compile_cache.t =
+  Compile_cache.create
+    ~hash:(fun (name, v, level, prog) ->
+      Hashtbl.hash (name, v, level) lxor Ast.hash_program prog)
+    ~equal:( = ) ()
+
+let surviving_markers_cached t ?version level ast =
+  let v = Option.value ~default:(head t) version in
+  Compile_cache.find_or_add surviving_cache (t.name, v, level, ast) (fun () ->
+      let feats = features t ~version:v level in
+      let ir = Pipeline.run feats (lower_cached ast) in
+      Dce_backend.Asm.surviving_markers (Dce_backend.Codegen.program ir))
+
+type cache_stats = {
+  cs_surviving : Compile_cache.counters;  (** whole-compile memo; misses = pipelines run *)
+  cs_lower_fn : Compile_cache.counters;   (** per-function lowering memo *)
+}
+
+let cache_stats () =
+  {
+    cs_surviving = Compile_cache.counters surviving_cache;
+    cs_lower_fn = Compile_cache.counters lower_fn_cache;
+  }
+
+let clear_caches () =
+  Compile_cache.clear surviving_cache;
+  Compile_cache.clear lower_fn_cache

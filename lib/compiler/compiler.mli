@@ -51,3 +51,29 @@ val compile_traced :
 
 val surviving_markers_traced :
   t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list * Passmgr.trace
+
+(** {1 Content-addressed compile caching}
+
+    The reduction engine's fast path: {!surviving_markers_cached} memoizes
+    whole compiles keyed by [(compiler, version, level, program)] — the
+    program compared structurally on every lookup, so hash collisions cannot
+    alias two candidates — and lowers through a per-function memo keyed by
+    [(global environment, function-body hash)], so candidates that touch one
+    function re-lower only that function.  Results are bit-identical to
+    {!surviving_markers} (memoized compilation is observably transparent,
+    like the {!Passmgr} analysis cache).  Both caches are process-global,
+    domain-safe, and shared across configurations and reductions. *)
+
+val surviving_markers_cached :
+  t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list
+(** Same result as {!surviving_markers}; a full pipeline executes only on a
+    memo miss (counted in {!cache_stats}). *)
+
+type cache_stats = {
+  cs_surviving : Compile_cache.counters;
+      (** whole-compile memo; [misses] counts full pipeline executions *)
+  cs_lower_fn : Compile_cache.counters;  (** per-function lowering memo *)
+}
+
+val cache_stats : unit -> cache_stats
+val clear_caches : unit -> unit

@@ -376,25 +376,44 @@ let init_cells (g : Ast.global) =
    | Ast.Gaddr (sym, off) -> cells.(0) <- Caddr (sym, off));
   cells
 
-let program (prog : Ast.program) : program =
+type env = { env_types : (string, Ast.typ) Hashtbl.t; env_sig : (string * Ast.typ) list }
+
+let env (prog : Ast.program) : env =
   let global_types = Hashtbl.create 32 in
   List.iter (fun (g : Ast.global) -> Hashtbl.replace global_types g.Ast.g_name g.Ast.g_typ) prog.Ast.p_globals;
-  let globals =
-    List.map
-      (fun (g : Ast.global) ->
-        {
-          sym_name = g.Ast.g_name;
-          sym_size = Ast.typ_size g.Ast.g_typ;
-          sym_init = init_cells g;
-          sym_static = g.Ast.g_static;
-          sym_kind = `Global;
-        })
-      prog.Ast.p_globals
-  in
-  let funcs_and_frames = List.map (lower_func global_types) prog.Ast.p_funcs in
+  {
+    env_types = global_types;
+    env_sig = List.map (fun (g : Ast.global) -> (g.Ast.g_name, g.Ast.g_typ)) prog.Ast.p_globals;
+  }
+
+let env_signature e = e.env_sig
+
+let func e (fn : Ast.func) = lower_func e.env_types fn
+
+let global_symbols (prog : Ast.program) =
+  List.map
+    (fun (g : Ast.global) ->
+      {
+        sym_name = g.Ast.g_name;
+        sym_size = Ast.typ_size g.Ast.g_typ;
+        sym_init = init_cells g;
+        sym_static = g.Ast.g_static;
+        sym_kind = `Global;
+      })
+    prog.Ast.p_globals
+
+let program_with ~lower_func:lf (prog : Ast.program) : program =
+  let e = env prog in
+  let funcs_and_frames = List.map (lf e) prog.Ast.p_funcs in
   let funcs = List.map fst funcs_and_frames in
   let frames = List.concat_map snd funcs_and_frames in
-  { prog_syms = globals @ frames; prog_funcs = funcs; prog_externs = prog.Ast.p_externs }
+  {
+    prog_syms = global_symbols prog @ frames;
+    prog_funcs = funcs;
+    prog_externs = prog.Ast.p_externs;
+  }
+
+let program prog = program_with ~lower_func:func prog
 
 let func_entry_marker_blocks (fn : func) =
   let acc = ref [] in

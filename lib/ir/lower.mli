@@ -18,6 +18,40 @@ val program : Dce_minic.Ast.program -> Ir.program
 (** Lowers a checked program. Raises [Failure] on constructs the type checker
     should have rejected (internal error). *)
 
+(** {1 Per-function lowering}
+
+    Lowering one function is a pure function of the function and the global
+    typing environment — {e no} other function's body is consulted.  That
+    independence is what lets {!Dce_compiler.Compiler} memoize lowered
+    functions by content hash across the closely-related candidate programs
+    of a reduction: [program p] is definitionally
+    [program_with ~lower_func:func p]. *)
+
+type env
+(** Global typing environment: the name → type map lowering resolves
+    variable references against. *)
+
+val env : Dce_minic.Ast.program -> env
+
+val env_signature : env -> (string * Dce_minic.Ast.typ) list
+(** The (name, type) rows of the environment in declaration order — the part
+    of the program a per-function lowering memo must include in its key. *)
+
+val func : env -> Dce_minic.Ast.func -> Ir.func * Ir.symbol list
+(** Lower one function; the symbols are its frame slots (address-taken
+    locals and local arrays). *)
+
+val global_symbols : Dce_minic.Ast.program -> Ir.symbol list
+(** The global data symbols, initializers materialized. *)
+
+val program_with :
+  lower_func:(env -> Dce_minic.Ast.func -> Ir.func * Ir.symbol list) ->
+  Dce_minic.Ast.program ->
+  Ir.program
+(** [program] with the per-function step replaced (the memoization hook):
+    symbol layout and function order are preserved regardless of how
+    [lower_func] produces each function. *)
+
 val func_entry_marker_blocks : Ir.func -> (int * Ir.label) list
 (** For each marker in the function, the label of the block containing it
     (used to map markers back to CFG blocks). *)

@@ -152,6 +152,105 @@ let rec expr_size e =
   | Addr_of lv -> 1 + (match lv with Lvar _ -> 0 | Lderef e' | Lindex (_, e') -> expr_size e')
   | Call (_, args) -> List.fold_left (fun acc a -> acc + expr_size a) 1 args
 
+(* ------------------------------------------------------------------ *)
+(* structural hashing (content addressing for the reduction caches)    *)
+(* ------------------------------------------------------------------ *)
+
+(* A 62-bit FNV-1a-style fold over the full AST.  [Hashtbl.hash] cannot be
+   used here: its default meaningful-node limit (10) would collapse every
+   non-trivial program onto a handful of hash values.  Every constructor
+   mixes a distinct tag, so values of different shapes hash apart; strings
+   are mixed character by character.  Collisions remain possible (the caches
+   built on these hashes double-check keys structurally) but are not
+   engineered to be common. *)
+
+let hash_seed = 0x1000_0001_b3
+
+let mix h v = ((h lxor (v land max_int)) * 0x100_0000_01b3) land max_int
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let mix_bool h b = mix h (if b then 1 else 0)
+
+let mix_typ h = function
+  | Tint -> mix h 1
+  | Tptr -> mix h 2
+  | Tarr n -> mix (mix h 3) n
+
+let rec mix_lvalue h = function
+  | Lvar x -> mix_string (mix h 10) x
+  | Lderef e -> mix_expr (mix h 11) e
+  | Lindex (x, e) -> mix_expr (mix_string (mix h 12) x) e
+
+and mix_expr h = function
+  | Int n -> mix (mix h 20) n
+  | Var x -> mix_string (mix h 21) x
+  | Unary (op, e) -> mix_expr (mix (mix h 22) (Hashtbl.hash op)) e
+  | Binary (op, e1, e2) -> mix_expr (mix_expr (mix (mix h 23) (Hashtbl.hash op)) e1) e2
+  | Addr_of lv -> mix_lvalue (mix h 24) lv
+  | Deref e -> mix_expr (mix h 25) e
+  | Index (x, e) -> mix_expr (mix_string (mix h 26) x) e
+  | Call (f, args) ->
+    List.fold_left mix_expr (mix (mix_string (mix h 27) f) (List.length args)) args
+
+let rec mix_stmt h = function
+  | Sexpr e -> mix_expr (mix h 40) e
+  | Sdecl (x, t, init) ->
+    let h = mix_typ (mix_string (mix h 41) x) t in
+    (match init with None -> mix h 0 | Some e -> mix_expr (mix h 1) e)
+  | Sassign (lv, e) -> mix_expr (mix_lvalue (mix h 42) lv) e
+  | Sif (c, bt, bf) -> mix_block (mix_block (mix_expr (mix h 43) c) bt) bf
+  | Swhile (c, b) -> mix_block (mix_expr (mix h 44) c) b
+  | Sfor (init, cond, step, b) ->
+    let mix_opt_stmt h = function None -> mix h 0 | Some s -> mix_stmt (mix h 1) s in
+    let h = mix_opt_stmt (mix h 45) init in
+    let h = match cond with None -> mix h 0 | Some e -> mix_expr (mix h 1) e in
+    mix_block (mix_opt_stmt h step) b
+  | Sswitch (c, cases, dflt) ->
+    let h = mix (mix_expr (mix h 46) c) (List.length cases) in
+    mix_block (List.fold_left (fun h (k, b) -> mix_block (mix h k) b) h cases) dflt
+  | Sreturn None -> mix h 47
+  | Sreturn (Some e) -> mix_expr (mix h 48) e
+  | Sbreak -> mix h 49
+  | Scontinue -> mix h 50
+  | Sblock b -> mix_block (mix h 51) b
+  | Smarker n -> mix (mix h 52) n
+
+and mix_block h b = List.fold_left mix_stmt (mix h (List.length b)) b
+
+let hash_block b = mix_block hash_seed b
+
+let mix_ginit h = function
+  | Gzero -> mix h 60
+  | Gint n -> mix (mix h 61) n
+  | Gints ns -> List.fold_left mix (mix (mix h 62) (List.length ns)) ns
+  | Gaddr (s, k) -> mix (mix_string (mix h 63) s) k
+
+let mix_global h g =
+  mix_bool (mix_ginit (mix_typ (mix_string (mix h 70) g.g_name) g.g_typ) g.g_init) g.g_static
+
+let mix_func h fn =
+  let h = mix_string (mix h 80) fn.f_name in
+  let h =
+    List.fold_left
+      (fun h p -> mix_typ (mix_string h p.p_name) p.p_typ)
+      (mix h (List.length fn.f_params))
+      fn.f_params
+  in
+  let h = match fn.f_ret with None -> mix h 0 | Some t -> mix_typ (mix h 1) t in
+  mix_block (mix_bool h fn.f_static) fn.f_body
+
+let hash_func fn = mix_func hash_seed fn
+
+let hash_program prog =
+  let h = mix hash_seed (List.length prog.p_globals) in
+  let h = List.fold_left mix_global h prog.p_globals in
+  let h = List.fold_left (fun h fn -> mix h (hash_func fn)) (mix h (List.length prog.p_funcs)) prog.p_funcs in
+  List.fold_left (fun h (name, arity) -> mix (mix_string h name) arity) (mix h 90) prog.p_externs
+
 let called_names prog =
   let acc = ref [] in
   iter_program_exprs (function Call (name, _) -> acc := name :: !acc | _ -> ()) prog;

@@ -137,6 +137,24 @@ val stmt_count : program -> int
 val expr_size : expr -> int
 (** Number of AST nodes in the expression. *)
 
+(** {1 Structural hashing}
+
+    Content addressing for the reduction engine's caches.  The hashes fold
+    the {e entire} value (unlike [Hashtbl.hash], whose node limit collapses
+    all non-trivial programs), so structurally equal values always hash
+    equal and unequal values rarely collide; consumers that cannot tolerate
+    collisions must double-check keys structurally, which is what the
+    compile/verdict caches do. *)
+
+val hash_block : block -> int
+val hash_func : func -> int
+(** Covers the signature ([name], params, return type, [static]) and the
+    body — the "function-body hash" keying the per-function compile memo. *)
+
+val hash_program : program -> int
+(** Combines globals, per-function hashes, and externs.  Invariant under
+    pretty-print → reparse (QCheck-tested). *)
+
 val called_names : program -> string list
 (** Names of all call targets, in syntactic order, with duplicates. *)
 

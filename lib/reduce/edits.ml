@@ -1,0 +1,165 @@
+open Dce_minic
+open Ast
+
+(* apply [edit] to the [n]th statement (preorder over all function bodies) *)
+let edit_nth prog n edit =
+  let counter = ref (-1) in
+  let rec edit_block b = List.concat_map edit_stmt b
+  and edit_stmt s =
+    incr counter;
+    let me = !counter in
+    if me = n then edit s
+    else
+      match s with
+      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
+      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
+      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
+      | Sswitch (c, cases, dflt) ->
+        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
+      | Sblock b -> [ Sblock (edit_block b) ]
+      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
+  in
+  {
+    prog with
+    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
+  }
+
+(* size metric: statements and declarations dominate, expression nodes break
+   ties so that condition-to-constant simplifications count as progress *)
+let count_stmts prog =
+  let exprs = ref 0 in
+  iter_program_exprs (fun _ -> incr exprs) prog;
+  (10 * (stmt_count prog + List.length prog.p_globals + List.length prog.p_funcs)) + !exprs
+
+(* delete a contiguous range [lo, lo+len) of top-level-ish statement indices
+   (preorder numbering, same as [edit_nth]) in one shot — the ddmin-style
+   coarse phase that removes big chunks before statement-level polishing *)
+let delete_range prog lo len =
+  let counter = ref (-1) in
+  let rec edit_block b = List.concat_map edit_stmt b
+  and edit_stmt s =
+    incr counter;
+    let me = !counter in
+    if me >= lo && me < lo + len then
+      (* dropping the statement drops its whole subtree; skip the subtree's
+         indices so the numbering matches edit_nth's preorder *)
+      let sub = ref 0 in
+      (iter_stmt (fun _ -> incr sub) s;
+       counter := !counter + !sub - 1);
+      []
+    else
+      match s with
+      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
+      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
+      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
+      | Sswitch (c, cases, dflt) ->
+        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
+      | Sblock b -> [ Sblock (edit_block b) ]
+      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
+  in
+  {
+    prog with
+    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
+  }
+
+(* coarse candidates: delete halves, then quarters, then eighths *)
+let chunk_candidates prog =
+  let n = stmt_count prog in
+  List.concat_map
+    (fun denom ->
+      let len = max 2 (n / denom) in
+      let rec starts lo = if lo >= n then [] else lo :: starts (lo + len) in
+      List.map (fun lo -> lazy (delete_range prog lo len)) (starts 0))
+    [ 2; 4; 8 ]
+
+let apply_edit edit_kind s =
+  match (edit_kind, s) with
+  | `Delete, _ -> []
+  | `Unwrap, Sif (_, bt, []) -> bt
+  | `Unwrap, Sif (_, bt, bf) -> if bt = [] then bf else bt
+  | `Unwrap, Swhile (_, b) -> b
+  | `Unwrap, Sfor (_, _, _, b) -> b
+  | `Unwrap, Sswitch (_, cases, dflt) -> List.concat_map snd cases @ dflt
+  | `Unwrap, Sblock b -> b
+  | `Unwrap, _ -> [ s ]
+  | `Cond_false, Sif (_, bt, bf) -> [ Sif (Int 0, bt, bf) ]
+  | `Cond_false, Swhile (_, b) -> [ Swhile (Int 0, b) ]
+  | `Cond_false, _ -> [ s ]
+  | `Cond_true, Sif (_, bt, bf) -> [ Sif (Int 1, bt, bf) ]
+  | `Cond_true, _ -> [ s ]
+
+(* would [apply_edit edit_kind s] produce a different statement list?  Used
+   to skip no-op candidates at generation time: an edit that leaves the
+   statement unchanged yields the parent program verbatim, which the size
+   filter would reject anyway — not emitting it saves the clone, the
+   [count_stmts], and (for the duplicate-parent program) a cache probe. *)
+let edit_applicable edit_kind s =
+  match (edit_kind, s) with
+  | `Delete, _ -> true
+  | `Unwrap, (Sif _ | Swhile _ | Sfor _ | Sswitch _ | Sblock _) -> true
+  | `Unwrap, _ -> false
+  | `Cond_false, (Sif (c, _, _) | Swhile (c, _)) -> c <> Int 0
+  | `Cond_false, _ -> false
+  | `Cond_true, Sif (c, _, _) -> c <> Int 1
+  | `Cond_true, _ -> false
+
+(* the statements of [prog] paired with their [edit_nth] preorder index.
+   NB this is {e not} [iter_program_stmts] order: [edit_nth] does not descend
+   into a [for]'s init/step statements, so those carry no index at all (they
+   can only be removed together with their loop). *)
+let indexed_stmts prog =
+  let acc = ref [] in
+  let counter = ref (-1) in
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt s =
+    incr counter;
+    acc := (!counter, s) :: !acc;
+    match s with
+    | Sif (_, bt, bf) ->
+      go_block bt;
+      go_block bf
+    | Swhile (_, b) -> go_block b
+    | Sfor (_, _, _, b) -> go_block b
+    | Sswitch (_, cases, dflt) ->
+      List.iter (fun (_, b) -> go_block b) cases;
+      go_block dflt
+    | Sblock b -> go_block b
+    | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> ()
+  in
+  List.iter (fun fn -> go_block fn.f_body) prog.p_funcs;
+  List.rev !acc
+
+(* one-step candidate programs, roughly most-profitable first.  Ordering is
+   load-bearing: the engine accepts the first passing candidate, so the
+   sequence (chunks, then function drops, then global drops, then statement
+   edits by kind then index) must match the pre-engine reducer exactly —
+   only candidates that could never be charged (no-op edits) are skipped. *)
+let candidates prog =
+  let stmts = indexed_stmts prog in
+  let stmt_edits =
+    List.concat_map
+      (fun edit_kind ->
+        List.filter_map
+          (fun (i, s) ->
+            if edit_applicable edit_kind s then
+              Some (lazy (edit_nth prog i (apply_edit edit_kind)))
+            else None)
+          stmts)
+      [ `Delete; `Unwrap; `Cond_false; `Cond_true ]
+  in
+  let func_edits =
+    List.filter_map
+      (fun fn ->
+        if fn.f_name = "main" then None
+        else
+          Some
+            (lazy { prog with p_funcs = List.filter (fun f -> f.f_name <> fn.f_name) prog.p_funcs }))
+      prog.p_funcs
+  in
+  let global_edits =
+    List.map
+      (fun g ->
+        lazy { prog with p_globals = List.filter (fun g' -> g'.g_name <> g.g_name) prog.p_globals })
+      prog.p_globals
+  in
+  chunk_candidates prog @ func_edits @ global_edits @ stmt_edits

@@ -1,0 +1,40 @@
+(** Candidate generation for the reducer: the edit vocabulary and its
+    ordering.
+
+    Extracted from the original monolithic [Reduce] so the engine, the
+    reference reducer, and the tests share one candidate stream.  The
+    ordering contract matters: {!candidates} yields coarse chunk deletions
+    (halves, quarters, eighths), then whole-function drops, then global
+    drops, then per-statement edits (delete, unwrap, condition-to-false,
+    condition-to-true, each over ascending statement indices).  The engine
+    accepts the lowest-index passing candidate, so this order fully
+    determines the reduction path.
+
+    No-op candidates (edits that cannot change the statement they target,
+    e.g. [`Unwrap] of a plain expression statement) are skipped at
+    generation time: they reproduce the parent program verbatim, so the
+    strict-shrink size filter could never charge them — skipping preserves
+    the charged-test sequence exactly while avoiding the AST clone. *)
+
+open Dce_minic
+
+val count_stmts : Ast.program -> int
+(** The reducer's size metric: [10 × (statements + globals + functions) +
+    expression nodes].  Statements dominate; expression nodes break ties so
+    condition-to-constant edits count as progress. *)
+
+val edit_nth : Ast.program -> int -> (Ast.stmt -> Ast.stmt list) -> Ast.program
+(** Apply an edit to the [n]th statement in preorder over all function
+    bodies (a [for]'s init/step statements are not numbered). *)
+
+val delete_range : Ast.program -> int -> int -> Ast.program
+(** [delete_range prog lo len] drops statements [lo, lo+len) of the same
+    preorder numbering, subtrees included. *)
+
+val chunk_candidates : Ast.program -> Ast.program Lazy.t list
+(** The coarse ddmin-style phase: contiguous chunk deletions at denominators
+    2, 4, 8. *)
+
+val candidates : Ast.program -> Ast.program Lazy.t list
+(** The full ordered candidate stream for one round (see the module
+    preamble for the ordering contract). *)

@@ -1,0 +1,87 @@
+(** The fast reduction engine: staged predicates, a content-addressed
+    verdict cache, and deterministic parallel candidate search.
+
+    The engine runs the same coarse-to-fine greedy reduction as the original
+    {!Reduce.reduce}, but resolves each round's candidates through three
+    cost layers:
+
+    - the {!Predicate} stages reject cheap-first, so most candidates never
+      reach a compiler pipeline;
+    - a verdict cache keyed by the candidate's content hash
+      ({!Dce_minic.Ast.hash_program}, structurally collision-checked)
+      memoizes whole-predicate outcomes — duplicate candidates across
+      rounds (chunk grids re-align constantly) cost one table probe;
+    - candidate batches evaluate on the {!Dce_campaign.Engine} Domain pool.
+
+    {b Determinism.}  Results are independent of [jobs] and [cache]: the
+    engine walks candidates in the canonical {!Edits.candidates} order and
+    accepts the lowest-index passing candidate; the test budget is charged
+    {e sequential-equivalently} — one test per size-passing candidate in
+    order, up to and including the accepted one, no charge for cache hits
+    avoided or speculative work past the accept point.  [tests_run], the
+    accept sequence, the round count, and the final program are therefore
+    byte-identical to the pre-engine sequential reducer.  Speculative and
+    memoized work shows up only in {!stats}.
+
+    {b Fault isolation.}  A predicate stage that raises rejects only its
+    candidate (recorded in [s_crashes] with round and stage); the campaign
+    engine's quarantine is a second net under the Domain pool. *)
+
+open Dce_minic
+
+type crash = { cr_round : int; cr_stage : string; cr_error : string }
+
+type stats = {
+  s_charged : int;          (** budget charged — equals [tests_run] *)
+  s_predicate_runs : int;   (** staged evaluations actually executed *)
+  s_speculative : int;      (** executions past a batch's accept point *)
+  s_resumed : int;          (** verdicts warm-started from the journal *)
+  s_cache : Dce_compiler.Compile_cache.counters;  (** verdict cache *)
+  s_stages : Predicate.stage_count list;  (** per-stage deltas, this run *)
+  s_pipelines_naive : int;
+      (** pipelines the unstaged predicate would have run (per charged test) *)
+  s_pipelines_staged : int;
+      (** pipelines a staged-but-uncached evaluation of the charged verdicts
+          would have run *)
+  s_pipelines_run : int;    (** full pipelines actually executed *)
+  s_compile : Dce_compiler.Compiler.cache_stats;  (** compile-cache deltas *)
+  s_crashes : crash list;   (** quarantined candidates, oldest first *)
+  s_metrics : Dce_campaign.Metrics.summary;
+      (** per-stage wall-time percentiles; cases = charged tests *)
+}
+
+type result = {
+  program : Ast.program;
+  tests_run : int;
+  rounds : int;
+  initial_size : int;
+  final_size : int;
+  stats : stats;
+}
+
+val reduce :
+  ?max_tests:int ->
+  ?jobs:int ->
+  ?cache:bool ->
+  ?journal:string ->
+  predicate:Predicate.t ->
+  Ast.program ->
+  result
+(** [reduce ~predicate prog].  Defaults: [max_tests] 4000, [jobs] 1,
+    [cache] on, no journal.
+
+    [journal] names a JSONL file recording every computed verdict (program
+    text + outcome); an existing journal warm-starts the verdict cache, so
+    an interrupted reduction resumes without re-running what it already
+    learned.  Journal warm-start requires [cache]; the header binds the
+    journal to this initial program and budget (mismatch raises [Failure],
+    as in {!Dce_campaign.Journal}).
+
+    Raises [Invalid_argument] if [jobs < 1] or the initial program does not
+    satisfy the predicate. *)
+
+val stats_to_string : stats -> string
+(** Human-readable block (stage table, pipeline ratios, cache counters). *)
+
+val stats_json : stats -> Dce_campaign.Json.t
+(** Machine-readable form of the same, used by the bench dump. *)

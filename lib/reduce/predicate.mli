@@ -1,0 +1,89 @@
+(** Staged interestingness predicates.
+
+    The original reducer's predicate was one opaque [program -> bool] whose
+    every call cost two full compiler pipelines plus a ground-truth
+    interpreter run.  A staged predicate splits that check into an ordered
+    list of stages, cheapest first, each of which can reject on its own —
+    so a candidate that fails to typecheck, or that no longer even contains
+    the marker, never reaches a compiler.  Each stage is individually
+    counted (entered / rejected, process-wide atomics, so counts are exact
+    under the parallel engine) and individually timed.
+
+    A stage may rewrite the program it passes on: the typecheck stage
+    forwards the {e normalized} program, exactly as the original reducer
+    did before calling its predicate.
+
+    Stage exceptions are caught and attributed ([Crashed]) rather than
+    propagated — the engine's per-candidate fault isolation. *)
+
+open Dce_minic
+
+type cost =
+  | Free       (** syntactic / table lookup — negligible *)
+  | Execution  (** one reference-interpreter run *)
+  | Pipeline   (** one full compiler pipeline *)
+
+type stage = {
+  st_name : string;
+  st_cost : cost;
+  st_run : Ast.program -> Ast.program option;
+      (** [Some p'] passes (possibly rewritten program), [None] rejects *)
+}
+
+type outcome =
+  | Pass
+  | Rejected of int  (** index of the rejecting stage *)
+  | Crashed of { at : string; error : string }
+      (** a stage raised; treated as a rejection by the engine *)
+
+type stage_count = {
+  sc_name : string;
+  sc_cost : cost;
+  sc_entered : int;
+  sc_rejected : int;
+}
+
+type t
+
+val v : ?compile_cached:bool -> stage list -> t
+(** Build a predicate from ordered stages (cheapest first by convention).
+    [compile_cached] declares that pipeline stages go through
+    {!Dce_compiler.Compiler.surviving_markers_cached}, which tells the
+    engine to read real pipeline counts off the compile cache.  Raises
+    [Invalid_argument] on an empty list. *)
+
+val of_fun : (Ast.program -> bool) -> t
+(** Wrap an opaque predicate as [typecheck; predicate] — the exact check
+    sequence of the original reducer. *)
+
+val marker_diff :
+  compile_cache:bool ->
+  keep_missed_by:Dce_core.Differential.config ->
+  eliminated_by:Dce_core.Differential.config ->
+  marker:int ->
+  t
+(** The paper's reduction predicate, staged:
+    typecheck → marker-present (free syntactic filter) → ground-truth
+    (marker dead under execution) → keeper-survives → eliminator-kills.
+    Equivalent to {!Dce_reduce.Reduce.marker_diff_predicate} preceded by
+    typechecking. *)
+
+val run : t -> Ast.program -> outcome * (string * float) list
+(** Evaluate, first stage first, stopping at the first rejection.  Returns
+    the outcome and the [(stage, seconds)] wall-time samples of the stages
+    that actually ran.  Domain-safe. *)
+
+val stage_names : t -> string list
+val counts : t -> stage_count list
+(** Cumulative per-stage counters, in stage order (process lifetime; the
+    engine reports deltas per reduction). *)
+
+val uses_compile_cache : t -> bool
+val pipeline_stages : t -> int
+(** Number of [Pipeline]-cost stages — the per-test pipeline cost of the
+    naive (unstaged) predicate. *)
+
+val pipelines_for : t -> outcome -> int
+(** Pipelines an uncached staged evaluation runs to reach this outcome. *)
+
+val outcome_name : t -> outcome -> string

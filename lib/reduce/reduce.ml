@@ -9,86 +9,38 @@ type result = {
   final_size : int;
 }
 
-(* apply [edit] to the [n]th statement (preorder over all function bodies) *)
-let edit_nth prog n edit =
-  let counter = ref (-1) in
-  let rec edit_block b = List.concat_map edit_stmt b
-  and edit_stmt s =
-    incr counter;
-    let me = !counter in
-    if me = n then edit s
-    else
-      match s with
-      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
-      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
-      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
-      | Sswitch (c, cases, dflt) ->
-        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
-      | Sblock b -> [ Sblock (edit_block b) ]
-      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
-  in
+(* The public entry point delegates to the engine at jobs = 1 with the
+   verdict cache off: with an opaque predicate the caller may be counting
+   calls, so every charged candidate must reach it, exactly as before. *)
+let reduce ?(max_tests = 4000) ~predicate prog =
+  let r = Engine.reduce ~max_tests ~jobs:1 ~cache:false ~predicate:(Predicate.of_fun predicate) prog in
   {
-    prog with
-    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
+    program = r.Engine.program;
+    tests_run = r.Engine.tests_run;
+    rounds = r.Engine.rounds;
+    initial_size = r.Engine.initial_size;
+    final_size = r.Engine.final_size;
   }
 
-(* size metric: statements and declarations dominate, expression nodes break
-   ties so that condition-to-constant simplifications count as progress *)
-let count_stmts prog =
-  let exprs = ref 0 in
-  iter_program_exprs (fun _ -> incr exprs) prog;
-  (10 * (stmt_count prog + List.length prog.p_globals + List.length prog.p_funcs)) + !exprs
+(* ------------------------------------------------------------------ *)
+(* reference implementation                                            *)
+(* ------------------------------------------------------------------ *)
 
-(* delete a contiguous range [lo, lo+len) of top-level-ish statement indices
-   (preorder numbering, same as [edit_nth]) in one shot — the ddmin-style
-   coarse phase that removes big chunks before statement-level polishing *)
-let delete_range prog lo len =
-  let counter = ref (-1) in
-  let rec edit_block b = List.concat_map edit_stmt b
-  and edit_stmt s =
-    incr counter;
-    let me = !counter in
-    if me >= lo && me < lo + len then
-      (* dropping the statement drops its whole subtree; skip the subtree's
-         indices so the numbering matches edit_nth's preorder *)
-      let sub = ref 0 in
-      (iter_stmt (fun _ -> incr sub) s;
-       counter := !counter + !sub - 1);
-      []
-    else
-      match s with
-      | Sif (c, bt, bf) -> [ Sif (c, edit_block bt, edit_block bf) ]
-      | Swhile (c, b) -> [ Swhile (c, edit_block b) ]
-      | Sfor (init, cond, step, b) -> [ Sfor (init, cond, step, edit_block b) ]
-      | Sswitch (c, cases, dflt) ->
-        [ Sswitch (c, List.map (fun (k, b) -> (k, edit_block b)) cases, edit_block dflt) ]
-      | Sblock b -> [ Sblock (edit_block b) ]
-      | Sexpr _ | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Smarker _ -> [ s ]
-  in
-  {
-    prog with
-    p_funcs = List.map (fun fn -> { fn with f_body = edit_block fn.f_body }) prog.p_funcs;
-  }
+(* The pre-engine sequential reducer, kept verbatim as a differential
+   oracle (the {!Dce_compiler.Pipeline.run_reference} idiom): the test
+   suite asserts the engine reproduces its exact results over a seeded
+   corpus.  Note it generates no-op statement edits the engine's candidate
+   stream skips — they can never be charged (the strict-shrink size filter
+   rejects them), which is precisely the equivalence the tests check. *)
 
-(* coarse candidates: delete halves, then quarters, then eighths *)
-let chunk_candidates prog =
-  let n = stmt_count prog in
-  List.concat_map
-    (fun denom ->
-      let len = max 2 (n / denom) in
-      let rec starts lo = if lo >= n then [] else lo :: starts (lo + len) in
-      List.map (fun lo -> lazy (delete_range prog lo len)) (starts 0))
-    [ 2; 4; 8 ]
-
-(* one-step candidate programs, roughly most-profitable first *)
-let candidates prog =
+let reference_candidates prog =
   let n = stmt_count prog in
   let stmt_edits =
     List.concat_map
       (fun edit_kind ->
         List.init n (fun i ->
             lazy
-              (edit_nth prog i (fun s ->
+              (Edits.edit_nth prog i (fun s ->
                    match (edit_kind, s) with
                    | `Delete, _ -> []
                    | `Unwrap, Sif (_, bt, []) -> bt
@@ -120,13 +72,13 @@ let candidates prog =
         lazy { prog with p_globals = List.filter (fun g' -> g'.g_name <> g.g_name) prog.p_globals })
       prog.p_globals
   in
-  chunk_candidates prog @ func_edits @ global_edits @ stmt_edits
+  Edits.chunk_candidates prog @ func_edits @ global_edits @ stmt_edits
 
-let reduce ?(max_tests = 4000) ~predicate prog =
+let reduce_reference ?(max_tests = 4000) ~predicate prog =
   if not (predicate prog) then
     invalid_arg "Reduce.reduce: initial program does not satisfy the predicate";
   let tests = ref 0 in
-  let initial_size = count_stmts prog in
+  let initial_size = Edits.count_stmts prog in
   let check candidate =
     if !tests >= max_tests then false
     else begin
@@ -140,7 +92,7 @@ let reduce ?(max_tests = 4000) ~predicate prog =
     if !tests >= max_tests then (prog, rounds)
     else begin
       let accepted = ref None in
-      let cands = candidates prog in
+      let cands = reference_candidates prog in
       let rec try_all = function
         | [] -> ()
         | c :: rest ->
@@ -148,7 +100,7 @@ let reduce ?(max_tests = 4000) ~predicate prog =
             let candidate = Lazy.force c in
             (* only consider candidates that are actually smaller or equal
                with structural change *)
-            if count_stmts candidate < count_stmts prog && check candidate then
+            if Edits.count_stmts candidate < Edits.count_stmts prog && check candidate then
               accepted := Some candidate
             else try_all rest
           end
@@ -165,7 +117,7 @@ let reduce ?(max_tests = 4000) ~predicate prog =
     tests_run = !tests;
     rounds;
     initial_size;
-    final_size = count_stmts final;
+    final_size = Edits.count_stmts final;
   }
 
 let marker_diff_predicate ~keep_missed_by ~eliminated_by ~marker prog =

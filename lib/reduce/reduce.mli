@@ -11,7 +11,13 @@
 
     Candidates that fail the type checker are rejected before the predicate
     runs, so the predicate only ever sees well-formed programs.  Marker ids
-    are never renumbered (predicates usually name a specific marker). *)
+    are never renumbered (predicates usually name a specific marker).
+
+    This module is the stable opaque-predicate interface; it delegates to
+    {!Engine}, which additionally offers staged predicates ({!Predicate}),
+    verdict caching, parallel candidate search, and per-stage statistics.
+    {!reduce_reference} is the original sequential implementation, kept as
+    a differential oracle for the engine. *)
 
 type result = {
   program : Dce_minic.Ast.program;  (** the reduced program *)
@@ -29,6 +35,15 @@ val reduce :
 (** [reduce ~predicate prog] — [prog] must satisfy the predicate (raises
     [Invalid_argument] otherwise). Default test budget: 4000. *)
 
+val reduce_reference :
+  ?max_tests:int ->
+  predicate:(Dce_minic.Ast.program -> bool) ->
+  Dce_minic.Ast.program ->
+  result
+(** The pre-engine sequential reducer, unchanged — the oracle {!reduce}
+    (and the engine at any [jobs]/cache setting) must agree with, field for
+    field.  Exercised by the test suite; not meant for production use. *)
+
 val marker_diff_predicate :
   keep_missed_by:Dce_core.Differential.config ->
   eliminated_by:Dce_core.Differential.config ->
@@ -37,4 +52,5 @@ val marker_diff_predicate :
   bool
 (** The paper's interestingness check for an (already instrumented) program:
     ground truth accepts it, [marker] is dead, the first configuration keeps
-    it, the second eliminates it. *)
+    it, the second eliminates it.  The staged equivalent (cheaper and
+    cache-aware) is {!Predicate.marker_diff}. *)

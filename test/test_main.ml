@@ -13,6 +13,7 @@ let () =
       ("backend", Suite_backend.suite);
       ("smith", Suite_smith.suite);
       ("tools", Suite_tools.suite);
+      ("reduce", Suite_reduce.suite);
       ("campaign", Suite_campaign.suite);
       ("extension", Suite_extension.suite);
       ("properties", Suite_properties.suite);
