@@ -143,71 +143,81 @@ let print_differentials () =
     "       level regressions: GCC 308 markers (24 primary), LLVM 456 (54 primary)"
 
 (* ------------------------------------------------------------------ *)
-(* Tables 3/4: bisected regression components                          *)
+(* Tables 3/4: bisected regression components (bisection campaign)     *)
 (* ------------------------------------------------------------------ *)
 
-let bisect_regressions () =
-  let st = Lazy.force stats in
-  let programs = Lazy.force instrumented_programs in
-  let commits : (string, C.Version.commit list ref) Hashtbl.t = Hashtbl.create 4 in
-  let regressions : (string, int) Hashtbl.t = Hashtbl.create 4 in
-  let seen = Hashtbl.create 64 in
-  List.iter
-    (fun (f : R.Stats.finding) ->
-      if f.R.Stats.f_primary && not (Hashtbl.mem seen (f.R.Stats.f_compiler, f.R.Stats.f_program, f.R.Stats.f_marker))
-      then begin
-        Hashtbl.replace seen (f.R.Stats.f_compiler, f.R.Stats.f_program, f.R.Stats.f_marker) ();
-        let compiler =
-          if f.R.Stats.f_compiler = "gcc-sim" then C.Gcc_sim.compiler else C.Llvm_sim.compiler
-        in
-        let prog = programs.(f.R.Stats.f_program) in
-        match
-          Dce_bisect.Bisect.find_regression compiler C.Level.O3 prog ~marker:f.R.Stats.f_marker
-        with
-        | Dce_bisect.Bisect.Regression r ->
-          Hashtbl.replace regressions f.R.Stats.f_compiler
-            (1 + Option.value ~default:0 (Hashtbl.find_opt regressions f.R.Stats.f_compiler));
-          let lst =
-            match Hashtbl.find_opt commits f.R.Stats.f_compiler with
-            | Some l -> l
-            | None ->
-              let l = ref [] in
-              Hashtbl.add commits f.R.Stats.f_compiler l;
-              l
-          in
-          lst := r.Dce_bisect.Bisect.offending :: !lst
-        | Dce_bisect.Bisect.Always_missed | Dce_bisect.Bisect.Not_missed -> ()
-      end)
-    st.R.Stats.regression_findings;
-  (commits, regressions)
+(* One bisection campaign powers both the tables and the probe-cache bench:
+   the caches are cleared first so the surviving-compile miss delta counts
+   exactly the pipelines this campaign executed — with the probe cache on,
+   that is far fewer than the probe count (one compiled version answers for
+   every sibling marker of a program). *)
+let bisect_campaign_run = lazy begin
+  C.Compiler.clear_caches ();
+  let before = (C.Compiler.cache_stats ()).C.Compiler.cs_surviving.C.Compile_cache.misses in
+  let b = Campaign.Bisect_campaign.run ~jobs (Lazy.force campaign) in
+  let after = (C.Compiler.cache_stats ()).C.Compiler.cs_surviving.C.Compile_cache.misses in
+  (b, after - before)
+end
 
 let print_tables34 () =
-  let commits, regressions = bisect_regressions () in
-  let print_for comp paper_note =
-    let name = if comp = "gcc-sim" then "Table 4 (GCC components)" else "Table 3 (LLVM components)" in
-    section name;
-    (match Hashtbl.find_opt commits comp with
-     | Some lst ->
-       let rows = Dce_bisect.Bisect.component_table !lst in
-       Printf.printf "%d primary -O3 regressions bisected to %d unique commits:\n"
-         (Option.value ~default:0 (Hashtbl.find_opt regressions comp))
-         (List.length (Dce_support.Listx.uniq (List.map (fun c -> c.C.Version.id) !lst)));
-       print_string
-         (R.Tables.render
-            ~header:[ "Component"; "# Commits"; "# Files" ]
-            (List.map
-               (fun (r : Dce_bisect.Bisect.component_row) ->
-                 [
-                   r.Dce_bisect.Bisect.component;
-                   string_of_int r.Dce_bisect.Bisect.commits;
-                   string_of_int r.Dce_bisect.Bisect.files;
-                 ])
-               rows))
-     | None -> print_endline "no -O3 regressions found in this corpus");
-    print_endline paper_note
+  section "Tables 3/4: offending commits of bisected regressions, by component";
+  let b, _ = Lazy.force bisect_campaign_run in
+  print_string (Campaign.Bisect_campaign.summary b);
+  print_string (Campaign.Bisect_campaign.component_tables b);
+  print_endline "paper Table 3: 38 regressions, 21 commits, 11 components, 23 files (LLVM)";
+  print_endline "paper Table 4: 44 regressions, 23 commits, 16 components, 34 files (GCC)";
+  if b.Campaign.Bisect_campaign.b_quarantine <> [] then begin
+    Printf.printf "%d case(s) quarantined:\n"
+      (List.length b.Campaign.Bisect_campaign.b_quarantine);
+    print_string (Campaign.Bisect_campaign.quarantine_to_string b)
+  end
+
+let bisect_bench_json : Campaign.Json.t ref = ref Campaign.Json.Null
+
+let print_bisect_bench () =
+  section
+    (Printf.sprintf "Bisection campaign: probe cache effect, %d worker domain(s)" jobs);
+  let b, pipelines = Lazy.force bisect_campaign_run in
+  let probes = b.Campaign.Bisect_campaign.b_probes in
+  let ratio = if pipelines = 0 then 0.0 else float_of_int probes /. float_of_int pipelines in
+  Printf.printf
+    "%d compile-and-check probes answered by %d pipeline executions (%.1fx fewer; uncached, every \
+     probe would compile)\n"
+    probes pipelines ratio;
+  let component_rows =
+    List.concat_map
+      (fun (compiler, commits) ->
+        List.map
+          (fun (r : Dce_bisect.Bisect.component_row) ->
+            Campaign.Json.Obj
+              [
+                ("compiler", Campaign.Json.String compiler);
+                ("component", Campaign.Json.String r.Dce_bisect.Bisect.component);
+                ("commits", Campaign.Json.Int r.Dce_bisect.Bisect.commits);
+                ("files", Campaign.Json.Int r.Dce_bisect.Bisect.files);
+              ])
+          (Dce_bisect.Bisect.component_table commits))
+      (Campaign.Bisect_campaign.commits_by_compiler b)
   in
-  print_for "llvm-sim" "paper: 38 regressions, 21 commits, 11 components, 23 files";
-  print_for "gcc-sim" "paper: 44 regressions, 23 commits, 16 components, 34 files"
+  let doc =
+    Campaign.Json.Obj
+      [
+        ("cases", Campaign.Json.Int (Array.length b.Campaign.Bisect_campaign.b_corpus_cases));
+        ("pairs", Campaign.Json.Int b.Campaign.Bisect_campaign.b_pairs);
+        ( "regressions",
+          Campaign.Json.Int (List.length (Campaign.Bisect_campaign.regressions b)) );
+        ("probes", Campaign.Json.Int probes);
+        ("pipelines_cached", Campaign.Json.Int pipelines);
+        ("speedup_vs_uncached", Campaign.Json.Float ratio);
+        ("components", Campaign.Json.List component_rows);
+      ]
+  in
+  bisect_bench_json := doc;
+  let oc = open_out "BENCH_bisect.json" in
+  output_string oc (Campaign.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_bisect.json"
 
 (* ------------------------------------------------------------------ *)
 (* Table 5: triage                                                     *)
@@ -577,6 +587,7 @@ let () =
       ("passmgr", print_passmgr);
       ("campaign_metrics", print_campaign_metrics);
       ("tables34", print_tables34);
+      ("bisect_bench", print_bisect_bench);
       ("table5", print_table5);
       ("figure1", figure1_demo);
       ("figure2", figure2_demo);
@@ -608,6 +619,7 @@ let () =
           ("wall_seconds", Campaign.Json.Float (Unix.gettimeofday () -. t0));
           ("sections", Campaign.Json.List sections);
           ("reduce", !reduce_bench_json);
+          ("bisect", !bisect_bench_json);
         ]
     in
     let oc = open_out path in

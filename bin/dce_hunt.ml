@@ -7,6 +7,8 @@
      hunt       end-to-end campaign over a generated corpus
      reduce     shrink a test case while preserving a marker difference
      bisect     find the commit that introduced a regression
+     bisect-campaign
+                bisect every missed marker of a corpus into Tables 3/4
      explain    show a configuration's feature matrix, pass schedule, history *)
 
 open Cmdliner
@@ -184,6 +186,9 @@ let print_epilogue ?(metrics = false) ~quarantine ~quarantine_text ~resumed summ
     print_string quarantine_text
   end;
   if resumed > 0 then Printf.printf "(%d case(s) restored from the journal, not re-run)\n" resumed;
+  if summary.Campaign.Metrics.journal_skipped > 0 then
+    Printf.printf "(%d journal record(s) skipped — unreadable or from another build — and re-run)\n"
+      summary.Campaign.Metrics.journal_skipped;
   if metrics then print_string (Campaign.Metrics.to_string summary)
 
 (* ---------- hunt ---------- *)
@@ -420,6 +425,43 @@ let bisect_cmd =
   Cmd.v (Cmd.info "bisect" ~doc:"Bisect a missed marker to the commit that introduced it.")
     Term.(const run $ file_arg $ marker $ comp $ level)
 
+(* ---------- bisect-campaign ---------- *)
+
+let bisect_campaign_cmd =
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let level = Arg.(value & opt string "O3" & info [ "level" ] ~docv:"O0..O3") in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the content-addressed probe cache (every probe recompiles).  Outcomes and \
+             probe counts are identical either way; this exists for measurement.")
+  in
+  let run seed count level jobs journal metrics no_cache =
+    let corpus = Campaign.Corpus.run ~jobs ~seed ~count () in
+    let b =
+      Campaign.Bisect_campaign.run
+        ?journal
+        ~cache:(not no_cache)
+        ~level:(level_of_string level) ~jobs corpus
+    in
+    print_string (Campaign.Bisect_campaign.summary b);
+    print_string (Campaign.Bisect_campaign.component_tables b);
+    print_epilogue ~metrics ~quarantine:b.Campaign.Bisect_campaign.b_quarantine
+      ~quarantine_text:(Campaign.Bisect_campaign.quarantine_to_string b)
+      ~resumed:b.Campaign.Bisect_campaign.b_resumed b.Campaign.Bisect_campaign.b_metrics
+  in
+  Cmd.v
+    (Cmd.info "bisect-campaign"
+       ~doc:
+         "Run the differential campaign over a generated corpus, then bisect every \
+          (case, missed-marker) pair to its offending commit — sharded over $(b,--jobs) worker \
+          domains, probe-cached, resumable via $(b,--journal) — and aggregate the offending \
+          commits into the paper's component tables (Tables 3/4).")
+    Term.(const run $ seed $ count $ level $ jobs_arg $ journal_arg $ metrics_arg $ no_cache)
+
 (* ---------- explain ---------- *)
 
 let explain_cmd =
@@ -487,5 +529,6 @@ let () =
             value_hunt_cmd;
             reduce_cmd;
             bisect_cmd;
+            bisect_campaign_cmd;
             explain_cmd;
           ]))

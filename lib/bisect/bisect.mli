@@ -27,6 +27,7 @@ type outcome =
 
 val find_regression :
   ?search:[ `Linear | `Exponential ] ->
+  ?cache:bool ->
   Dce_compiler.Compiler.t ->
   Dce_compiler.Level.t ->
   Dce_minic.Ast.program ->
@@ -34,10 +35,32 @@ val find_regression :
   outcome
 (** [find_regression compiler level instrumented ~marker]. [`Exponential]
     (default) probes HEAD-1, HEAD-2, HEAD-4, … then binary-searches;
-    [`Linear] walks straight down (exact but more probes). *)
+    [`Linear] walks straight down (exact but more probes).
+
+    [cache] (default [false]) routes every probe through
+    {!Dce_compiler.Compiler.surviving_markers_cached}, the content-addressed
+    compile cache keyed by [(compiler, version, level, program)].  One cached
+    compile answers the probe for {e every} marker of the program, so
+    bisecting sibling markers of one test case compiles each probed version
+    once.  The outcome and the probe count are identical either way —
+    memoized compilation is observably transparent. *)
+
+val find_regression_counted :
+  ?search:[ `Linear | `Exponential ] ->
+  ?cache:bool ->
+  Dce_compiler.Compiler.t ->
+  Dce_compiler.Level.t ->
+  Dce_minic.Ast.program ->
+  marker:int ->
+  outcome * int
+(** Like {!find_regression}, additionally returning the compile-and-check
+    probes spent for {e every} outcome (the [compilations] field only exists
+    inside [Regression]); the campaign engine charges probes with this. *)
 
 type component_row = { component : string; commits : int; files : int }
 
 val component_table : Dce_compiler.Version.commit list -> component_row list
-(** Deduplicates commits by id, groups by component, counts distinct files —
-    the shape of the paper's Tables 3/4. Rows sorted by component name. *)
+(** Deduplicates commits by id (hash-set based, linear in the input — the
+    whole-corpus aggregation path feeds thousands of commits through here),
+    groups by component, counts distinct files — the shape of the paper's
+    Tables 3/4. Rows sorted by component name. *)

@@ -40,6 +40,7 @@ type 'a result = {
   quarantine : quarantined list;
   metrics : Metrics.summary;
   resumed : int;
+  skipped : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +99,12 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
   (* slot None = still to run; journal replay fills slots up front *)
   let outcomes : a case_outcome option array = Array.make count None in
   let resumed = ref 0 in
+  (* records ignored during replay: unreadable lines, unknown record kinds
+     (a journal written by a different build), out-of-range case indices.
+     Each such case re-executes — skipping is forward-compatibility, never
+     data loss — but the count is surfaced so the user knows the journal and
+     the binary disagree. *)
+  let skipped = ref 0 in
   let jnl =
     match journal with
     | None -> None
@@ -105,16 +112,16 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
       let codec = Option.get codec in
       let header = { Journal.h_campaign = campaign; h_seed = seed; h_count = count } in
       (match Journal.load ~path with
-       | Some (h, cases) when h = header ->
+       | Some (h, cases, dropped) when h = header ->
+         skipped := dropped;
          List.iter
            (fun record ->
              match case_of_json codec record with
              | Some (i, outcome) when i >= 0 && i < count ->
                if outcomes.(i) = None then incr resumed;
                outcomes.(i) <- Some outcome
-             | Some _ | None -> ()
-             | exception Failure _ -> ()
-             | exception Not_found -> ())
+             | Some _ | None -> incr skipped
+             | exception _ -> incr skipped)
            cases
        | Some _ | None -> ());
       (* open_append validates the header and rewrites the valid prefix *)
@@ -170,6 +177,7 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
   {
     outcomes;
     quarantine;
-    metrics = Metrics.summarize ~cases:executed ~wall ~cache metrics;
+    metrics = Metrics.summarize ~journal_skipped:!skipped ~cases:executed ~wall ~cache metrics;
     resumed = !resumed;
+    skipped = !skipped;
   }

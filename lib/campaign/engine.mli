@@ -54,6 +54,11 @@ type 'a result = {
   quarantine : quarantined list;     (** crashed cases, ascending *)
   metrics : Metrics.summary;
   resumed : int;  (** cases restored from the journal instead of executed *)
+  skipped : int;
+      (** journal records ignored on resume (unreadable, unknown kind, or
+          out of range) — the forward-compatibility path: a journal written
+          by a different build re-runs those cases instead of aborting.
+          Also reported as [metrics.journal_skipped]. *)
 }
 
 val run :

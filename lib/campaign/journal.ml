@@ -60,15 +60,18 @@ let load ~path =
         | Some h ->
           (* drop any line that does not parse — the truncation point — and
              everything after it: later lines could depend on the campaign
-             state the lost line recorded *)
+             state the lost line recorded.  The dropped-line count is
+             reported so a resume can say how much it discarded (e.g. a
+             journal poisoned by a bare [nan] from a pre-fix build). *)
           let rec take acc = function
-            | [] -> List.rev acc
+            | [] -> (List.rev acc, 0)
             | l :: ls -> (
               match Json.of_string l with
               | Ok v -> take (v :: acc) ls
-              | Error _ -> List.rev acc)
+              | Error _ -> (List.rev acc, 1 + List.length ls))
           in
-          Some (h, take [] rest)))
+          let records, dropped = take [] rest in
+          Some (h, records, dropped)))
   end
 
 let open_append ~path header =
@@ -76,7 +79,7 @@ let open_append ~path header =
   let existing = load ~path in
   (match existing with
    | None -> ()
-   | Some (h, _) ->
+   | Some (h, _, _) ->
      if h <> header then
        failwith
          (Printf.sprintf
@@ -92,7 +95,7 @@ let open_append ~path header =
   output_char oc '\n';
   (match existing with
    | None -> ()
-   | Some (_, cases) ->
+   | Some (_, cases, _) ->
      List.iter
        (fun case ->
          output_string oc (Json.to_string case);

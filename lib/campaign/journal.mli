@@ -28,7 +28,12 @@ val append : t -> Json.t -> unit
 
 val close : t -> unit
 
-val load : path:string -> (header * Json.t list) option
+val load : path:string -> (header * Json.t list * int) option
 (** Parse an existing journal: [None] when the file does not exist or has no
-    valid header line; otherwise the header and every parseable complete
-    case line, in file order.  A truncated final line is dropped silently. *)
+    valid header line; otherwise the header, every parseable complete case
+    line in file order, and the number of {e complete} lines discarded — the
+    first unparseable line (a torn write, or a [nan] emitted by a pre-fix
+    build) plus everything after it, since later records could depend on
+    campaign state the lost line recorded.  An unterminated final line is
+    dropped without being counted (it is the expected in-flight write of an
+    interrupted campaign). *)

@@ -30,8 +30,12 @@ let rec print buf = function
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
     (* a plain float format that round-trips through our parser; the journal
-       only stores metric seconds, where 17 significant digits suffice *)
-    if Float.is_integer f && Float.abs f < 1e15 then
+       only stores metric seconds, where 17 significant digits suffice.
+       JSON has no encoding for non-finite floats ("nan"/"inf" would poison
+       the journal: every later resume would reject the line), so they
+       serialize as null. *)
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
     else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s ->

@@ -16,7 +16,9 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Single-line serialization with full string escaping. *)
+(** Single-line serialization with full string escaping.  Non-finite floats
+    (nan, ±infinity) serialize as [null] — JSON cannot represent them, and a
+    bare [nan] token would make the line unparseable on resume. *)
 
 val of_string : string -> (t, string) result
 (** Parse one value; [Error] describes the first syntax error.  Trailing

@@ -21,6 +21,7 @@ type summary = {
   throughput : float;
   stages : stage_summary list;
   cache : Passmgr.counters;
+  journal_skipped : int;
 }
 
 let percentile sorted q =
@@ -32,7 +33,7 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let summarize ~cases ~wall ~cache t =
+let summarize ?(journal_skipped = 0) ~cases ~wall ~cache t =
   let by_stage : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (stage, dt) ->
@@ -63,6 +64,7 @@ let summarize ~cases ~wall ~cache t =
     throughput = (if wall > 0. then float_of_int cases /. wall else 0.);
     stages;
     cache;
+    journal_skipped;
   }
 
 let to_string s =
@@ -72,6 +74,10 @@ let to_string s =
   Buffer.add_string buf
     (Printf.sprintf "analysis-cache hit rate across workers: %.1f%%\n"
        (100.0 *. Passmgr.hit_rate s.cache));
+  if s.journal_skipped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d journal record(s) skipped (unreadable or from another build)\n"
+         s.journal_skipped);
   if s.stages <> [] then begin
     Buffer.add_string buf
       (Printf.sprintf "%-16s %8s %10s %10s %10s %10s\n" "stage" "samples" "total" "p50" "p90"

@@ -30,10 +30,19 @@ type summary = {
   cache : Dce_compiler.Passmgr.counters;
       (** pass-manager analysis-cache counter deltas over the campaign,
           aggregated across every worker domain *)
+  journal_skipped : int;
+      (** journal records ignored on resume: unreadable lines, unknown
+          record kinds (a journal written by a different build), or indices
+          outside this campaign — each skipped case simply re-executes *)
 }
 
 val summarize :
-  cases:int -> wall:float -> cache:Dce_compiler.Passmgr.counters -> t -> summary
+  ?journal_skipped:int ->
+  cases:int ->
+  wall:float ->
+  cache:Dce_compiler.Passmgr.counters ->
+  t ->
+  summary
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [0,1]: nearest-rank on a sorted array;

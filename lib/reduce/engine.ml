@@ -87,7 +87,7 @@ let decode_outcome nstages j =
 let preload vc nstages path =
   match Campaign.Journal.load ~path with
   | None -> 0
-  | Some (_, records) ->
+  | Some (_, records, _) ->
     List.fold_left
       (fun acc j ->
         match

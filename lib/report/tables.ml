@@ -1,4 +1,4 @@
-let render ~header rows =
+let render ?(align = []) ~header rows =
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width c =
@@ -7,12 +7,14 @@ let render ~header rows =
       0 all
   in
   let widths = List.init cols width in
+  let align_of c = try List.nth align c with _ -> `Left in
   let render_row row =
     String.concat "  "
       (List.mapi
          (fun c w ->
            let cell = try List.nth row c with _ -> "" in
-           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+           let pad = String.make (max 0 (w - String.length cell)) ' ' in
+           match align_of c with `Left -> cell ^ pad | `Right -> pad ^ cell)
          widths)
     |> fun s -> String.trim (" " ^ s) (* avoid trailing spaces *)
   in

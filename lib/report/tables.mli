@@ -1,7 +1,11 @@
 (** Plain-text table rendering for the CLI and the benchmark harness. *)
 
-val render : header:string list -> string list list -> string
-(** Left-aligned columns padded to the widest cell, header underlined. *)
+val render :
+  ?align:[ `Left | `Right ] list -> header:string list -> string list list -> string
+(** Columns padded to the widest cell, header underlined.  [align] gives the
+    per-column alignment, defaulting to [`Left] for unlisted columns (count
+    columns read better right-aligned; keep column 0 left-aligned — leading
+    whitespace on a row is trimmed). *)
 
 val pct : int -> int -> string
 (** ["12.34%"] formatting of part/whole (["-"] when the whole is 0). *)

@@ -1,0 +1,312 @@
+(* Tests for the bisection layer and the bisection campaign:
+
+   - search strategies agree (exponential = linear outcome)
+   - probe complexity: exponential bisection is O(log head), not O(head)
+   - Not_missed / Always_missed edges, probe accounting included
+   - last_good/offending_index invariants checked against the compiler
+   - component-table dedup (hash-set path) and ordering
+   - probe cache transparency: cached and uncached bisections are identical
+   - campaign determinism: jobs N = jobs 1 = sequential find_regression
+   - campaign checkpoint/resume from a torn journal *)
+
+open Helpers
+module Campaign = Dce_campaign
+module Engine = Campaign.Engine
+module Bisect = Dce_bisect.Bisect
+module Bc = Campaign.Bisect_campaign
+
+let compilers = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
+
+(* [Version.commit] carries an [apply] closure, and OCaml's polymorphic [=]
+   raises on functional values — so outcomes are compared through
+   closure-free keys, and whole campaigns through their journal JSON. *)
+let outcome_key = function
+  | Bisect.Not_missed -> ("not-missed", "", 0, 0)
+  | Bisect.Always_missed -> ("always-missed", "", 0, 0)
+  | Bisect.Regression r ->
+    ("regression", r.Bisect.offending.C.Version.id, r.Bisect.offending_index, r.Bisect.last_good)
+
+let cases_json (b : Bc.t) =
+  Array.to_list b.Bc.b_cases
+  |> List.map (function
+       | Engine.Done r -> Campaign.Json.to_string (Bc.codec.Engine.encode r)
+       | Engine.Crashed q -> Printf.sprintf "crashed:%d:%s" q.Engine.q_case q.Engine.q_stage)
+
+(* (compiler, instrumented program, marker, regression) triples found by
+   scanning generated programs: markers that survive at HEAD -O3 and bisect
+   to an offending commit.  Shared by several tests. *)
+let regression_triples = lazy begin
+  let found = ref [] in
+  let seed = ref 1 in
+  while List.length !found < 3 && !seed <= 40 do
+    let prog = Core.Instrument.program (smith_program !seed) in
+    List.iter
+      (fun compiler ->
+        List.iter
+          (fun marker ->
+            if List.length !found < 3 then
+              match Bisect.find_regression compiler C.Level.O3 prog ~marker with
+              | Bisect.Regression r -> found := (compiler, prog, marker, r) :: !found
+              | Bisect.Always_missed | Bisect.Not_missed -> ())
+          (C.Compiler.surviving_markers compiler C.Level.O3 prog))
+      compilers;
+    incr seed
+  done;
+  match !found with
+  | [] -> Alcotest.fail "no bisectable regression in 40 generated programs"
+  | l -> List.rev l
+end
+
+(* ------------------------------------------------------------------ *)
+(* search strategies and probe complexity                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_exp_linear_agree () =
+  List.iter
+    (fun (compiler, prog, marker, _) ->
+      let exp = Bisect.find_regression ~search:`Exponential compiler C.Level.O3 prog ~marker in
+      let lin = Bisect.find_regression ~search:`Linear compiler C.Level.O3 prog ~marker in
+      Alcotest.(check bool) "exponential = linear" true (outcome_key exp = outcome_key lin))
+    (Lazy.force regression_triples)
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let test_probe_bound () =
+  List.iter
+    (fun (compiler, prog, marker, _) ->
+      let head = C.Compiler.head compiler in
+      let _, probes =
+        Bisect.find_regression_counted ~search:`Exponential compiler C.Level.O3 prog ~marker
+      in
+      (* 1 HEAD probe + <= log2(head)+2 backoff probes + <= log2(head)+1
+         binary-search probes: comfortably under 2*log2(head) + 4 *)
+      let bound = (2 * ilog2 head) + 4 in
+      if probes > bound then
+        Alcotest.failf "bisection used %d probes, O(log) bound is %d (head %d)" probes bound head)
+    (Lazy.force regression_triples)
+
+(* ------------------------------------------------------------------ *)
+(* outcome edges                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_not_missed () =
+  (* a trivially dead marker every compiler eliminates at HEAD -O3 *)
+  let prog = Core.Instrument.program (parse "int main(void) { if (0) { use(1); } return 0; }") in
+  List.iter
+    (fun compiler ->
+      match Bisect.find_regression_counted compiler C.Level.O3 prog ~marker:0 with
+      | Bisect.Not_missed, probes ->
+        Alcotest.(check int) "HEAD probe only" 1 probes
+      | (Bisect.Always_missed | Bisect.Regression _), _ ->
+        Alcotest.fail "expected Not_missed for an eliminated marker")
+    compilers
+
+let test_always_missed () =
+  (* a marker behind an unanalyzable branch survives every version: the
+     compiler can never prove it dead, so it is not a regression *)
+  let prog =
+    Core.Instrument.program
+      (parse "int main(void) { if (ext(1)) { use(1); } return 0; }")
+  in
+  let markers = Dce_minic.Ast.markers_of_program prog in
+  Alcotest.(check bool) "program instrumented" true (markers <> []);
+  List.iter
+    (fun compiler ->
+      let marker = List.hd markers in
+      match Bisect.find_regression_counted compiler C.Level.O3 prog ~marker with
+      | Bisect.Always_missed, probes ->
+        let head = C.Compiler.head compiler in
+        (* HEAD, the exponential walk down, and the final probe at 0 *)
+        Alcotest.(check bool) "O(log) probes to give up" true (probes <= ilog2 head + 4)
+      | (Bisect.Not_missed | Bisect.Regression _), _ ->
+        Alcotest.fail "expected Always_missed for a live marker")
+    compilers
+
+let test_regression_invariants () =
+  List.iter
+    (fun (compiler, prog, marker, r) ->
+      Alcotest.(check int) "offending = last_good + 1" (r.Bisect.last_good + 1)
+        r.Bisect.offending_index;
+      Alcotest.(check bool) "positive probe count" true (r.Bisect.compilations > 0);
+      let missed_at v =
+        List.mem marker (C.Compiler.surviving_markers compiler ~version:v C.Level.O3 prog)
+      in
+      Alcotest.(check bool) "eliminated at last_good" false (missed_at r.Bisect.last_good);
+      Alcotest.(check bool) "missed at offending version" true (missed_at r.Bisect.offending_index);
+      Alcotest.(check bool) "offending commit is history[index-1]" true
+        (List.nth compiler.C.Compiler.history (r.Bisect.offending_index - 1)
+        == r.Bisect.offending))
+    (Lazy.force regression_triples)
+
+let test_cache_transparency () =
+  List.iter
+    (fun (compiler, prog, marker, _) ->
+      C.Compiler.clear_caches ();
+      let key (o, probes) = (outcome_key o, probes) in
+      let cached = key (Bisect.find_regression_counted ~cache:true compiler C.Level.O3 prog ~marker) in
+      (* run the cached variant twice: a warm cache must not change anything *)
+      let warm = key (Bisect.find_regression_counted ~cache:true compiler C.Level.O3 prog ~marker) in
+      let uncached = key (Bisect.find_regression_counted ~cache:false compiler C.Level.O3 prog ~marker) in
+      Alcotest.(check bool) "cached = uncached (outcome and probes)" true (cached = uncached);
+      Alcotest.(check bool) "warm cache identical" true (warm = cached))
+    (Lazy.force regression_triples)
+
+(* ------------------------------------------------------------------ *)
+(* component table                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_component_table_dedup () =
+  let mk summary component files =
+    C.Version.make_commit ~summary ~component ~files (fun _ f -> f)
+  in
+  let a = mk "commit a" "Alias Analysis" [ "tree-ssa-alias.c"; "tree-ssa.c" ] in
+  let b = mk "commit b" "Alias Analysis" [ "tree-ssa-alias.c" ] in
+  let c = mk "commit c" "Vectorizer" [ "tree-vect-loop.c" ] in
+  (* duplicates by id (same summary -> same derived id) must collapse *)
+  let rows = Bisect.component_table [ a; b; a; c; b; a ] in
+  Alcotest.(check int) "two components" 2 (List.length rows);
+  (match rows with
+   | [ alias; vect ] ->
+     Alcotest.(check string) "sorted by component" "Alias Analysis" alias.Bisect.component;
+     Alcotest.(check int) "alias commits deduplicated" 2 alias.Bisect.commits;
+     Alcotest.(check int) "alias files distinct" 2 alias.Bisect.files;
+     Alcotest.(check string) "second row" "Vectorizer" vect.Bisect.component;
+     Alcotest.(check int) "vect commits" 1 vect.Bisect.commits;
+     Alcotest.(check int) "vect files" 1 vect.Bisect.files
+   | _ -> Alcotest.fail "unexpected row shape");
+  Alcotest.(check (list (pair string int)))
+    "empty input" []
+    (List.map (fun r -> (r.Bisect.component, r.Bisect.commits)) (Bisect.component_table []))
+
+(* ------------------------------------------------------------------ *)
+(* the bisection campaign                                              *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_seed = 4242
+let campaign_count = 6
+
+let corpus = lazy (Campaign.Corpus.run ~jobs:2 ~seed:campaign_seed ~count:campaign_count ())
+
+let test_campaign_jobs_determinism () =
+  let c = Lazy.force corpus in
+  let a = Bc.run ~jobs:1 c in
+  let b = Bc.run ~jobs:3 c in
+  Alcotest.(check (list string)) "case reports identical" (cases_json a) (cases_json b);
+  Alcotest.(check int) "pair counts equal" a.Bc.b_pairs b.Bc.b_pairs;
+  Alcotest.(check int) "probe totals equal" a.Bc.b_probes b.Bc.b_probes;
+  Alcotest.(check string) "summary identical" (Bc.summary a) (Bc.summary b);
+  Alcotest.(check string) "component tables identical" (Bc.component_tables a)
+    (Bc.component_tables b);
+  (* the probe cache must also be transparent at campaign level *)
+  let nc = Bc.run ~cache:false ~jobs:3 c in
+  Alcotest.(check (list string)) "uncached campaign identical" (cases_json a) (cases_json nc)
+
+let test_campaign_equals_sequential () =
+  let c = Lazy.force corpus in
+  let b = Bc.run ~jobs:4 c in
+  Alcotest.(check bool) "some pairs to bisect" true (b.Bc.b_pairs > 0);
+  let programs = Campaign.Corpus.instrumented_programs c in
+  Array.iter
+    (function
+      | Engine.Done r ->
+        List.iter
+          (fun (bs : Bc.bisection) ->
+            let expected =
+              Bisect.find_regression
+                (compiler_named
+                   (if bs.Bc.bs_compiler = "gcc-sim" then "gcc" else "llvm"))
+                C.Level.O3
+                programs.(r.Bc.br_case)
+                ~marker:bs.Bc.bs_marker
+            in
+            Alcotest.(check bool) "campaign = sequential find_regression" true
+              (outcome_key bs.Bc.bs_outcome = outcome_key expected))
+          r.Bc.br_bisections
+      | Engine.Crashed _ -> Alcotest.fail "unexpected quarantine")
+    b.Bc.b_cases;
+  (* every (config, missed-marker) pair at O3 is covered, in order *)
+  Array.iteri
+    (fun i case ->
+      match case with
+      | Campaign.Corpus.Case (Core.Analysis.Analyzed a, _) ->
+        let expected_pairs =
+          List.concat_map
+            (fun (pc : Core.Analysis.per_config) ->
+              if pc.Core.Analysis.cfg_level = C.Level.O3 then
+                List.map
+                  (fun m -> (pc.Core.Analysis.cfg_compiler, m))
+                  (Ir.Iset.elements pc.Core.Analysis.missed)
+              else [])
+            a.Core.Analysis.configs
+        in
+        if expected_pairs <> [] then begin
+          let slot =
+            match
+              Array.to_list
+                (Array.map
+                   (function Engine.Done r -> Some r | Engine.Crashed _ -> None)
+                   b.Bc.b_cases)
+              |> List.find_opt (function Some r -> r.Bc.br_case = i | None -> false)
+            with
+            | Some (Some r) -> r
+            | _ -> Alcotest.failf "corpus case %d missing from campaign" i
+          in
+          Alcotest.(check bool) "pair set and order match the analysis" true
+            (List.map (fun (b : Bc.bisection) -> (b.Bc.bs_compiler, b.Bc.bs_marker))
+               slot.Bc.br_bisections
+            = expected_pairs)
+        end
+      | Campaign.Corpus.Case (Core.Analysis.Rejected _, _) | Campaign.Corpus.Quarantined _ -> ())
+    c.Campaign.Corpus.c_cases
+
+let temp_journal () = Filename.temp_file "dce_bisect_test" ".jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let truncate_journal path ~cases =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let kept = List.filteri (fun i _ -> i <= cases) lines in
+  write_file path (String.concat "\n" kept ^ "\n{\"case\":99,\"stat")
+
+let test_campaign_resume () =
+  let c = Lazy.force corpus in
+  let path = temp_journal () in
+  let full = Bc.run ~journal:path ~jobs:1 c in
+  truncate_journal path ~cases:2;
+  let resumed = Bc.run ~journal:path ~jobs:2 c in
+  Alcotest.(check int) "two cases restored" 2 resumed.Bc.b_resumed;
+  Alcotest.(check (list string)) "case reports equal after resume" (cases_json full)
+    (cases_json resumed);
+  Alcotest.(check string) "tables equal after resume" (Bc.component_tables full)
+    (Bc.component_tables resumed);
+  (* the rewritten journal is complete: a third run re-executes nothing *)
+  let third = Bc.run ~journal:path ~jobs:4 c in
+  Alcotest.(check int) "all restored" (Array.length full.Bc.b_cases) third.Bc.b_resumed;
+  Alcotest.(check (list string)) "third run equal" (cases_json full) (cases_json third);
+  Sys.remove path
+
+let suite =
+  [
+    ("bisect: exponential = linear", `Slow, test_exp_linear_agree);
+    ("bisect: O(log head) probes", `Slow, test_probe_bound);
+    ("bisect: Not_missed edge", `Quick, test_not_missed);
+    ("bisect: Always_missed edge", `Quick, test_always_missed);
+    ("bisect: regression invariants", `Slow, test_regression_invariants);
+    ("bisect: probe cache transparency", `Slow, test_cache_transparency);
+    ("bisect: component table dedup", `Quick, test_component_table_dedup);
+    ("campaign: jobs determinism", `Slow, test_campaign_jobs_determinism);
+    ("campaign: equals sequential bisection", `Slow, test_campaign_equals_sequential);
+    ("campaign: resume from torn journal", `Slow, test_campaign_resume);
+  ]

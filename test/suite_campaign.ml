@@ -208,6 +208,48 @@ let test_engine_crash_checkpointed () =
     (r1.Engine.quarantine = r2.Engine.quarantine);
   Sys.remove path
 
+(* A journal rubbed the wrong way: records the decoder does not recognize
+   (from a newer build), indexes out of range, and a line a buggy float
+   printer once made unparseable.  All of it must be skipped and counted —
+   never fatal — with the skipped cases simply re-executed. *)
+let test_engine_journal_robustness () =
+  let path = temp_journal () in
+  let executed = ref [] in
+  let runner _ctx i =
+    executed := i :: !executed;
+    i + 100
+  in
+  let clean = Engine.run ~journal:path ~codec:toy_codec ~seed:9 ~jobs:1 ~count:6 runner in
+  let lines = String.split_on_char '\n' (read_file path) in
+  let header = List.nth lines 0 in
+  let keep i = List.nth lines i in
+  write_file path
+    (String.concat "\n"
+       [
+         header;
+         keep 1;
+         keep 2;
+         (* unknown record status: a record kind this build does not know *)
+         "{\"case\":3,\"status\":\"from-the-future\",\"data\":303}";
+         (* decodable but out of range *)
+         "{\"case\":99,\"status\":\"done\",\"data\":199}";
+         (* the pre-fix Json printer emitted bare nan tokens: unparseable,
+            so this line and everything after it is dropped and counted *)
+         "{\"case\":4,\"status\":\"done\",\"data\":nan}";
+         keep 5;
+         "";
+       ]);
+  executed := [];
+  let r = Engine.run ~journal:path ~codec:toy_codec ~seed:9 ~jobs:2 ~count:6 runner in
+  Alcotest.(check int) "two cases restored" 2 r.Engine.resumed;
+  Alcotest.(check int) "four records skipped" 4 r.Engine.skipped;
+  Alcotest.(check int) "skipped surfaced in metrics" 4
+    r.Engine.metrics.Metrics.journal_skipped;
+  Alcotest.(check int) "skipped cases re-executed" 4 (List.length !executed);
+  Alcotest.(check bool) "outcomes equal the clean run" true
+    (r.Engine.outcomes = clean.Engine.outcomes);
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* fault isolation on the real corpus campaign                         *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +293,41 @@ let test_corpus_resume () =
   let sa = Campaign.Corpus.stats full and sb = Campaign.Corpus.stats resumed in
   Alcotest.(check bool) "stats equal after resume" true (sa = sb);
   Alcotest.(check string) "table1 equal" (Stats.table1 sa) (Stats.table1 sb);
+  Sys.remove path
+
+(* replace the first occurrence of [needle] in [hay] *)
+let replace_first hay needle replacement =
+  let n = String.length needle and m = String.length hay in
+  let rec find i = if i + n > m then None else if String.sub hay i n = needle then Some i else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    Some (String.sub hay 0 i ^ replacement ^ String.sub hay (i + n) (m - i - n))
+
+let test_corpus_journal_unknown_kind () =
+  let count = 4 and seed = 777 in
+  let path = temp_journal () in
+  let clean = Campaign.Corpus.run ~journal:path ~jobs:1 ~seed ~count () in
+  (* rewrite one record's payload kind to something a newer build might
+     write: resume must skip (and count) it, then re-run the case *)
+  let lines = String.split_on_char '\n' (read_file path) in
+  let mutated =
+    List.mapi
+      (fun i line ->
+        if i <> 2 then line
+        else
+          match replace_first line "\"kind\":\"" "\"kind\":\"from-the-future-" with
+          | Some l -> l
+          | None -> Alcotest.fail "journal record has no kind field")
+      lines
+  in
+  write_file path (String.concat "\n" mutated);
+  let resumed = Campaign.Corpus.run ~journal:path ~jobs:1 ~seed ~count () in
+  Alcotest.(check int) "three cases restored" 3 resumed.Campaign.Corpus.c_resumed;
+  Alcotest.(check int) "one record skipped, surfaced in metrics" 1
+    resumed.Campaign.Corpus.c_metrics.Metrics.journal_skipped;
+  Alcotest.(check bool) "stats equal the clean run" true
+    (Campaign.Corpus.stats clean = Campaign.Corpus.stats resumed);
   Sys.remove path
 
 let test_value_campaign_determinism () =
@@ -320,6 +397,26 @@ let test_json_escaping () =
   Alcotest.(check bool) "single line" true
     (not (String.contains (Json.to_string v) '\n'))
 
+let test_json_nonfinite () =
+  (* JSON has no nan/infinity tokens; a metrics record holding one (e.g. a
+     0/0 throughput) must still serialize to a parseable line *)
+  let v =
+    Json.Obj
+      [
+        ("nan", Json.Float Float.nan);
+        ("inf", Json.Float Float.infinity);
+        ("ninf", Json.Float Float.neg_infinity);
+        ("ok", Json.Float 2.5);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "no bare nan token" false (contains s "nan,");
+  (match Json.of_string s with
+   | Ok (Json.Obj [ ("nan", Json.Null); ("inf", Json.Null); ("ninf", Json.Null); ("ok", Json.Float f) ]) ->
+     Alcotest.(check (float 0.0)) "finite float survives" 2.5 f
+   | Ok other -> Alcotest.failf "unexpected round-trip shape: %s" (Json.to_string other)
+   | Error e -> Alcotest.failf "non-finite floats made the line unparseable: %s" e)
+
 let test_percentile () =
   let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
   Alcotest.(check (float 0.0)) "p50" 50.0 (Metrics.percentile xs 0.5);
@@ -341,11 +438,14 @@ let suite =
     ("engine: resume from torn journal", `Quick, test_engine_toy_resume);
     ("engine: journal header mismatch", `Quick, test_engine_journal_mismatch);
     ("engine: crashes are checkpointed", `Quick, test_engine_crash_checkpointed);
+    ("engine: hostile journal skipped and counted", `Quick, test_engine_journal_robustness);
     ("fault isolation: injected crash quarantined", `Slow, test_fault_isolation);
     ("checkpoint/resume: corpus campaign", `Slow, test_corpus_resume);
+    ("checkpoint/resume: unknown record kind skipped", `Slow, test_corpus_journal_unknown_kind);
     ("value campaign: jobs determinism", `Slow, test_value_campaign_determinism);
     ("stats: merge equals collect", `Slow, test_stats_merge_equals_collect);
     json_roundtrip;
     ("json: escaping and truncation", `Quick, test_json_escaping);
+    ("json: non-finite floats serialize as null", `Quick, test_json_nonfinite);
     ("metrics: nearest-rank percentile", `Quick, test_percentile);
   ]

@@ -94,6 +94,33 @@ let test_chance_extremes () =
 
 (* ---- Listx ---- *)
 
+(* Rng.int reduces through the *low* bits of the mixed SplitMix64 word (see
+   the comment in rng.ml); this chi-square smoke test is the evidence that
+   those bits are uniform for the small bounds the generator actually uses.
+   Deterministic seeds, so the thresholds are exact, not flaky: the 99.9th
+   percentile of chi-square with k-1 <= 9 degrees of freedom is < 28. *)
+let test_int_chi_square () =
+  List.iter
+    (fun (seed, bound) ->
+      let r = Rng.make seed in
+      let n = 8000 in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Rng.int r bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0.0 counts
+      in
+      if chi2 >= 28.0 then
+        Alcotest.failf "chi-square %.1f too high for bound %d (seed %d)" chi2 bound seed)
+    [ (11, 2); (12, 5); (13, 7); (14, 10); (15, 10) ]
+
 let test_take_drop () =
   Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
   Alcotest.(check (list int)) "take over" [ 1; 2; 3 ] (Listx.take 9 [ 1; 2; 3 ]);
@@ -154,6 +181,7 @@ let suite =
     ("rng shuffle is a permutation", `Quick, test_shuffle_permutation);
     ("rng sample distinct", `Quick, test_sample);
     ("rng chance extremes", `Quick, test_chance_extremes);
+    ("rng int low-bit uniformity (chi-square)", `Quick, test_int_chi_square);
     ("listx take/drop/split", `Quick, test_take_drop);
     ("listx group_by", `Quick, test_group_by);
     ("listx count_by", `Quick, test_count_by);
