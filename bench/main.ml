@@ -220,6 +220,93 @@ let print_bisect_bench () =
   print_endline "wrote BENCH_bisect.json"
 
 (* ------------------------------------------------------------------ *)
+(* Supervision: guard overhead and chaos containment                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The guard's promise is "pay nothing when unarmed, almost nothing when
+   armed": the interpreter polls every 256 steps, so the bench runs one
+   interpreter-heavy program three ways and compares wall time.  The chaos
+   half re-runs a small campaign under a five-fault plan and shows the
+   containment cost: faulted cases quarantined or recovered, total wall
+   within a small factor of the fault-free run. *)
+let print_supervision_bench () =
+  section "Supervision: guard overhead and chaos containment";
+  let module Guard = Dce_support.Guard in
+  let ir =
+    Dce_ir.Lower.program
+      (Core.Instrument.program (fst (Smith.generate (Smith.default_config 4242))))
+  in
+  let reps = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let bare = time (fun () -> Dce_interp.Interp.run ir) in
+  let armed =
+    time (fun () ->
+        Guard.with_guard
+          (Guard.create ~deadline:3600.0 ~steps:max_int ())
+          (fun () -> Dce_interp.Interp.run ir))
+  in
+  let overhead = if bare > 0. then (armed -. bare) /. bare *. 100. else 0. in
+  Printf.printf
+    "interpreter, %d reps: unguarded %.3fms/run, deadline+step guard %.3fms/run (%+.1f%% \
+     overhead)\n"
+    reps (bare *. 1e3) (armed *. 1e3) overhead;
+  let chaos =
+    match
+      Campaign.Chaos.of_string
+        "crash@3,hang@7:ground-truth,transient@11:differential,slow@13:instrument,corrupt@17"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let cases = 30 in
+  let t0 = Unix.gettimeofday () in
+  let plain = Campaign.Corpus.run ~jobs ~seed:4242 ~count:cases () in
+  let plain_wall = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let chaotic =
+    Campaign.Corpus.run ~jobs ~seed:4242 ~count:cases ~chaos ~step_budget:2_000_000 ~retries:2 ()
+  in
+  let chaos_wall = Unix.gettimeofday () -. t0 in
+  let m = chaotic.Campaign.Corpus.c_metrics in
+  Printf.printf
+    "chaos campaign (%d cases, 5-fault plan): %.2fs vs %.2fs fault-free; %d quarantined (%d \
+     crash / %d timeout / %d invalid IR), %d recovered by retry, %d faults fired\n"
+    cases chaos_wall plain_wall
+    (List.length chaotic.Campaign.Corpus.c_quarantine)
+    m.Campaign.Metrics.crashed m.Campaign.Metrics.timeouts m.Campaign.Metrics.ir_invalid
+    m.Campaign.Metrics.recovered m.Campaign.Metrics.chaos_fired;
+  ignore plain;
+  let doc =
+    Campaign.Json.Obj
+      [
+        ("interp_unguarded_ms", Campaign.Json.Float (bare *. 1e3));
+        ("interp_guarded_ms", Campaign.Json.Float (armed *. 1e3));
+        ("guard_overhead_pct", Campaign.Json.Float overhead);
+        ("chaos_cases", Campaign.Json.Int cases);
+        ("chaos_wall_s", Campaign.Json.Float chaos_wall);
+        ("fault_free_wall_s", Campaign.Json.Float plain_wall);
+        ("quarantined", Campaign.Json.Int (List.length chaotic.Campaign.Corpus.c_quarantine));
+        ("crashed", Campaign.Json.Int m.Campaign.Metrics.crashed);
+        ("timeouts", Campaign.Json.Int m.Campaign.Metrics.timeouts);
+        ("ir_invalid", Campaign.Json.Int m.Campaign.Metrics.ir_invalid);
+        ("retries", Campaign.Json.Int m.Campaign.Metrics.retries);
+        ("recovered", Campaign.Json.Int m.Campaign.Metrics.recovered);
+        ("chaos_fired", Campaign.Json.Int m.Campaign.Metrics.chaos_fired);
+      ]
+  in
+  let oc = open_out "BENCH_supervision.json" in
+  output_string oc (Campaign.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_supervision.json"
+
+(* ------------------------------------------------------------------ *)
 (* Table 5: triage                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -591,6 +678,7 @@ let () =
       ("table5", print_table5);
       ("figure1", figure1_demo);
       ("figure2", figure2_demo);
+      ("supervision", print_supervision_bench);
       ("value_checks", print_value_checks);
       ("ablations", print_ablations);
       ("reduction", print_reduction);

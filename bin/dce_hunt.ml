@@ -176,8 +176,43 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ]
         ~doc:
-          "Print campaign metrics: throughput, analysis-cache hit rate, and per-stage wall-time \
-           percentiles aggregated across workers.")
+          "Print campaign metrics: throughput, analysis-cache hit rate, supervision counters, \
+           and per-stage wall-time percentiles aggregated across workers.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-case wall-clock deadline.  Budgets are cooperative (poll points at stage \
+           boundaries, between passes, and in the interpreter step loop): a case that blows the \
+           deadline is quarantined as a timeout naming the guilty stage instead of stalling its \
+           worker.")
+
+let step_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "step-budget" ] ~docv:"N"
+        ~doc:
+          "Per-case poll-point budget — the deterministic sibling of $(b,--deadline): the same \
+           case trips at the same poll on every run, independent of machine speed.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-run a case whose fault is classified transient up to $(docv) extra attempts, each \
+           under a fresh deadline/budget, before quarantining it.")
+
+let chaos_plan_of_spec = function
+  | None -> []
+  | Some spec -> (
+    match Campaign.Chaos.of_string spec with
+    | Ok plan -> plan
+    | Error msg -> failwith msg)
 
 let print_epilogue ?(metrics = false) ~quarantine ~quarantine_text ~resumed summary =
   if quarantine <> [] then begin
@@ -205,8 +240,49 @@ let hunt_cmd =
             "Fault-injection: crash the generate stage of the listed corpus indices to exercise \
              quarantine (testing hook).")
   in
-  let run seed count jobs journal inject metrics =
-    let c = Campaign.Corpus.run ?journal ~inject_crash:inject ~jobs ~seed ~count () in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic fault plan: comma-separated KIND@CASE[:STAGE] entries, KIND one of \
+             crash, hang, slow, corrupt, transient[N].  Example: \
+             \"crash@1,transient@3:differential,hang@5:ground-truth\".  Hangs require \
+             $(b,--deadline) or $(b,--step-budget); corrupt implies $(b,--checked).")
+  in
+  let bundle_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a self-contained crash bundle (meta.json + repro.c) under $(docv)/case-NNNN/ \
+             for every quarantined case.")
+  in
+  let minimize_bundles =
+    Arg.(
+      value & flag
+      & info [ "minimize-bundles" ]
+          ~doc:
+            "Auto-minimize each written crash bundle through the reduction engine (best effort; \
+             adds repro-min.c when the fault reproduces and shrinks).")
+  in
+  let checked =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "Validate the IR after every optimization pass; a pass emitting invalid IR \
+             quarantines the case as ir-invalid blaming that pass.")
+  in
+  let run seed count jobs journal inject metrics deadline step_budget retries chaos bundle_dir
+      minimize_bundles checked =
+    let chaos = chaos_plan_of_spec chaos in
+    let c =
+      Campaign.Corpus.run ?journal ~inject_crash:inject ?deadline ?step_budget ~retries ~chaos
+        ~checked ?bundle_dir ~jobs ~seed ~count ()
+    in
     let stats = Campaign.Corpus.stats c in
     print_endline (Dce_report.Stats.prevalence stats);
     print_endline "Table 1 (% dead blocks missed):";
@@ -230,22 +306,45 @@ let hunt_cmd =
       (Dce_support.Listx.take 10 interesting);
     print_epilogue ~metrics ~quarantine:c.Campaign.Corpus.c_quarantine
       ~quarantine_text:(Campaign.Corpus.quarantine_to_string c)
-      ~resumed:c.Campaign.Corpus.c_resumed c.Campaign.Corpus.c_metrics
+      ~resumed:c.Campaign.Corpus.c_resumed c.Campaign.Corpus.c_metrics;
+    (match bundle_dir with
+     | Some dir when c.Campaign.Corpus.c_quarantine <> [] ->
+       Printf.printf "crash bundles written under %s/\n" dir;
+       if minimize_bundles then begin
+         let checked = checked || Campaign.Chaos.has_corrupt chaos in
+         let still_faulty prog =
+           (* replay under the same budgets so a hanging repro times out the
+              same way it did in the campaign *)
+           let guard = Dce_support.Guard.create ?deadline ?steps:step_budget () in
+           match Dce_support.Guard.with_guard guard (fun () -> Core.Analysis.run ~checked prog) with
+           | _ -> false
+           | exception _ -> true
+         in
+         let n = Dce_reduce.Minimize_bundle.minimize_dir ~still_faulty ~dir () in
+         Printf.printf "%d bundle(s) auto-minimized\n" n
+       end
+     | _ -> ())
   in
   Cmd.v
     (Cmd.info "hunt"
        ~doc:
          "Generate a corpus and run the full differential campaign over it — sharded over \
-          $(b,--jobs) worker domains, fault isolated, and resumable via $(b,--journal).")
-    Term.(const run $ seed $ count $ jobs_arg $ journal_arg $ inject $ metrics_arg)
+          $(b,--jobs) worker domains, fault isolated, supervised via $(b,--deadline) / \
+          $(b,--step-budget) / $(b,--retries), chaos-testable via $(b,--chaos), and resumable \
+          via $(b,--journal).")
+    Term.(
+      const run $ seed $ count $ jobs_arg $ journal_arg $ inject $ metrics_arg $ deadline_arg
+      $ step_budget_arg $ retries_arg $ chaos $ bundle_dir $ minimize_bundles $ checked)
 
 (* ---------- triage ---------- *)
 
 let triage_cmd =
   let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
   let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
-  let run seed count jobs journal metrics =
-    let c = Campaign.Corpus.run ?journal ~jobs ~seed ~count () in
+  let run seed count jobs journal metrics deadline step_budget retries =
+    let c =
+      Campaign.Corpus.run ?journal ?deadline ?step_budget ~retries ~jobs ~seed ~count ()
+    in
     let stats = Campaign.Corpus.stats c in
     let programs = Campaign.Corpus.instrumented_programs c in
     let reports =
@@ -275,7 +374,9 @@ let triage_cmd =
        ~doc:
          "Run the full reporting pipeline on a generated corpus: differential campaign, \
           root-cause diagnosis, deduplication into reports, and Table-5 style statuses.")
-    Term.(const run $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg)
+    Term.(
+      const run $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
+      $ step_budget_arg $ retries_arg)
 
 (* ---------- value-hunt (the §4.4 extension) ---------- *)
 
@@ -308,8 +409,10 @@ let value_hunt_cmd =
             C.Level.all)
         [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
   in
-  let run_corpus seed count jobs journal metrics =
-    let v = Campaign.Corpus.run_value ?journal ~jobs ~seed ~count () in
+  let run_corpus seed count jobs journal metrics deadline step_budget retries =
+    let v =
+      Campaign.Corpus.run_value ?journal ?deadline ?step_budget ~retries ~jobs ~seed ~count ()
+    in
     print_string (Campaign.Corpus.value_table v);
     let quarantine_text =
       String.concat ""
@@ -324,17 +427,19 @@ let value_hunt_cmd =
     print_epilogue ~metrics ~quarantine:v.Campaign.Corpus.v_quarantine ~quarantine_text
       ~resumed:v.Campaign.Corpus.v_resumed v.Campaign.Corpus.v_metrics
   in
-  let run path seed count jobs journal metrics =
+  let run path seed count jobs journal metrics deadline step_budget retries =
     match path with
     | Some path -> run_file path
-    | None -> run_corpus seed count jobs journal metrics
+    | None -> run_corpus seed count jobs journal metrics deadline step_budget retries
   in
   Cmd.v
     (Cmd.info "value-hunt"
        ~doc:
          "Plant profiled value checks after loops (the paper's future-work mode) and show which \
           configurations prove them — on one file, or as a campaign over a generated corpus.")
-    Term.(const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg)
+    Term.(
+      const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
+      $ step_budget_arg $ retries_arg)
 
 (* ---------- reduce ---------- *)
 
@@ -439,13 +544,13 @@ let bisect_campaign_cmd =
             "Disable the content-addressed probe cache (every probe recompiles).  Outcomes and \
              probe counts are identical either way; this exists for measurement.")
   in
-  let run seed count level jobs journal metrics no_cache =
+  let run seed count level jobs journal metrics no_cache deadline step_budget retries =
     let corpus = Campaign.Corpus.run ~jobs ~seed ~count () in
     let b =
       Campaign.Bisect_campaign.run
         ?journal
         ~cache:(not no_cache)
-        ~level:(level_of_string level) ~jobs corpus
+        ~level:(level_of_string level) ?deadline ?step_budget ~retries ~jobs corpus
     in
     print_string (Campaign.Bisect_campaign.summary b);
     print_string (Campaign.Bisect_campaign.component_tables b);
@@ -460,7 +565,9 @@ let bisect_campaign_cmd =
           (case, missed-marker) pair to its offending commit — sharded over $(b,--jobs) worker \
           domains, probe-cached, resumable via $(b,--journal) — and aggregate the offending \
           commits into the paper's component tables (Tables 3/4).")
-    Term.(const run $ seed $ count $ level $ jobs_arg $ journal_arg $ metrics_arg $ no_cache)
+    Term.(
+      const run $ seed $ count $ level $ jobs_arg $ journal_arg $ metrics_arg $ no_cache
+      $ deadline_arg $ step_budget_arg $ retries_arg)
 
 (* ---------- explain ---------- *)
 

@@ -145,7 +145,8 @@ let codec = { Engine.encode = encode_report; decode = decode_report }
 (* the campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?journal ?(cache = true) ?(level = C.Level.O3) ~jobs (corpus : Corpus.t) =
+let run ?journal ?(cache = true) ?(level = C.Level.O3) ?deadline ?step_budget ?retries ~jobs
+    (corpus : Corpus.t) =
   let work =
     Array.of_list
       (List.filter_map
@@ -176,7 +177,8 @@ let run ?journal ?(cache = true) ?(level = C.Level.O3) ~jobs (corpus : Corpus.t)
     }
   in
   let result =
-    Engine.run ?journal ~codec ~campaign:"bisect" ~seed:corpus.Corpus.c_seed ~jobs ~count runner
+    Engine.run ?journal ~codec ~campaign:"bisect" ~seed:corpus.Corpus.c_seed ?deadline
+      ?step_budget ?retries ~jobs ~count runner
   in
   let pairs =
     Array.fold_left (fun acc (_, _, ps) -> acc + List.length ps) 0 work

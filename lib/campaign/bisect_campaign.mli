@@ -54,11 +54,16 @@ val run :
   ?journal:string ->
   ?cache:bool ->
   ?level:Dce_compiler.Level.t ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
   jobs:int ->
   Corpus.t ->
   t
 (** Defaults: [cache = true], [level = O3] (the level with the most
-    regressions in both simulated histories). *)
+    regressions in both simulated histories).  [deadline] / [step_budget] /
+    [retries] are the {!Engine.run} supervision controls, bounding each
+    case's bisections. *)
 
 val codec : case_report Engine.codec
 (** The ["bisect-case"] journal record codec (exposed for tests). *)

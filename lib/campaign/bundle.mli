@@ -1,0 +1,46 @@
+(** Crash bundles: self-contained repro directories for quarantined cases.
+
+    A bundle captures everything needed to replay one quarantined case away
+    from the campaign that produced it: the MiniC source, the generator
+    seed, the campaign identity, the fault classification with its guilty
+    stage, and the exception text plus backtrace.  One directory per case:
+
+    {v
+    <dir>/case-0042/
+      meta.json     — all metadata, machine-readable
+      repro.c       — the MiniC source (when available)
+      repro-min.c   — auto-minimized variant (when minimization ran)
+    v}
+
+    Minimization itself lives in [Dce_reduce.Minimize_bundle] (the reduce
+    library depends on this one, not the other way round). *)
+
+type t = {
+  b_case : int;
+  b_seed : int;           (** generator seed of this case *)
+  b_campaign : string;
+  b_kind : Engine.fault_kind;
+  b_stage : string;
+  b_error : string;
+  b_backtrace : string;
+  b_retries : int;
+  b_source : string option;     (** MiniC source text *)
+  b_minimized : string option;  (** reduced source, when minimization ran *)
+}
+
+val of_quarantined : campaign:string -> seed:int -> ?source:string -> Engine.quarantined -> t
+
+val case_dir : dir:string -> int -> string
+(** [case_dir ~dir case] = [<dir>/case-%04d]. *)
+
+val write : dir:string -> t -> string
+(** Write the bundle under [case_dir ~dir t.b_case] (created as needed) and
+    return that path.  [meta.json] is always written; [repro.c] /
+    [repro-min.c] only when the corresponding source is present. *)
+
+val load : string -> t option
+(** Read a bundle back from its case directory; [None] when [meta.json] is
+    missing or unreadable. *)
+
+val to_string : t -> string
+(** One-paragraph human summary (kind, stage, error, retry count). *)

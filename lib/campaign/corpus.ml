@@ -179,19 +179,25 @@ let codec = { Engine.encode = encode_payload; decode = decode_payload }
 (* the campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?journal ?fuel ?(inject_crash = []) ~jobs ~seed ~count () =
+let run ?journal ?fuel ?(inject_crash = []) ?deadline ?step_budget ?retries ?(chaos = [])
+    ?(checked = false) ?bundle_dir ~jobs ~seed ~count () =
+  (* --inject-crash is the legacy spelling of a crash-only chaos plan *)
+  let chaos = chaos @ Chaos.crash_plan inject_crash in
+  (* a corrupt-IR injection is invisible without per-pass validation *)
+  let checked = checked || Chaos.has_corrupt chaos in
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let raw =
       Engine.stage ctx "generate" (fun () ->
-          if List.mem i inject_crash then
-            failwith (Printf.sprintf "injected crash (case %d)" i);
           fst (Smith.generate (Smith.default_config seeds.(i))))
     in
     let hook = { Core.Analysis.wrap = (fun name f -> Engine.stage ctx name f) } in
-    { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ~hook raw; p_raw = raw }
+    { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ~checked ~hook raw; p_raw = raw }
   in
-  let result = Engine.run ?journal ~codec ~campaign:"hunt" ~seed ~jobs ~count runner in
+  let result =
+    Engine.run ?journal ~codec ~campaign:"hunt" ~seed ?deadline ?step_budget ?retries ~chaos
+      ~jobs ~count runner
+  in
   let cases =
     Array.map
       (function
@@ -199,6 +205,22 @@ let run ?journal ?fuel ?(inject_crash = []) ~jobs ~seed ~count () =
         | Engine.Crashed q -> Quarantined q)
       result.Engine.outcomes
   in
+  (match bundle_dir with
+   | None -> ()
+   | Some dir ->
+     List.iter
+       (fun (q : Engine.quarantined) ->
+         let case_seed = seeds.(q.Engine.q_case) in
+         (* regenerating can itself crash (that may be exactly the fault);
+            the bundle is still written, just without a source file *)
+         let source =
+           match Smith.generate (Smith.default_config case_seed) with
+           | raw, _ -> Some (Dce_minic.Pretty.program_to_string raw)
+           | exception _ -> None
+         in
+         ignore
+           (Bundle.write ~dir (Bundle.of_quarantined ~campaign:"hunt" ~seed:case_seed ?source q)))
+       result.Engine.quarantine);
   {
     c_seed = seed;
     c_count = count;
@@ -246,8 +268,18 @@ let quarantine_to_string t =
   String.concat ""
     (List.map
        (fun (q : Engine.quarantined) ->
-         Printf.sprintf "  case %d (seed %d): crashed in stage %s: %s\n" q.Engine.q_case
-           t.c_seeds.(q.Engine.q_case) q.Engine.q_stage q.Engine.q_error)
+         let verb =
+           match q.Engine.q_kind with
+           | Engine.Crash -> "crashed"
+           | Engine.Timeout -> "timed out"
+           | Engine.Ir_invalid -> "produced invalid IR"
+         in
+         Printf.sprintf "  case %d (seed %d): %s in stage %s%s: %s\n" q.Engine.q_case
+           t.c_seeds.(q.Engine.q_case) verb q.Engine.q_stage
+           (if q.Engine.q_retries > 0 then
+              Printf.sprintf " (after %d retries)" q.Engine.q_retries
+            else "")
+           q.Engine.q_error)
        t.c_quarantine)
 
 (* ------------------------------------------------------------------ *)
@@ -299,7 +331,7 @@ type value_campaign = {
   v_resumed : int;
 }
 
-let run_value ?journal ~jobs ~seed ~count () =
+let run_value ?journal ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let case_seed = seeds.(i) in
@@ -334,7 +366,8 @@ let run_value ?journal ~jobs ~seed ~count () =
         })
   in
   let result =
-    Engine.run ?journal ~codec:value_codec ~campaign:"value-hunt" ~seed ~jobs ~count runner
+    Engine.run ?journal ~codec:value_codec ~campaign:"value-hunt" ~seed ?deadline ?step_budget
+      ?retries ~jobs ~count runner
   in
   {
     v_cases = result.Engine.outcomes;

@@ -37,15 +37,29 @@ val run :
   ?journal:string ->
   ?fuel:int ->
   ?inject_crash:int list ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  ?chaos:Chaos.plan ->
+  ?checked:bool ->
+  ?bundle_dir:string ->
   jobs:int ->
   seed:int ->
   count:int ->
   unit ->
   t
 (** [inject_crash] lists corpus indices whose generate stage raises — the
-    fault-injection hook behind [dce_hunt hunt --inject-crash] and the
-    isolation tests.  [fuel] bounds the ground-truth interpreter per case
-    (exhaustion is a rejection, not a crash). *)
+    legacy spelling of a crash-only {!Chaos.plan}, merged into [chaos].
+    [fuel] bounds the ground-truth interpreter per case (exhaustion is a
+    rejection, not a crash).
+
+    [deadline] / [step_budget] / [retries] are the {!Engine.run} supervision
+    controls.  [chaos] installs a deterministic fault plan; a plan with a
+    corrupt-IR injection forces [checked].  [checked] validates the IR after
+    every optimization pass, quarantining validation failures as
+    [Ir_invalid] blaming the guilty pass.  [bundle_dir] writes a
+    {!Bundle} repro directory for every quarantined case (the source is
+    regenerated from the case seed). *)
 
 val outcomes : t -> (int * (Dce_core.Analysis.outcome * Dce_minic.Ast.program)) list
 (** Non-quarantined cases with their corpus indices, ascending — the input
@@ -61,7 +75,8 @@ val instrumented_programs : t -> Dce_minic.Ast.program array
     quarantined slots hold a trivial empty [main]. *)
 
 val quarantine_to_string : t -> string
-(** One line per quarantined case: index, seed, guilty stage, error. *)
+(** One line per quarantined case: index, seed, fault kind, guilty stage,
+    retry count when nonzero, error. *)
 
 (** {1 The §4.4 value-check campaign} *)
 
@@ -80,7 +95,16 @@ type value_campaign = {
   v_resumed : int;
 }
 
-val run_value : ?journal:string -> jobs:int -> seed:int -> count:int -> unit -> value_campaign
+val run_value :
+  ?journal:string ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  value_campaign
 
 val value_table : value_campaign -> string
 (** Totals line plus the per-level "% checks missed" table (the bench's

@@ -1,4 +1,5 @@
 module Passmgr = Dce_compiler.Passmgr
+module Guard = Dce_support.Guard
 
 type ctx = {
   c_worker : int;
@@ -11,6 +12,11 @@ let worker ctx = ctx.c_worker
 let stage ctx name f =
   let prev = ctx.c_stage in
   ctx.c_stage <- name;
+  (* supervision poll + chaos injection point: both run with the stage
+     already recorded as current, so a budget trip or injected fault here is
+     attributed to [name], not to the enclosing stage *)
+  Guard.poll ~site:name;
+  Chaos.fire name;
   let t0 = Unix.gettimeofday () in
   match f () with
   | v ->
@@ -20,10 +26,30 @@ let stage ctx name f =
     ctx.c_stage <- prev;
     v
 
+type fault_kind = Crash | Timeout | Ir_invalid
+
+let fault_kind_name = function
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+  | Ir_invalid -> "ir-invalid"
+
+let fault_kind_of_name = function
+  | "timeout" -> Timeout
+  | "ir-invalid" -> Ir_invalid
+  | _ -> Crash
+
+let classify = function
+  | Guard.Budget_exceeded _ -> Timeout
+  | Passmgr.Ir_invalid _ -> Ir_invalid
+  | _ -> Crash
+
 type quarantined = {
   q_case : int;
   q_stage : string;
   q_error : string;
+  q_kind : fault_kind;
+  q_backtrace : string;
+  q_retries : int;
 }
 
 type 'a case_outcome =
@@ -57,7 +83,18 @@ let case_to_json codec i = function
         ("status", Json.String "crashed");
         ("stage", Json.String q.q_stage);
         ("error", Json.String q.q_error);
+        ("kind", Json.String (fault_kind_name q.q_kind));
+        ("backtrace", Json.String q.q_backtrace);
+        ("retries", Json.Int q.q_retries);
       ]
+
+(* member lookups with defaults: "crashed" records written by a pre-
+   supervision build lack kind/backtrace/retries, and must still resume *)
+let member_str j key default =
+  match Json.member key j with Some (Json.String s) -> s | _ -> default
+
+let member_int j key default =
+  match Json.member key j with Some (Json.Int n) -> n | _ -> default
 
 let case_of_json codec j =
   let i = Json.get_int j "case" in
@@ -67,7 +104,14 @@ let case_of_json codec j =
     Some
       ( i,
         Crashed
-          { q_case = i; q_stage = Json.get_str j "stage"; q_error = Json.get_str j "error" } )
+          {
+            q_case = i;
+            q_stage = Json.get_str j "stage";
+            q_error = Json.get_str j "error";
+            q_kind = fault_kind_of_name (member_str j "kind" "crash");
+            q_backtrace = member_str j "backtrace" "";
+            q_retries = member_int j "retries" 0;
+          } )
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -88,14 +132,23 @@ let counters_delta (a : Passmgr.counters) (b : Passmgr.counters) : Passmgr.count
 (* the pool                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(seed = 0) ~jobs
-    ~count (runner : ctx -> int -> a) : a result =
+let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(seed = 0)
+    ?deadline ?step_budget ?(retries = 0) ?(transient = Chaos.is_transient)
+    ?(chaos : Chaos.plan = []) ~jobs ~count (runner : ctx -> int -> a) : a result =
   if jobs < 1 then invalid_arg "Engine.run: jobs must be >= 1";
   if count < 0 then invalid_arg "Engine.run: count must be >= 0";
   if journal <> None && codec = None then
     invalid_arg "Engine.run: journaling requires a codec";
+  Printexc.record_backtrace true;
+  (* the fault plan is part of the campaign identity: resuming a chaos run
+     under a different plan (or none) would replay cases whose recorded
+     outcomes the new plan contradicts *)
+  let campaign =
+    if chaos = [] then campaign else campaign ^ "+chaos[" ^ Chaos.signature chaos ^ "]"
+  in
   let t0 = Unix.gettimeofday () in
   let cache0 = Passmgr.counters () in
+  let chaos0 = Chaos.fired_count () in
   (* slot None = still to run; journal replay fills slots up front *)
   let outcomes : a case_outcome option array = Array.make count None in
   let resumed = ref 0 in
@@ -124,7 +177,8 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
              | exception _ -> incr skipped)
            cases
        | Some _ | None -> ());
-      (* open_append validates the header and rewrites the valid prefix *)
+      (* open_append locks the file, validates the header, and rewrites the
+         valid prefix *)
       Some (Journal.open_append ~path header)
   in
   let record_completion i outcome =
@@ -134,16 +188,41 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
     outcomes.(i) <- Some outcome
   in
   let run_case ctx i =
-    ctx.c_stage <- "setup";
-    let outcome =
-      match stage ctx "case" (fun () -> runner ctx i) with
-      | v -> Done v
+    (* one guard per attempt: a retry restarts the deadline and the step
+       budget, otherwise a slow-but-recoverable case would inherit an
+       already-spent budget and time out spuriously *)
+    let rec attempt n =
+      ctx.c_stage <- "setup";
+      Chaos.arm chaos ~case:i ~attempt:n;
+      let guard = Guard.create ?deadline ?steps:step_budget () in
+      match Guard.with_guard guard (fun () -> stage ctx "case" (fun () -> runner ctx i)) with
+      | v ->
+        if n > 0 then Metrics.recovered ctx.c_metrics;
+        Done v
       | exception e ->
-        Crashed { q_case = i; q_stage = ctx.c_stage; q_error = Printexc.to_string e }
+        (* capture before anything else can run and clobber it *)
+        let bt = Printexc.get_backtrace () in
+        if n < retries && transient e then begin
+          Metrics.retried ctx.c_metrics;
+          attempt (n + 1)
+        end
+        else
+          Crashed
+            {
+              q_case = i;
+              q_stage = ctx.c_stage;
+              q_error = Printexc.to_string e;
+              q_kind = classify e;
+              q_backtrace = bt;
+              q_retries = n;
+            }
     in
+    let outcome = attempt 0 in
+    Chaos.disarm ();
     record_completion i outcome
   in
   let worker_body w =
+    Printexc.record_backtrace true;
     let ctx = { c_worker = w; c_stage = "setup"; c_metrics = Metrics.create () } in
     List.iter
       (fun i -> if outcomes.(i) = None then run_case ctx i)
@@ -165,19 +244,33 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
       (fun i slot ->
         match slot with
         | Some o -> o
-        | None -> Crashed { q_case = i; q_stage = "engine"; q_error = "case never completed" })
+        | None ->
+          Crashed
+            {
+              q_case = i;
+              q_stage = "engine";
+              q_error = "case never completed";
+              q_kind = Crash;
+              q_backtrace = "";
+              q_retries = 0;
+            })
       outcomes
   in
   let quarantine =
     Array.to_list outcomes |> List.filter_map (function Crashed q -> Some q | Done _ -> None)
   in
+  let count_kind k = List.length (List.filter (fun q -> q.q_kind = k) quarantine) in
   let wall = Unix.gettimeofday () -. t0 in
   let cache = counters_delta cache0 (Passmgr.counters ()) in
   let executed = count - !resumed in
   {
     outcomes;
     quarantine;
-    metrics = Metrics.summarize ~journal_skipped:!skipped ~cases:executed ~wall ~cache metrics;
+    metrics =
+      Metrics.summarize ~journal_skipped:!skipped ~crashed:(count_kind Crash)
+        ~timeouts:(count_kind Timeout) ~ir_invalid:(count_kind Ir_invalid)
+        ~chaos_fired:(Chaos.fired_count () - chaos0)
+        ~cases:executed ~wall ~cache metrics;
     resumed = !resumed;
     skipped = !skipped;
   }

@@ -1,6 +1,6 @@
 (** The parallel campaign engine: a Domain-based worker pool with
-    deterministic sharding, per-case fault isolation, and JSONL
-    checkpoint/resume.
+    deterministic sharding, per-case fault isolation, cooperative
+    supervision, and JSONL checkpoint/resume.
 
     The engine runs [count] cases through a user-supplied runner.  Case [i]
     is executed by worker [Shard.worker_of_case ~jobs i]; each worker walks
@@ -13,8 +13,27 @@
     {b Fault isolation.}  A runner exception (from a generator bug, a
     compiler crash, a step-budget blow-up surfacing as an exception…) kills
     only its case: the case is quarantined with the innermost {!stage} name
-    active at the throw point and the exception text, and the worker moves
-    on.  The quarantine bucket is part of the result and of the journal.
+    active at the throw point, the exception text, its captured backtrace,
+    and a {!fault_kind} classification, and the worker moves on.  The
+    quarantine bucket is part of the result and of the journal.
+
+    {b Supervision.}  With [?deadline] / [?step_budget], each case attempt
+    runs under a fresh {!Dce_support.Guard}: poll points at every {!stage}
+    boundary, inside the pass manager, and in the interpreter's step loop
+    raise [Guard.Budget_exceeded] when the budget trips, quarantining the
+    case as a [Timeout] naming the guilty stage instead of stalling its
+    worker.  Pure OCaml cannot be preempted, so this is cooperative by
+    design — see DESIGN.md.
+
+    {b Retries.}  With [?retries > 0], a fault classified transient by
+    [?transient] (default: chaos-injected transient faults only) re-runs the
+    case up to that many extra attempts, each under a fresh guard; retry and
+    recovery counts land in the metrics.
+
+    {b Chaos.}  [?chaos] installs a deterministic {!Chaos.plan}; faults fire
+    at matching stage boundaries of the targeted cases only.  The plan
+    signature is baked into the journal campaign name, so a resume under a
+    different plan is rejected as a parameter mismatch.
 
     {b Checkpoint/resume.}  With [~journal], every completed case (done or
     quarantined) is appended to a JSONL file as it finishes.  Re-running
@@ -31,12 +50,31 @@ val worker : ctx -> int
 val stage : ctx -> string -> (unit -> 'a) -> 'a
 (** [stage ctx name f] runs [f], recording its wall time under [name] in the
     campaign metrics.  Nests; on an exception the innermost active name is
-    what the quarantine records as the guilty stage. *)
+    what the quarantine records as the guilty stage.  Stage entry is also
+    the engine's supervision poll point and chaos injection point. *)
+
+(** Why a case was quarantined. *)
+type fault_kind =
+  | Crash       (** plain exception from the runner *)
+  | Timeout     (** deadline or step budget exceeded *)
+  | Ir_invalid  (** checked-mode IR validation failed, blaming a pass *)
+
+val fault_kind_name : fault_kind -> string
+(** ["crash"], ["timeout"], ["ir-invalid"] — the journal encoding. *)
+
+val classify : exn -> fault_kind
+(** [Guard.Budget_exceeded] → [Timeout], [Passmgr.Ir_invalid] →
+    [Ir_invalid], anything else → [Crash]. *)
 
 type quarantined = {
-  q_case : int;       (** corpus index of the crashed case *)
-  q_stage : string;   (** innermost {!stage} active when it threw *)
-  q_error : string;   (** [Printexc.to_string] of the exception *)
+  q_case : int;        (** corpus index of the crashed case *)
+  q_stage : string;    (** innermost {!stage} active when it threw *)
+  q_error : string;    (** [Printexc.to_string] of the exception *)
+  q_kind : fault_kind;
+  q_backtrace : string;
+      (** backtrace captured at the quarantine site; may be [""] when the
+          runtime recorded none *)
+  q_retries : int;     (** retry attempts consumed before giving up *)
 }
 
 type 'a case_outcome =
@@ -66,6 +104,11 @@ val run :
   ?codec:'a codec ->
   ?campaign:string ->
   ?seed:int ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  ?transient:(exn -> bool) ->
+  ?chaos:Chaos.plan ->
   jobs:int ->
   count:int ->
   (ctx -> int -> 'a) ->
@@ -75,7 +118,12 @@ val run :
     [journal] names the JSONL checkpoint file (created, parents included, if
     missing; resumed if present).  Journaling requires [codec];
     [campaign]/[seed] identify the campaign in the journal header and guard
-    resume against parameter mismatches (which raise [Failure]).
+    resume against parameter mismatches (which raise [Failure]).  A non-empty
+    [chaos] plan extends the campaign name with the plan signature.
+
+    [deadline] (wall seconds) and [step_budget] (poll count) bound each case
+    attempt; [retries] (default 0) re-runs [transient]-classified faults
+    (default: {!Chaos.is_transient}) up to that many extra attempts.
 
     Raises [Invalid_argument] when [jobs < 1], [count < 0], or [journal] is
     given without [codec]. *)

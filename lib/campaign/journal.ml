@@ -7,7 +7,23 @@ type header = {
 type t = {
   oc : out_channel;
   lock : Mutex.t;
+  path_key : string;  (* registry key held until close *)
 }
+
+(* Two campaigns appending to one journal interleave half-records and tear
+   the file, so opening is exclusive.  [Unix.lockf] covers cross-process
+   exclusion but deliberately does not conflict with the same process (POSIX
+   record locks are per-process), hence the in-process registry next to it:
+   a second [open_append] on the same file fails fast either way. *)
+let open_paths : (string, unit) Hashtbl.t = Hashtbl.create 4
+let open_paths_mutex = Mutex.create ()
+
+let locked_failure path =
+  failwith
+    (Printf.sprintf
+       "journal %s is locked by another campaign — wait for it to finish or use a different \
+        journal path"
+       path)
 
 let header_to_json h =
   Json.Obj
@@ -86,11 +102,29 @@ let open_append ~path header =
             "journal %s belongs to campaign %s seed=%d count=%d, not %s seed=%d count=%d — \
              delete it or change parameters"
             path h.h_campaign h.h_seed h.h_count header.h_campaign header.h_seed header.h_count));
+  (* acquire the lock before truncating anything: a second opener must fail
+     with the live journal intact, not after having destroyed it *)
+  let fd = Unix.openfile path [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 in
+  let path_key = try Unix.realpath path with Unix.Unix_error _ -> path in
+  Mutex.protect open_paths_mutex (fun () ->
+      if Hashtbl.mem open_paths path_key then begin
+        Unix.close fd;
+        locked_failure path
+      end;
+      Hashtbl.replace open_paths path_key ());
+  (match Unix.lockf fd Unix.F_TLOCK 0 with
+   | () -> ()
+   | exception Unix.Unix_error _ ->
+     Mutex.protect open_paths_mutex (fun () -> Hashtbl.remove open_paths path_key);
+     Unix.close fd;
+     locked_failure path);
   (* rewrite the valid prefix and append from there: a truncated trailing
      line must not be glued to the next record, and a file with no valid
      header (fresh, or truncated before the first newline) starts over *)
-  let oc = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 path in
-  let t = { oc; lock = Mutex.create () } in
+  Unix.ftruncate fd 0;
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_out oc true;
+  let t = { oc; lock = Mutex.create (); path_key } in
   output_string oc (Json.to_string (header_to_json header));
   output_char oc '\n';
   (match existing with
@@ -111,4 +145,7 @@ let append t v =
       output_char t.oc '\n';
       flush t.oc)
 
-let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+let close t =
+  Mutex.protect t.lock (fun () -> close_out t.oc);
+  (* closing the descriptor released the lockf lock with it *)
+  Mutex.protect open_paths_mutex (fun () -> Hashtbl.remove open_paths t.path_key)

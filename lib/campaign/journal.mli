@@ -21,7 +21,13 @@ val open_append : path:string -> header -> t
 (** Open [path] for appending, creating parent directories as needed.  When
     the file is empty or new, the header line is written first; when it
     already has content, the existing header must match (the resume case) —
-    a mismatch raises [Failure] naming both parameter sets. *)
+    a mismatch raises [Failure] naming both parameter sets.
+
+    The journal is opened exclusively: an advisory [lockf] lock plus an
+    in-process open-path registry (POSIX record locks do not conflict within
+    one process) make a concurrent second opener fail fast with [Failure]
+    ("locked by another campaign"), before the existing file is touched.
+    {!close} releases both. *)
 
 val append : t -> Json.t -> unit
 (** Serialize on one line, append, flush.  Thread/domain-safe. *)

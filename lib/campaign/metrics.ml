@@ -1,10 +1,22 @@
 module Passmgr = Dce_compiler.Passmgr
 
-type t = { mutable samples : (string * float) list }
+type t = {
+  mutable samples : (string * float) list;
+  mutable m_retries : int;
+  mutable m_recovered : int;
+}
 
-let create () = { samples = [] }
+let create () = { samples = []; m_retries = 0; m_recovered = 0 }
 let record t stage dt = t.samples <- (stage, dt) :: t.samples
-let merge a b = { samples = a.samples @ b.samples }
+let retried t = t.m_retries <- t.m_retries + 1
+let recovered t = t.m_recovered <- t.m_recovered + 1
+
+let merge a b =
+  {
+    samples = a.samples @ b.samples;
+    m_retries = a.m_retries + b.m_retries;
+    m_recovered = a.m_recovered + b.m_recovered;
+  }
 
 type stage_summary = {
   ss_stage : string;
@@ -22,6 +34,12 @@ type summary = {
   stages : stage_summary list;
   cache : Passmgr.counters;
   journal_skipped : int;
+  crashed : int;
+  timeouts : int;
+  ir_invalid : int;
+  retries : int;
+  recovered : int;
+  chaos_fired : int;
 }
 
 let percentile sorted q =
@@ -33,7 +51,8 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let summarize ?(journal_skipped = 0) ~cases ~wall ~cache t =
+let summarize ?(journal_skipped = 0) ?(crashed = 0) ?(timeouts = 0) ?(ir_invalid = 0)
+    ?(chaos_fired = 0) ~cases ~wall ~cache t =
   let by_stage : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (stage, dt) ->
@@ -65,6 +84,12 @@ let summarize ?(journal_skipped = 0) ~cases ~wall ~cache t =
     stages;
     cache;
     journal_skipped;
+    crashed;
+    timeouts;
+    ir_invalid;
+    retries = t.m_retries;
+    recovered = t.m_recovered;
+    chaos_fired;
   }
 
 let to_string s =
@@ -74,6 +99,12 @@ let to_string s =
   Buffer.add_string buf
     (Printf.sprintf "analysis-cache hit rate across workers: %.1f%%\n"
        (100.0 *. Passmgr.hit_rate s.cache));
+  if s.crashed + s.timeouts + s.ir_invalid + s.retries + s.recovered + s.chaos_fired > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "supervision: %d crashed, %d timed out, %d invalid IR; %d retries (%d recovered); %d \
+          chaos faults injected\n"
+         s.crashed s.timeouts s.ir_invalid s.retries s.recovered s.chaos_fired);
   if s.journal_skipped > 0 then
     Buffer.add_string buf
       (Printf.sprintf "%d journal record(s) skipped (unreadable or from another build)\n"

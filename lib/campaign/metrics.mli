@@ -1,17 +1,25 @@
-(** Campaign metrics: per-stage wall-time samples, throughput, and the
-    analysis-cache hit rate aggregated across workers.
+(** Campaign metrics: per-stage wall-time samples, throughput, supervision
+    counters, and the analysis-cache hit rate aggregated across workers.
 
-    Each worker records [(stage, seconds)] samples into its own [t] (no
-    cross-domain sharing); the engine {!merge}s them after the join and
-    {!summarize}s the union. *)
+    Each worker records [(stage, seconds)] samples — plus retry events — into
+    its own [t] (no cross-domain sharing); the engine {!merge}s them after
+    the join and {!summarize}s the union. *)
 
 type t
 (** A mutable per-worker sample accumulator. *)
 
 val create : unit -> t
 val record : t -> string -> float -> unit
+
+val retried : t -> unit
+(** Count one retry attempt of a transient-classified fault. *)
+
+val recovered : t -> unit
+(** Count one case that succeeded after at least one retry. *)
+
 val merge : t -> t -> t
-(** Functional union of two accumulators' samples (inputs unchanged). *)
+(** Functional union of two accumulators' samples and counters (inputs
+    unchanged). *)
 
 type stage_summary = {
   ss_stage : string;
@@ -34,20 +42,34 @@ type summary = {
       (** journal records ignored on resume: unreadable lines, unknown
           record kinds (a journal written by a different build), or indices
           outside this campaign — each skipped case simply re-executes *)
+  crashed : int;     (** quarantined with a plain exception *)
+  timeouts : int;    (** quarantined by the deadline / step budget *)
+  ir_invalid : int;  (** quarantined by checked-mode IR validation *)
+  retries : int;     (** transient-fault retry attempts across all cases *)
+  recovered : int;   (** cases that succeeded after at least one retry *)
+  chaos_fired : int; (** chaos faults actually injected during the run *)
 }
 
 val summarize :
   ?journal_skipped:int ->
+  ?crashed:int ->
+  ?timeouts:int ->
+  ?ir_invalid:int ->
+  ?chaos_fired:int ->
   cases:int ->
   wall:float ->
   cache:Dce_compiler.Passmgr.counters ->
   t ->
   summary
+(** The retry counters come from [t] itself; the fault-kind and chaos counts
+    are passed in by the engine (computed from the quarantine bucket and the
+    chaos fired-counter delta). *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [0,1]: nearest-rank on a sorted array;
     0 on the empty array.  Exposed for tests. *)
 
 val to_string : summary -> string
-(** Human-readable block: throughput line, cache hit-rate line, and one row
-    per stage with sample count, total, and p50/p90/p99. *)
+(** Human-readable block: throughput line, cache hit-rate line, a
+    supervision line when any fault/retry/chaos counter is nonzero, and one
+    row per stage with sample count, total, and p50/p90/p99. *)

@@ -21,12 +21,12 @@ let compile_traced t ?version ?(validate = false) level ast =
 let compile t ?version ?validate level ast =
   fst (compile_traced t ?version ?validate level ast)
 
-let surviving_markers_traced t ?version level ast =
-  let asm, trace = compile_traced t ?version level ast in
+let surviving_markers_traced t ?version ?validate level ast =
+  let asm, trace = compile_traced t ?version ?validate level ast in
   (Dce_backend.Asm.surviving_markers asm, trace)
 
-let surviving_markers t ?version level ast =
-  fst (surviving_markers_traced t ?version level ast)
+let surviving_markers t ?version ?validate level ast =
+  fst (surviving_markers_traced t ?version ?validate level ast)
 
 (* ------------------------------------------------------------------ *)
 (* content-addressed compile caches (the reduction fast path)          *)

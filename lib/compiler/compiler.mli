@@ -25,8 +25,10 @@ val compile :
 (** Full compilation to pseudo-assembly. *)
 
 val surviving_markers :
-  t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list
-(** Convenience: marker ids still present in the generated assembly. *)
+  t -> ?version:int -> ?validate:bool -> Level.t -> Dce_minic.Ast.program -> int list
+(** Convenience: marker ids still present in the generated assembly.
+    [validate] (default false) runs {!Dce_ir.Validate} after every pass,
+    raising {!Passmgr.Ir_invalid} on the first stage that breaks the IR. *)
 
 (** {1 Traced variants}
 
@@ -50,7 +52,12 @@ val compile_traced :
   Dce_backend.Asm.t * Passmgr.trace
 
 val surviving_markers_traced :
-  t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list * Passmgr.trace
+  t ->
+  ?version:int ->
+  ?validate:bool ->
+  Level.t ->
+  Dce_minic.Ast.program ->
+  int list * Passmgr.trace
 
 (** {1 Content-addressed compile caching}
 

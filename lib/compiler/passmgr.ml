@@ -2,6 +2,29 @@ module Ir = Dce_ir.Ir
 module Pi = Dce_opt.Passinfo
 
 (* ------------------------------------------------------------------ *)
+(* checked mode and fault injection                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Ir_invalid of { pass : string; errors : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Ir_invalid { pass; errors } ->
+      Some
+        (Printf.sprintf "pass %s produced invalid IR:\n%s" pass (String.concat "\n" errors))
+    | _ -> None)
+
+(* The ambient per-domain IR fault hook: applied to every pass's output
+   program before the validation check, so an injected corruption is
+   attributed to exactly the pass it was planted after — the same blame the
+   checked mode would assign a real pass bug.  Per-domain (DLS) because
+   campaign workers arm chaos plans independently. *)
+let ir_hook_key : (string -> Ir.program -> Ir.program) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_ir_hook h = Domain.DLS.set ir_hook_key h
+
+(* ------------------------------------------------------------------ *)
 (* cache counters                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -168,6 +191,10 @@ let marker_set prog =
   List.fold_left (fun s m -> Ir.Iset.add m s) Ir.Iset.empty (Ir.program_marker_ids prog)
 
 let run_pass ?(round = 0) ?check t pass prog =
+  (* supervision poll point: one per executed stage, so a fixpoint that
+     never converges (or an unroll bomb inside one pass boundary) is cut by
+     the ambient deadline/step budget between stages *)
+  Dce_support.Guard.poll ~site:pass.p_label;
   t.cur <- prog;
   let markers_before = marker_set prog in
   let blocks_before = Ir.program_block_count prog in
@@ -175,6 +202,9 @@ let run_pass ?(round = 0) ?check t pass prog =
   let t0 = Unix.gettimeofday () in
   let prog' = pass.p_run t prog in
   let dt = Unix.gettimeofday () -. t0 in
+  let prog' =
+    match Domain.DLS.get ir_hook_key with None -> prog' | Some f -> f pass.p_label prog'
+  in
   (match check with Some f -> f pass.p_label prog' | None -> ());
   let diff = diff_programs prog prog' in
   invalidate t pass.p_info diff;

@@ -21,6 +21,23 @@
 
 module Ir = Dce_ir.Ir
 
+(** {1 Checked mode and fault injection} *)
+
+exception Ir_invalid of { pass : string; errors : string list }
+(** Raised by the pipeline's checked mode when {!Dce_ir.Validate} rejects a
+    pass's output: [pass] is the guilty stage label, [errors] the validator
+    diagnostics.  The campaign engine quarantines it as a distinct
+    [Ir_invalid] fault with per-pass attribution.  A printer is registered
+    with [Printexc]. *)
+
+val set_ir_hook : (string -> Ir.program -> Ir.program) option -> unit
+(** Install (or clear) the calling domain's IR fault hook.  When set, the
+    hook is applied to every executed pass's output program — label first —
+    {e before} the validation check, so a corruption it plants is blamed on
+    that pass.  This is the chaos harness's corrupt-IR injection point; it
+    must only be armed together with checked mode, otherwise the corrupt
+    program flows on undetected. *)
+
 (** {1 Analysis cache counters} *)
 
 type counters = {

@@ -235,10 +235,7 @@ let run_traced ?(validate = false) feats prog =
     if validate then begin
       match Dce_ir.Validate.program !mode prog' with
       | Ok () -> ()
-      | Error errs ->
-        failwith
-          (Printf.sprintf "pipeline stage %s broke the IR:\n%s" label
-             (String.concat "\n" errs))
+      | Error errs -> raise (Passmgr.Ir_invalid { pass = label; errors = errs })
     end
   in
   let trace = ref [] in

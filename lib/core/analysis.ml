@@ -24,7 +24,8 @@ type phase_hook = { wrap : 'a. string -> (unit -> 'a) -> 'a }
 let default_hook = { wrap = (fun _name f -> f ()) }
 let default_compilers () = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
 
-let run ?compilers ?(levels = C.Level.all) ?fuel ?(hook = default_hook) prog =
+let run ?compilers ?(levels = C.Level.all) ?fuel ?(checked = false) ?(hook = default_hook)
+    prog =
   let compilers = match compilers with Some cs -> cs | None -> default_compilers () in
   let instrumented = hook.wrap "instrument" (fun () -> Instrument.program prog) in
   match hook.wrap "ground-truth" (fun () -> Ground_truth.compute ?fuel instrumented) with
@@ -44,7 +45,7 @@ let run ?compilers ?(levels = C.Level.all) ?fuel ?(hook = default_hook) prog =
               let cfg = { Differential.compiler; level; version = None } in
               let surviving, cfg_trace =
                 hook.wrap "differential" (fun () ->
-                    Differential.surviving_traced cfg instrumented)
+                    Differential.surviving_traced ~validate:checked cfg instrumented)
               in
               let missed = Differential.missed ~surviving ~dead:truth.Ground_truth.dead in
               let primary_missed =

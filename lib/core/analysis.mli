@@ -38,11 +38,16 @@ val run :
   ?compilers:Dce_compiler.Compiler.t list ->
   ?levels:Dce_compiler.Level.t list ->
   ?fuel:int ->
+  ?checked:bool ->
   ?hook:phase_hook ->
   Dce_minic.Ast.program ->
   outcome
 (** [run raw_program] — the program must be uninstrumented and type-checked.
-    Defaults: both simulated compilers at HEAD, all five levels. *)
+    Defaults: both simulated compilers at HEAD, all five levels.  [checked]
+    (default false) validates the IR after every optimization pass during the
+    differential phase, raising {!Dce_compiler.Passmgr.Ir_invalid} naming the
+    guilty pass — the campaign engine quarantines that as a distinct
+    [Ir_invalid] fault. *)
 
 val find_config : t -> string -> Dce_compiler.Level.t -> per_config option
 

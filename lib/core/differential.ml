@@ -9,13 +9,14 @@ let config_name cfg =
   | None -> base
   | Some v -> Printf.sprintf "%s @v%d" base v
 
-let surviving_traced cfg prog =
+let surviving_traced ?validate cfg prog =
   let markers, trace =
-    C.Compiler.surviving_markers_traced cfg.compiler ?version:cfg.version cfg.level prog
+    C.Compiler.surviving_markers_traced cfg.compiler ?version:cfg.version ?validate cfg.level
+      prog
   in
   (List.fold_left (fun s n -> Ir.Iset.add n s) Ir.Iset.empty markers, trace)
 
-let surviving cfg prog = fst (surviving_traced cfg prog)
+let surviving ?validate cfg prog = fst (surviving_traced ?validate cfg prog)
 
 let missed ~surviving ~dead = Ir.Iset.inter surviving dead
 

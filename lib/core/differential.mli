@@ -15,11 +15,16 @@ type config = {
 val config_name : config -> string
 (** e.g. ["gcc-sim -O3"] or ["llvm-sim -O2 @v17"]. *)
 
-val surviving : config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t
-(** Compile the instrumented program and scan the assembly. *)
+val surviving : ?validate:bool -> config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t
+(** Compile the instrumented program and scan the assembly.  [validate]
+    (default false) checks the IR after every pass, raising
+    {!Dce_compiler.Passmgr.Ir_invalid} naming the guilty stage. *)
 
 val surviving_traced :
-  config -> Dce_minic.Ast.program -> Dce_ir.Ir.Iset.t * Dce_compiler.Passmgr.trace
+  ?validate:bool ->
+  config ->
+  Dce_minic.Ast.program ->
+  Dce_ir.Ir.Iset.t * Dce_compiler.Passmgr.trace
 (** Like {!surviving}, also returning the pipeline stage trace — which pass
     eliminated which marker, with timing and IR deltas. *)
 

@@ -188,7 +188,11 @@ let rec call st depth (fn : func) (args : value list) : value =
   let tick () =
     st.steps <- st.steps + 1;
     st.fuel <- st.fuel - 1;
-    if st.fuel <= 0 then raise Fuel_exn
+    if st.fuel <= 0 then raise Fuel_exn;
+    (* supervision poll point: a campaign deadline/step budget cuts an
+       interpreter loop off even before fuel runs out; subsampled so the
+       unguarded fast path stays two arithmetic ops *)
+    if st.steps land 255 = 0 then Dce_support.Guard.poll ~site:"interp"
   in
   let rec exec_block prev_label l : value =
     Hashtbl.replace st.blocks_run (fn.fn_name, l) ();

@@ -1,0 +1,52 @@
+module Bundle = Dce_campaign.Bundle
+module Ast = Dce_minic.Ast
+
+let parse_source src =
+  match Dce_minic.Parser.parse_program src with
+  | prog -> Some prog
+  | exception _ -> None
+
+let minimize ?(max_tests = 500) ~still_faulty (b : Bundle.t) =
+  match b.Bundle.b_source with
+  | None -> b
+  | Some src -> (
+    match parse_source src with
+    | None -> b
+    | Some prog ->
+      (* the reducer refuses an initial program that fails its predicate;
+         probing first keeps non-reproducible faults (chaos-injected ones
+         replayed without the plan armed) a silent skip, not an error *)
+      let reproduces = try still_faulty prog with _ -> false in
+      if not reproduces then b
+      else (
+        try
+          let r =
+            Engine.reduce ~max_tests ~predicate:(Predicate.of_fun still_faulty) prog
+          in
+          if r.Engine.final_size < r.Engine.initial_size then
+            {
+              b with
+              Bundle.b_minimized = Some (Dce_minic.Pretty.program_to_string r.Engine.program);
+            }
+          else b
+        with _ -> b))
+
+let minimize_dir ?max_tests ~still_faulty ~dir () =
+  if not (Sys.file_exists dir) then 0
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun n entry ->
+           if String.length entry >= 5 && String.sub entry 0 5 = "case-" then (
+             let cdir = Filename.concat dir entry in
+             match Bundle.load cdir with
+             | Some b when b.Bundle.b_minimized = None -> (
+               let b' = minimize ?max_tests ~still_faulty b in
+               match b'.Bundle.b_minimized with
+               | Some _ ->
+                 ignore (Bundle.write ~dir b');
+                 n + 1
+               | None -> n)
+             | Some _ | None -> n)
+           else n)
+         0

@@ -1,0 +1,31 @@
+(** Auto-minimization of crash bundles.
+
+    Glue between {!Dce_campaign.Bundle} and the reduction {!Engine}: replay
+    a bundle's repro source against a caller-supplied fault predicate and
+    shrink it while the fault still reproduces.  Lives here, not in the
+    campaign library, because reduction depends on the campaign engine (the
+    reverse dependency would be a cycle). *)
+
+val minimize :
+  ?max_tests:int ->
+  still_faulty:(Dce_minic.Ast.program -> bool) ->
+  Dce_campaign.Bundle.t ->
+  Dce_campaign.Bundle.t
+(** Reduce the bundle's [b_source] under [still_faulty] (typically "the
+    analysis still raises"), filling [b_minimized] with the reduced source.
+    Returns the bundle unchanged when it has no source, when the source no
+    longer parses, when the fault does not reproduce on the full source
+    (e.g. it needed the chaos plan armed), or when reduction itself fails —
+    minimization is best-effort by design.  [max_tests] defaults to 500:
+    crash repros shrink fast and the bundle path must never dominate a
+    campaign. *)
+
+val minimize_dir :
+  ?max_tests:int ->
+  still_faulty:(Dce_minic.Ast.program -> bool) ->
+  dir:string ->
+  unit ->
+  int
+(** Load every [case-*] bundle under [dir], minimize it, and rewrite the
+    bundle (adding [repro-min.c]) when minimization made progress.  Returns
+    the number of bundles minimized. *)

@@ -48,6 +48,10 @@ let run t prog =
     if i >= Array.length t.stages then Pass
     else begin
       let st = t.stages.(i) in
+      (* supervision poll, deliberately outside the catch below: a budget
+         trip must quarantine the whole case as a timeout, not be swallowed
+         as one candidate's crash *)
+      Dce_support.Guard.poll ~site:("reduce:" ^ st.st_name);
       Atomic.incr t.entered.(i);
       let t0 = Unix.gettimeofday () in
       let res = try Ok (st.st_run p) with e -> Error (Printexc.to_string e) in

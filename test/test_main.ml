@@ -15,6 +15,7 @@ let () =
       ("tools", Suite_tools.suite);
       ("reduce", Suite_reduce.suite);
       ("campaign", Suite_campaign.suite);
+      ("supervision", Suite_supervision.suite);
       ("bisect", Suite_bisect.suite);
       ("extension", Suite_extension.suite);
       ("properties", Suite_properties.suite);
