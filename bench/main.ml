@@ -33,6 +33,15 @@ let jobs =
    reduction metrics.  BENCH_reduce.json is written regardless. *)
 let json_path = Sys.getenv_opt "DCE_BENCH_JSON"
 
+(* DCE_BENCH_SECTIONS=exec,table1 runs only the named sections *)
+let section_filter =
+  match Sys.getenv_opt "DCE_BENCH_SECTIONS" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' s |> List.map String.trim)
+
+let section_wanted name =
+  match section_filter with None -> true | Some names -> List.mem name names
+
 let section title =
   Printf.printf "\n=== %s ===\n" title
 
@@ -41,6 +50,8 @@ let section_log : (string * float * string) list ref = ref []
 (* Run one section, timing it; with DCE_BENCH_JSON set, tee its stdout
    through a temp file so the dump carries the rendered text verbatim. *)
 let run_section name f =
+  if not (section_wanted name) then ()
+  else
   let t0 = Unix.gettimeofday () in
   let text =
     match json_path with
@@ -307,6 +318,108 @@ let print_supervision_bench () =
   print_endline "wrote BENCH_supervision.json"
 
 (* ------------------------------------------------------------------ *)
+(* Executor: bytecode VM vs reference interpreter                      *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = Dce_exec.Exec
+
+(* The VM's contract is "identical results, a multiple of the throughput".
+   Parity is asserted before any timing — a fast wrong executor is
+   worthless — then executed-steps/sec is measured on a loop-heavy program
+   (≈1.2M steps, the ground-truth fuel regime) plus a slice of generated
+   corpus programs for realism.  Both end-to-end throughput (compile +
+   run, what Exec.run costs a campaign) and run-only throughput (the
+   bytecode reused) are reported; the ≥5x bar applies end-to-end. *)
+let print_exec_bench () =
+  section "Executor: bytecode VM vs reference interpreter";
+  let hot =
+    Dce_minic.Typecheck.check_exn
+      (Dce_minic.Parser.parse_program
+         {|
+int acc = 1;
+int main(void) {
+  int i = 0;
+  while (i < 300) {
+    int j = 0;
+    while (j < 500) {
+      acc = acc + i * j - acc / 7 + (acc & 31);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return acc & 255;
+}
+|})
+  in
+  let corpus_irs =
+    List.map
+      (fun s ->
+        Dce_ir.Lower.program
+          (Core.Instrument.program (fst (Smith.generate (Smith.default_config s)))))
+      [ 4242; 777; 20220228; 31415; 2718 ]
+  in
+  let irs = Dce_ir.Lower.program hot :: corpus_irs in
+  let parity_ok =
+    List.for_all
+      (fun ir ->
+        Exec.results_equal (Exec.run ~backend:Exec.Interp ir) (Exec.run ~backend:Exec.Vm ir))
+      irs
+  in
+  Printf.printf "parity on %d programs: %s\n" (List.length irs)
+    (if parity_ok then "identical results under both backends" else "DIVERGENCE");
+  let total_steps =
+    List.fold_left (fun acc ir -> acc + (Exec.run ~backend:Exec.Vm ir).Dce_interp.Interp.steps) 0 irs
+  in
+  let reps = 12 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter f irs
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let interp_s = time (fun ir -> ignore (Exec.run ~backend:Exec.Interp ir)) in
+  let vm_s = time (fun ir -> ignore (Exec.run ~backend:Exec.Vm ir)) in
+  let compiled = List.map Dce_exec.Bc_compile.program irs in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    List.iter (fun cp -> ignore (Dce_exec.Bc_vm.run cp)) compiled
+  done;
+  let vm_run_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let sps s = float_of_int total_steps /. s in
+  let speedup = sps vm_s /. sps interp_s in
+  Printf.printf "workload: %d programs, %d executed steps per pass, %d passes\n"
+    (List.length irs) total_steps reps;
+  Printf.printf "interp            %10.0f steps/sec  (%.2f ms/pass)\n" (sps interp_s)
+    (interp_s *. 1e3);
+  Printf.printf "vm (compile+run)  %10.0f steps/sec  (%.2f ms/pass)  %.1fx\n" (sps vm_s)
+    (vm_s *. 1e3) speedup;
+  Printf.printf "vm (run only)     %10.0f steps/sec  (%.2f ms/pass)  %.1fx\n" (sps vm_run_s)
+    (vm_run_s *. 1e3)
+    (sps vm_run_s /. sps interp_s);
+  if speedup < 5.0 then
+    Printf.printf "WARNING: VM end-to-end speedup %.1fx is below the 5x bar\n" speedup;
+  let doc =
+    Campaign.Json.Obj
+      [
+        ("programs", Campaign.Json.Int (List.length irs));
+        ("reps", Campaign.Json.Int reps);
+        ("executed_steps_per_pass", Campaign.Json.Int total_steps);
+        ("parity_ok", Campaign.Json.Bool parity_ok);
+        ("interp_steps_per_sec", Campaign.Json.Float (sps interp_s));
+        ("vm_steps_per_sec", Campaign.Json.Float (sps vm_s));
+        ("vm_run_only_steps_per_sec", Campaign.Json.Float (sps vm_run_s));
+        ("speedup", Campaign.Json.Float speedup);
+        ("meets_5x_bar", Campaign.Json.Bool (speedup >= 5.0));
+      ]
+  in
+  let oc = open_out "BENCH_exec.json" in
+  output_string oc (Campaign.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_exec.json"
+
+(* ------------------------------------------------------------------ *)
 (* Table 5: triage                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,7 +481,7 @@ int main(void) {
      let sg = surv "gcc-sim " C.Gcc_sim.compiler in
      let sl = surv "llvm-sim" C.Llvm_sim.compiler in
      let graph =
-       Core.Primary.build ~block_live:(Core.Ground_truth.block_live truth)
+       Core.Primary.build ~live_blocks:truth.Core.Ground_truth.live_blocks
          (Dce_ir.Lower.program instr)
      in
      let prim s =
@@ -405,7 +518,7 @@ int main(void) {
   (match Core.Ground_truth.compute instr with
    | Core.Ground_truth.Valid truth ->
      let graph =
-       Core.Primary.build ~block_live:(Core.Ground_truth.block_live truth)
+       Core.Primary.build ~live_blocks:truth.Core.Ground_truth.live_blocks
          (Dce_ir.Lower.program instr)
      in
      Ir.Iset.iter
@@ -545,7 +658,7 @@ let print_reduction () =
           let predicate =
             Reduce.Predicate.marker_diff ~compile_cache:true
               ~keep_missed_by:(mk C.Gcc_sim.compiler) ~eliminated_by:(mk C.Llvm_sim.compiler)
-              ~marker
+              ~marker ()
           in
           let r = Reduce.Engine.reduce ~max_tests:250 ~jobs ~predicate prog in
           let s = r.Reduce.Engine.stats in
@@ -679,6 +792,7 @@ let () =
       ("figure1", figure1_demo);
       ("figure2", figure2_demo);
       ("supervision", print_supervision_bench);
+      ("exec", print_exec_bench);
       ("value_checks", print_value_checks);
       ("ablations", print_ablations);
       ("reduction", print_reduction);

@@ -37,6 +37,27 @@ let level_of_string s =
 
 let iset_to_string s = String.concat "," (List.map string_of_int (Ir.Iset.elements s))
 
+(* ---------- executor backend (shared by every executing subcommand) ---------- *)
+
+let exec_arg =
+  Arg.(
+    value & opt string "vm"
+    & info [ "exec" ] ~docv:"vm|interp"
+        ~doc:
+          "Ground-truth executor backend: $(b,vm) compiles lowered IR to register bytecode and \
+           runs the flat VM (default); $(b,interp) is the tree-walking reference interpreter. \
+           Both produce identical results — markers, blocks, events, step counts — so every \
+           report is byte-identical across backends; interp exists as the oracle to cross-check \
+           the VM.")
+
+let set_exec s =
+  match Dce_exec.Exec.of_string s with
+  | Some b -> Dce_exec.Exec.set_default b
+  | None ->
+    failwith
+      (Printf.sprintf "unknown executor %S (use %s)" s
+         (String.concat " or " Dce_exec.Exec.all_names))
+
 (* ---------- generate ---------- *)
 
 let generate_cmd =
@@ -75,7 +96,8 @@ let analyze_cmd =
       & info [ "trace" ]
           ~doc:"Show per-configuration pass attribution (which stage eliminated which marker).")
   in
-  let run path diagnose trace =
+  let run path diagnose trace exec =
+    set_exec exec;
     let prog = read_program path in
     match Core.Analysis.run prog with
     | Core.Analysis.Rejected reason -> Printf.printf "rejected: %s\n" reason
@@ -125,7 +147,7 @@ let analyze_cmd =
        ~doc:
          "Instrument a program, execute it for ground truth, and compare both simulated \
           compilers at every level.")
-    Term.(const run $ file_arg $ diagnose $ trace)
+    Term.(const run $ file_arg $ diagnose $ trace $ exec_arg)
 
 (* ---------- compile ---------- *)
 
@@ -277,7 +299,8 @@ let hunt_cmd =
              quarantines the case as ir-invalid blaming that pass.")
   in
   let run seed count jobs journal inject metrics deadline step_budget retries chaos bundle_dir
-      minimize_bundles checked =
+      minimize_bundles checked exec =
+    set_exec exec;
     let chaos = chaos_plan_of_spec chaos in
     let c =
       Campaign.Corpus.run ?journal ~inject_crash:inject ?deadline ?step_budget ~retries ~chaos
@@ -334,14 +357,16 @@ let hunt_cmd =
           via $(b,--journal).")
     Term.(
       const run $ seed $ count $ jobs_arg $ journal_arg $ inject $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ chaos $ bundle_dir $ minimize_bundles $ checked)
+      $ step_budget_arg $ retries_arg $ chaos $ bundle_dir $ minimize_bundles $ checked
+      $ exec_arg)
 
 (* ---------- triage ---------- *)
 
 let triage_cmd =
   let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
   let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
-  let run seed count jobs journal metrics deadline step_budget retries =
+  let run seed count jobs journal metrics deadline step_budget retries exec =
+    set_exec exec;
     let c =
       Campaign.Corpus.run ?journal ?deadline ?step_budget ~retries ~jobs ~seed ~count ()
     in
@@ -376,7 +401,7 @@ let triage_cmd =
           root-cause diagnosis, deduplication into reports, and Table-5 style statuses.")
     Term.(
       const run $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg)
+      $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- value-hunt (the §4.4 extension) ---------- *)
 
@@ -427,7 +452,8 @@ let value_hunt_cmd =
     print_epilogue ~metrics ~quarantine:v.Campaign.Corpus.v_quarantine ~quarantine_text
       ~resumed:v.Campaign.Corpus.v_resumed v.Campaign.Corpus.v_metrics
   in
-  let run path seed count jobs journal metrics deadline step_budget retries =
+  let run path seed count jobs journal metrics deadline step_budget retries exec =
+    set_exec exec;
     match path with
     | Some path -> run_file path
     | None -> run_corpus seed count jobs journal metrics deadline step_budget retries
@@ -439,7 +465,7 @@ let value_hunt_cmd =
           configurations prove them — on one file, or as a campaign over a generated corpus.")
     Term.(
       const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg)
+      $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- reduce ---------- *)
 
@@ -467,7 +493,9 @@ let reduce_cmd =
             "Disable the content-addressed verdict cache (every charged candidate re-evaluates). \
              The reduction result is identical either way; this exists for measurement.")
   in
-  let run path marker keeper keeper_level elim elim_level max_tests jobs journal stats no_cache =
+  let run path marker keeper keeper_level elim elim_level max_tests jobs journal stats no_cache
+      exec =
+    set_exec exec;
     let prog = read_program path in
     let prog =
       if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
@@ -475,7 +503,7 @@ let reduce_cmd =
     let mk c l = { Core.Differential.compiler = compiler_of_string c; level = level_of_string l; version = None } in
     let predicate =
       Dce_reduce.Predicate.marker_diff ~compile_cache:(not no_cache)
-        ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level) ~marker
+        ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level) ~marker ()
     in
     let result =
       Dce_reduce.Engine.reduce ~max_tests ~jobs ~cache:(not no_cache) ?journal ~predicate prog
@@ -499,7 +527,7 @@ let reduce_cmd =
           byte-identical for every jobs value and cache setting.")
     Term.(
       const run $ file_arg $ marker $ keeper $ keeper_level $ elim $ elim_level $ max_tests
-      $ jobs_arg $ journal_arg $ stats $ no_cache)
+      $ jobs_arg $ journal_arg $ stats $ no_cache $ exec_arg)
 
 (* ---------- bisect ---------- *)
 
@@ -544,7 +572,8 @@ let bisect_campaign_cmd =
             "Disable the content-addressed probe cache (every probe recompiles).  Outcomes and \
              probe counts are identical either way; this exists for measurement.")
   in
-  let run seed count level jobs journal metrics no_cache deadline step_budget retries =
+  let run seed count level jobs journal metrics no_cache deadline step_budget retries exec =
+    set_exec exec;
     let corpus = Campaign.Corpus.run ~jobs ~seed ~count () in
     let b =
       Campaign.Bisect_campaign.run
@@ -567,7 +596,7 @@ let bisect_campaign_cmd =
           commits into the paper's component tables (Tables 3/4).")
     Term.(
       const run $ seed $ count $ level $ jobs_arg $ journal_arg $ metrics_arg $ no_cache
-      $ deadline_arg $ step_budget_arg $ retries_arg)
+      $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- explain ---------- *)
 

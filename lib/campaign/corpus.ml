@@ -88,9 +88,7 @@ let encode_payload p =
   | Core.Analysis.Analyzed a ->
     let truth = a.Core.Analysis.truth in
     let live_blocks =
-      Hashtbl.fold (fun (fn, label) () acc -> (fn, label) :: acc)
-        truth.Core.Ground_truth.live_blocks []
-      |> List.sort compare
+      Ir.Bset.elements truth.Core.Ground_truth.live_blocks
       |> List.map (fun (fn, label) -> Json.List [ Json.String fn; Json.Int label ])
     in
     Json.Obj
@@ -113,16 +111,18 @@ let decode_payload j =
   | "analyzed" ->
     let alive = iset_of_json (Json.get j "alive") in
     let dead = iset_of_json (Json.get j "dead") in
-    let live_blocks = Hashtbl.create 64 in
-    List.iter
-      (fun entry ->
-        match Json.to_list entry with
-        | Some [ fn; label ] -> (
-          match (Json.to_str fn, Json.to_int label) with
-          | Some fn, Some label -> Hashtbl.replace live_blocks (fn, label) ()
+    let live_blocks =
+      List.fold_left
+        (fun acc entry ->
+          match Json.to_list entry with
+          | Some [ fn; label ] -> (
+            match (Json.to_str fn, Json.to_int label) with
+            | Some fn, Some label -> Ir.Bset.add (fn, label) acc
+            | _ -> failwith "journal record: bad live_blocks entry")
           | _ -> failwith "journal record: bad live_blocks entry")
-        | _ -> failwith "journal record: bad live_blocks entry")
-      (Json.get_list j "live_blocks");
+        Ir.Bset.empty
+        (Json.get_list j "live_blocks")
+    in
     let truth =
       {
         Core.Ground_truth.alive;
@@ -136,8 +136,7 @@ let decode_payload j =
        data: regenerate, re-instrument, rebuild the marker graph *)
     let instrumented = Core.Instrument.program raw in
     let graph =
-      Core.Primary.build
-        ~block_live:(Core.Ground_truth.block_live truth)
+      Core.Primary.build ~live_blocks:truth.Core.Ground_truth.live_blocks
         (Dce_ir.Lower.program instrumented)
     in
     let configs =
@@ -179,7 +178,7 @@ let codec = { Engine.encode = encode_payload; decode = decode_payload }
 (* the campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?journal ?fuel ?(inject_crash = []) ?deadline ?step_budget ?retries ?(chaos = [])
+let run ?journal ?fuel ?exec ?(inject_crash = []) ?deadline ?step_budget ?retries ?(chaos = [])
     ?(checked = false) ?bundle_dir ~jobs ~seed ~count () =
   (* --inject-crash is the legacy spelling of a crash-only chaos plan *)
   let chaos = chaos @ Chaos.crash_plan inject_crash in
@@ -192,7 +191,7 @@ let run ?journal ?fuel ?(inject_crash = []) ?deadline ?step_budget ?retries ?(ch
           fst (Smith.generate (Smith.default_config seeds.(i))))
     in
     let hook = { Core.Analysis.wrap = (fun name f -> Engine.stage ctx name f) } in
-    { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ~checked ~hook raw; p_raw = raw }
+    { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ?exec ~checked ~hook raw; p_raw = raw }
   in
   let result =
     Engine.run ?journal ~codec ~campaign:"hunt" ~seed ?deadline ?step_budget ?retries ~chaos
@@ -331,7 +330,7 @@ type value_campaign = {
   v_resumed : int;
 }
 
-let run_value ?journal ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
+let run_value ?journal ?exec ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let case_seed = seeds.(i) in
@@ -339,11 +338,13 @@ let run_value ?journal ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
       Engine.stage ctx "generate" (fun () -> fst (Smith.generate (Smith.default_config case_seed)))
     in
     let none = { vc_seed = case_seed; vc_checks = 0; vc_kept = [] } in
-    match Engine.stage ctx "value-instrument" (fun () -> Core.Value_instrument.instrument raw) with
+    match
+      Engine.stage ctx "value-instrument" (fun () -> Core.Value_instrument.instrument ?exec raw)
+    with
     | None -> none
     | Some (_, st) when st.Core.Value_instrument.checks_planted = 0 -> none
     | Some (vi, _) -> (
-      match Engine.stage ctx "ground-truth" (fun () -> Core.Ground_truth.compute vi) with
+      match Engine.stage ctx "ground-truth" (fun () -> Core.Ground_truth.compute ?exec vi) with
       | Core.Ground_truth.Rejected _ -> none
       | Core.Ground_truth.Valid truth ->
         let kept =

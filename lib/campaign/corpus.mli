@@ -36,6 +36,7 @@ type t = {
 val run :
   ?journal:string ->
   ?fuel:int ->
+  ?exec:Dce_exec.Exec.backend ->
   ?inject_crash:int list ->
   ?deadline:float ->
   ?step_budget:int ->
@@ -50,8 +51,8 @@ val run :
   t
 (** [inject_crash] lists corpus indices whose generate stage raises — the
     legacy spelling of a crash-only {!Chaos.plan}, merged into [chaos].
-    [fuel] bounds the ground-truth interpreter per case (exhaustion is a
-    rejection, not a crash).
+    [fuel] bounds the ground-truth executor per case (exhaustion is a
+    rejection, not a crash); [exec] selects its backend (default ambient).
 
     [deadline] / [step_budget] / [retries] are the {!Engine.run} supervision
     controls.  [chaos] installs a deterministic fault plan; a plan with a
@@ -97,6 +98,7 @@ type value_campaign = {
 
 val run_value :
   ?journal:string ->
+  ?exec:Dce_exec.Exec.backend ->
   ?deadline:float ->
   ?step_budget:int ->
   ?retries:int ->

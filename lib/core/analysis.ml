@@ -24,17 +24,18 @@ type phase_hook = { wrap : 'a. string -> (unit -> 'a) -> 'a }
 let default_hook = { wrap = (fun _name f -> f ()) }
 let default_compilers () = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
 
-let run ?compilers ?(levels = C.Level.all) ?fuel ?(checked = false) ?(hook = default_hook)
-    prog =
+let run ?compilers ?(levels = C.Level.all) ?fuel ?exec ?(checked = false)
+    ?(hook = default_hook) prog =
   let compilers = match compilers with Some cs -> cs | None -> default_compilers () in
   let instrumented = hook.wrap "instrument" (fun () -> Instrument.program prog) in
-  match hook.wrap "ground-truth" (fun () -> Ground_truth.compute ?fuel instrumented) with
+  match
+    hook.wrap "ground-truth" (fun () -> Ground_truth.compute ?exec ?fuel instrumented)
+  with
   | Ground_truth.Rejected reason -> Rejected reason
   | Ground_truth.Valid truth ->
     let graph =
       hook.wrap "primary-graph" (fun () ->
-          Primary.build
-            ~block_live:(Ground_truth.block_live truth)
+          Primary.build ~live_blocks:truth.Ground_truth.live_blocks
             (Dce_ir.Lower.program instrumented))
     in
     let configs =

@@ -38,6 +38,7 @@ val run :
   ?compilers:Dce_compiler.Compiler.t list ->
   ?levels:Dce_compiler.Level.t list ->
   ?fuel:int ->
+  ?exec:Dce_exec.Exec.backend ->
   ?checked:bool ->
   ?hook:phase_hook ->
   Dce_minic.Ast.program ->

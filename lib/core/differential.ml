@@ -20,4 +20,18 @@ let surviving ?validate cfg prog = fst (surviving_traced ?validate cfg prog)
 
 let missed ~surviving ~dead = Ir.Iset.inter surviving dead
 
+(* Semantic oracle for pass pipelines: two IR programs are equivalent when
+   their executions agree on outcome and event sequence.  Runs through the
+   shared executor so the VM backend is exercised everywhere passes are
+   checked; any divergence can be re-judged against the Interp backend. *)
+let semantics_preserved ?exec a b =
+  Dce_interp.Interp.equivalent
+    (Dce_exec.Exec.run ?backend:exec a)
+    (Dce_exec.Exec.run ?backend:exec b)
+
+let semantics_preserved_strict ?exec a b =
+  Dce_interp.Interp.equivalent_strict
+    (Dce_exec.Exec.run ?backend:exec a)
+    (Dce_exec.Exec.run ?backend:exec b)
+
 let missed_vs_other ~mine ~other = Ir.Iset.diff mine other

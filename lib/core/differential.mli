@@ -32,6 +32,17 @@ val missed :
   surviving:Dce_ir.Ir.Iset.t -> dead:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
 (** Markers the configuration kept although they are dead. *)
 
+val semantics_preserved :
+  ?exec:Dce_exec.Exec.backend -> Dce_ir.Ir.program -> Dce_ir.Ir.program -> bool
+(** Whether two IR programs (e.g. before/after a transformation) are
+    observationally equivalent — same outcome, same event sequence — when
+    executed under the given backend (default ambient).  This is
+    {!Dce_interp.Interp.equivalent} routed through the shared executor. *)
+
+val semantics_preserved_strict :
+  ?exec:Dce_exec.Exec.backend -> Dce_ir.Ir.program -> Dce_ir.Ir.program -> bool
+(** {!semantics_preserved} plus identical final global memory. *)
+
 val missed_vs_other :
   mine:Dce_ir.Ir.Iset.t -> other:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
 (** Paper §3.1: markers I keep that the other configuration eliminates —

@@ -13,7 +13,7 @@ type t = {
   alive : Dce_ir.Ir.Iset.t;   (** markers executed at least once *)
   dead : Dce_ir.Ir.Iset.t;    (** markers never executed *)
   all : Dce_ir.Ir.Iset.t;
-  live_blocks : (string * int, unit) Hashtbl.t;
+  live_blocks : Dce_ir.Ir.Bset.t;
       (** executed (function, block) pairs in the unoptimized lowering *)
   steps : int;                (** interpreter steps used *)
 }
@@ -25,5 +25,7 @@ type outcome =
   | Valid of t
   | Rejected of string  (** trap / fuel exhaustion / no main *)
 
-val compute : ?fuel:int -> Dce_minic.Ast.program -> outcome
-(** [compute instrumented_program]: lowers (no optimization) and executes. *)
+val compute : ?exec:Dce_exec.Exec.backend -> ?fuel:int -> Dce_minic.Ast.program -> outcome
+(** [compute instrumented_program]: lowers (no optimization) and executes
+    under the given executor backend (default: the ambient
+    {!Dce_exec.Exec.default}). *)

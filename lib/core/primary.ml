@@ -63,7 +63,8 @@ let context_at block_live fn layouts preds_map l idx =
   | m :: _ -> { empty_ctx with ctx_markers = Iset.singleton m }
   | [] -> incoming_context block_live fn layouts preds_map l
 
-let build ?(interprocedural = true) ?(block_live = fun _ _ -> false) prog =
+let build ?(interprocedural = true) ?(live_blocks = Dce_ir.Ir.Bset.empty) prog =
+  let block_live fn l = Dce_ir.Ir.Bset.mem (fn, l) live_blocks in
   let fn_data =
     List.map
       (fun fn ->

@@ -17,20 +17,20 @@ type t
 
 val build :
   ?interprocedural:bool ->
-  ?block_live:(string -> int -> bool) ->
+  ?live_blocks:Dce_ir.Ir.Bset.t ->
   Dce_ir.Ir.program ->
   t
 (** Build from the {e unoptimized, pre-SSA} lowering of the instrumented
     program (optimized CFGs would reflect the compiler under test, not the
     program).
 
-    [block_live fn label] is the block-level ground truth
-    ({!Ground_truth.block_live}): the backward walk stops at {e live} markless
-    blocks and counts them as live predecessors — two sequentially dead
-    regions separated by an executed join are then independent, exactly as in
-    the paper's block-level CFG.  Without it (default: everything considered
-    not-live) markless blocks are transparent, a conservative
-    over-approximation of predecessor sets.
+    [live_blocks] is the block-level ground truth
+    ({!Ground_truth.t.live_blocks}): the backward walk stops at {e live}
+    markless blocks and counts them as live predecessors — two sequentially
+    dead regions separated by an executed join are then independent, exactly
+    as in the paper's block-level CFG.  Without it (default: empty, i.e.
+    everything considered not-live) markless blocks are transparent, a
+    conservative over-approximation of predecessor sets.
 
     With [interprocedural:false] (an ablation; default true) every function
     entry is treated as an always-live root instead of expanding through call

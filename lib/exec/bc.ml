@@ -1,0 +1,120 @@
+module I = Dce_interp.Interp
+
+(* Distinguished "not yet written" value for maybe-undefined registers.
+   Allocated once at module init, so a physical-equality test identifies it;
+   the symbol name contains '\000' so no real program symbol can collide. *)
+let undef_sentinel = I.Vptr ("\000undef", min_int, 0)
+
+type op =
+  | Enter of int
+      (* block entry: record (function, label) as executed; no tick *)
+  | Chk of { slot : int; var : int }
+      (* trap "read of undefined register" if the slot still holds the
+         sentinel; emitted only for maybe-undefined registers; no tick *)
+  | Mov of { dst : int; src : int }
+  | Una of { dst : int; op : Dce_minic.Ops.unop; src : int }
+  | Bin of { dst : int; op : Dce_minic.Ops.binop; a : int; b : int }
+  | Lea of { dst : int; sym : string; fs : int; off : int }
+      (* address of symbol element; [fs] indexes this function's frame
+         symbols (instance of the current activation), -1 = instance 0 *)
+  | Padd of { dst : int; p : int; off : int }
+  | Ld of { dst : int; p : int }
+  | St of { p : int; v : int }
+  | Mark of int
+  | CallF of { dst : int; fidx : int; args : int array }
+      (* defined function by index; dst = -1 discards the result *)
+  | CallX of { dst : int; name : string; args : int array }
+      (* undefined external: records an event, returns the deterministic
+         extern hash *)
+  | PhiPar of { dsts : int array; rows : (int * int * int) array array }
+      (* the leading phis of a block, evaluated in parallel against the
+         incoming edge: all reads (one tick each), then all writes.  A row
+         entry is (predecessor label, source slot, chk var or -1). *)
+  | PhiSeq of { dst : int; row : (int * int * int) array }
+      (* a non-leading phi, evaluated sequentially like any other
+         instruction (the interpreter does the same) *)
+  | Jmp of { target : int; label : int; from : int }
+      (* target = -1: the label does not exist — record it, then trap *)
+  | Br of { c : int; t : int; tl : int; f : int; fl : int; from : int }
+  | Sw of { c : int; cases : (int * int * int) array; d : int; dl : int; from : int }
+      (* cases are (value, target pc, target label), first match wins *)
+  | Ret of int  (* slot, or -1 for "return 0" *)
+
+(* Pooled slot constants: [Cptr] is a global address folded at compile
+   time (instance 0 by definition — frame symbols never fold). *)
+type const = Cint of int | Cptr of string * int
+
+type frame_sym = { fs_name : string; fs_init : Dce_ir.Ir.init_cell array }
+
+type cfunc = {
+  cf_name : string;
+  cf_params : int array;  (* parameter slots, bound at activation entry *)
+  cf_code : op array;
+  cf_entry_pc : int;      (* -1 if the entry block is missing *)
+  cf_entry_label : int;
+  cf_nslots : int;        (* frame size: registers + sentinels + constants *)
+  cf_nregs : int;         (* slots produced by interval allocation alone *)
+  cf_nvars : int;         (* virtual registers before allocation *)
+  cf_consts : (int * const) array;  (* slot, pooled constant *)
+  cf_sentinels : int array;      (* slots re-poisoned on pooled-frame reuse *)
+  cf_frame_syms : frame_sym array;  (* this function's stack symbols, in
+                                       program order *)
+  cf_nlabels : int;       (* bound on block labels, sizes the executed-flags *)
+  cf_max_phis : int;
+}
+
+type cprog = {
+  cp_funcs : cfunc array;
+  cp_main : int;  (* index into cp_funcs, -1 if absent *)
+  cp_globals : (string * Dce_ir.Ir.init_cell array) array;
+  (* uninterpreted initial cells, in program order; the VM converts them
+     at run start exactly like the interpreter *)
+  cp_src : Dce_ir.Ir.program;
+}
+
+let pp_op ppf op =
+  let f fmt = Format.fprintf ppf fmt in
+  let slots a = String.concat " " (List.map string_of_int (Array.to_list a)) in
+  match op with
+  | Enter l -> f "enter L%d" l
+  | Chk { slot; var } -> f "chk s%d (%%%d)" slot var
+  | Mov { dst; src } -> f "mov s%d <- s%d" dst src
+  | Una { dst; op; src } -> f "una s%d <- %s s%d" dst (Dce_minic.Ops.unop_symbol op) src
+  | Bin { dst; op; a; b } ->
+    f "bin s%d <- s%d %s s%d" dst a (Dce_minic.Ops.binop_symbol op) b
+  | Lea { dst; sym; fs; off } -> f "lea s%d <- &%s[s%d] (fs %d)" dst sym off fs
+  | Padd { dst; p; off } -> f "padd s%d <- s%d + s%d" dst p off
+  | Ld { dst; p } -> f "ld s%d <- [s%d]" dst p
+  | St { p; v } -> f "st [s%d] <- s%d" p v
+  | Mark n -> f "mark %d" n
+  | CallF { dst; fidx; args } -> f "call s%d <- f%d(%s)" dst fidx (slots args)
+  | CallX { dst; name; args } -> f "extern s%d <- %s(%s)" dst name (slots args)
+  | PhiPar { dsts; rows } ->
+    f "phis %s <-" (slots dsts);
+    Array.iter
+      (fun row ->
+        f " [";
+        Array.iter (fun (pl, s, chk) -> f " L%d:s%d%s" pl s (if chk >= 0 then "?" else "")) row;
+        f " ]")
+      rows
+  | PhiSeq { dst; row } ->
+    f "phi s%d <-" dst;
+    Array.iter (fun (pl, s, chk) -> f " L%d:s%d%s" pl s (if chk >= 0 then "?" else "")) row
+  | Jmp { target; label; from } -> f "jmp pc%d (L%d) from L%d" target label from
+  | Br { c; t; tl; f = fpc; fl; from } ->
+    f "br s%d ? pc%d (L%d) : pc%d (L%d) from L%d" c t tl fpc fl from
+  | Sw { c; cases; d; dl; from } ->
+    f "sw s%d [%s] else pc%d (L%d) from L%d" c
+      (String.concat "; "
+         (List.map (fun (k, pc, l) -> Printf.sprintf "%d->pc%d(L%d)" k pc l) (Array.to_list cases)))
+      d dl from
+  | Ret s -> if s < 0 then f "ret 0" else f "ret s%d" s
+
+let disasm cf =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%s: %d slots (%d reg, %d vars), entry pc%d@." cf.cf_name cf.cf_nslots
+    cf.cf_nregs cf.cf_nvars cf.cf_entry_pc;
+  Array.iteri (fun pc op -> Format.fprintf ppf "  %4d  %a@." pc pp_op op) cf.cf_code;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

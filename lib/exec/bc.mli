@@ -1,0 +1,69 @@
+(** The register-bytecode ISA shared by {!Bc_compile} and {!Bc_vm}.
+
+    A compiled function is a flat [op array]; every IR-level operation —
+    phi, instruction, terminator — becomes exactly one costed op, so the
+    VM's step accounting is unit-compatible with the tree-walking
+    interpreter.  Two administrative op kinds ({!op.Enter}, {!op.Chk}) cost
+    no step.  All value slots (virtual registers after lifetime allocation,
+    plus pooled constants and undefined-register sentinels) live in one
+    register frame per activation. *)
+
+module I = Dce_interp.Interp
+
+val undef_sentinel : I.value
+(** Poison stored in the slots of maybe-undefined registers at activation
+    entry; {!op.Chk} compares against it physically. *)
+
+type op =
+  | Enter of int
+  | Chk of { slot : int; var : int }
+  | Mov of { dst : int; src : int }
+  | Una of { dst : int; op : Dce_minic.Ops.unop; src : int }
+  | Bin of { dst : int; op : Dce_minic.Ops.binop; a : int; b : int }
+  | Lea of { dst : int; sym : string; fs : int; off : int }
+  | Padd of { dst : int; p : int; off : int }
+  | Ld of { dst : int; p : int }
+  | St of { p : int; v : int }
+  | Mark of int
+  | CallF of { dst : int; fidx : int; args : int array }
+  | CallX of { dst : int; name : string; args : int array }
+  | PhiPar of { dsts : int array; rows : (int * int * int) array array }
+  | PhiSeq of { dst : int; row : (int * int * int) array }
+  | Jmp of { target : int; label : int; from : int }
+  | Br of { c : int; t : int; tl : int; f : int; fl : int; from : int }
+  | Sw of { c : int; cases : (int * int * int) array; d : int; dl : int; from : int }
+  | Ret of int
+
+type const = Cint of int | Cptr of string * int
+(** Pooled slot constants; [Cptr (sym, k)] is a folded global address
+    (always instance 0). *)
+
+type frame_sym = { fs_name : string; fs_init : Dce_ir.Ir.init_cell array }
+
+type cfunc = {
+  cf_name : string;
+  cf_params : int array;
+  cf_code : op array;
+  cf_entry_pc : int;
+  cf_entry_label : int;
+  cf_nslots : int;
+  cf_nregs : int;
+  cf_nvars : int;
+  cf_consts : (int * const) array;
+  cf_sentinels : int array;
+  cf_frame_syms : frame_sym array;
+  cf_nlabels : int;
+  cf_max_phis : int;
+}
+
+type cprog = {
+  cp_funcs : cfunc array;
+  cp_main : int;
+  cp_globals : (string * Dce_ir.Ir.init_cell array) array;
+  cp_src : Dce_ir.Ir.program;
+}
+
+val pp_op : Format.formatter -> op -> unit
+
+val disasm : cfunc -> string
+(** Human-readable listing of a compiled function, one op per line. *)

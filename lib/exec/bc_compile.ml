@@ -1,0 +1,521 @@
+open Dce_ir.Ir
+module B = Bc
+
+(* Compilation is per function: block-level liveness, lifetime intervals
+   over a deterministic linearization, linear-scan slot assignment, then a
+   single emission pass.  Liveness sets are word-packed bitsets over the
+   virtual-register universe and blocks are indexed densely, so the
+   fixpoint is cheap enough to run before every execution. *)
+
+(* The interpreter evaluates only the *leading* phis of a block in
+   parallel; any later phi is an ordinary sequential instruction.  The
+   split here must match it exactly. *)
+let split_phis instrs =
+  let rec go acc = function
+    | Def (v, Phi args) :: rest -> go ((v, args) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go [] instrs
+
+(* bitsets: 63 bits per word *)
+let[@inline] bit_set b v =
+  let w = v / 63 in
+  Array.unsafe_set b w (Array.unsafe_get b w lor (1 lsl (v mod 63)))
+
+let[@inline] bit_mem b v = Array.unsafe_get b (v / 63) land (1 lsl (v mod 63)) <> 0
+
+(* iterate set bits (order-independent accumulation only) *)
+let bit_iter f b =
+  for w = 0 to Array.length b - 1 do
+    let m = ref (Array.unsafe_get b w) in
+    if !m <> 0 then begin
+      let v = ref (w * 63) in
+      while !m <> 0 do
+        if !m land 1 <> 0 then f !v;
+        m := !m lsr 1;
+        incr v
+      done
+    end
+  done
+
+let compile_func (fn_index_of : string -> int option) (prog : program) (fn : func) : B.cfunc =
+  let parts =
+    List.map (fun (l, b) -> (l, split_phis b.b_instrs, b.b_term)) (Imap.bindings fn.fn_blocks)
+  in
+  (* ---- virtual-register universe ---- *)
+  let nvars = ref fn.fn_next_var in
+  let see v = if v >= !nvars then nvars := v + 1 in
+  List.iter see fn.fn_params;
+  List.iter
+    (fun (_, (phis, body), term) ->
+      List.iter
+        (fun (v, args) ->
+          see v;
+          List.iter (function _, Reg u -> see u | _, Const _ -> ()) args)
+        phis;
+      List.iter
+        (fun i ->
+          List.iter see (uses_of_instr i);
+          Option.iter see (def_of_instr i))
+        body;
+      List.iter see (uses_of_terminator term))
+    parts;
+  let nvars = !nvars in
+  let nwords = (nvars / 63) + 1 in
+  let mkset () = Array.make nwords 0 in
+  (* ---- block-level liveness ----
+     Leading-phi arguments are uses on the incoming edge: they belong to
+     live-out of the predecessor, not live-in of the phi block. *)
+  let blocks = Array.of_list parts in
+  let nblocks = Array.length blocks in
+  let bidx = Hashtbl.create (max nblocks 1) in
+  Array.iteri (fun i (l, _, _) -> Hashtbl.replace bidx l i) blocks;
+  let phi_defs = Array.init nblocks (fun _ -> mkset ()) in
+  let edge_uses = Array.make nblocks [] in (* (pred label, var) list *)
+  let gen_tbl = Array.init nblocks (fun _ -> mkset ()) in
+  let kill_tbl = Array.init nblocks (fun _ -> mkset ()) in
+  Array.iteri
+    (fun i (_, (phis, body), term) ->
+      let pdefs = phi_defs.(i) and gen = gen_tbl.(i) and defs = kill_tbl.(i) in
+      List.iter (fun (v, _) -> bit_set pdefs v) phis;
+      edge_uses.(i) <-
+        List.concat_map
+          (fun (_, args) ->
+            List.filter_map (function pl, Reg u -> Some (pl, u) | _, Const _ -> None) args)
+          phis;
+      List.iter (fun (v, _) -> bit_set defs v) phis;
+      let use_all vs = List.iter (fun v -> if not (bit_mem defs v) then bit_set gen v) vs in
+      List.iter
+        (fun ins ->
+          use_all (uses_of_instr ins);
+          match def_of_instr ins with Some v -> bit_set defs v | None -> ())
+        body;
+      use_all (uses_of_terminator term))
+    blocks;
+  (* per-block successors resolved to dense indices, with the phi-edge uses
+     this block feeds into each; jumps to missing blocks contribute nothing *)
+  let succs =
+    Array.mapi
+      (fun _ (l, _, term) ->
+        List.filter_map
+          (fun s ->
+            match Hashtbl.find_opt bidx s with
+            | None -> None
+            | Some j ->
+              let eu =
+                List.filter_map (fun (pl, u) -> if pl = l then Some u else None) edge_uses.(j)
+              in
+              Some (j, Array.of_list eu))
+          (successors term)
+        |> Array.of_list)
+      blocks
+  in
+  let preds = Array.make nblocks [] in
+  Array.iteri (fun i sarr -> Array.iter (fun (j, _) -> preds.(j) <- i :: preds.(j)) sarr) succs;
+  let live_in = Array.init nblocks (fun _ -> mkset ()) in
+  let live_out = Array.init nblocks (fun _ -> mkset ()) in
+  let tmp = mkset () in
+  (* worklist, seeded in reverse block order (so the first drain walks the
+     CFG roughly bottom-up); a block re-enters only when a successor's
+     live-in grows *)
+  let queued = Array.make nblocks true in
+  let work = ref [] in
+  for i = 0 to nblocks - 1 do
+    work := i :: !work
+  done;
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | i :: rest ->
+      work := rest;
+      queued.(i) <- false;
+      Array.fill tmp 0 nwords 0;
+      Array.iter
+        (fun (j, eu) ->
+          let li = live_in.(j) and pd = phi_defs.(j) in
+          for k = 0 to nwords - 1 do
+            Array.unsafe_set tmp k
+              (Array.unsafe_get tmp k
+              lor (Array.unsafe_get li k land lnot (Array.unsafe_get pd k)))
+          done;
+          Array.iter (fun u -> bit_set tmp u) eu)
+        succs.(i);
+      Array.blit tmp 0 live_out.(i) 0 nwords;
+      (* in = gen ∪ (out − kill) *)
+      let g = gen_tbl.(i) and kl = kill_tbl.(i) and inn = live_in.(i) in
+      let in_changed = ref false in
+      for k = 0 to nwords - 1 do
+        let t =
+          Array.unsafe_get g k
+          lor (Array.unsafe_get tmp k land lnot (Array.unsafe_get kl k))
+        in
+        if Array.unsafe_get inn k <> t then begin
+          in_changed := true;
+          Array.unsafe_set inn k t
+        end
+      done;
+      if !in_changed then
+        List.iter
+          (fun p ->
+            if not queued.(p) then begin
+              queued.(p) <- true;
+              work := p :: !work
+            end)
+          preds.(i)
+  done;
+  (* ---- lifetime intervals over the linearization ---- *)
+  let istart = Array.make (max nvars 1) max_int in
+  let iend = Array.make (max nvars 1) min_int in
+  let extend v p =
+    if p < istart.(v) then istart.(v) <- p;
+    if p > iend.(v) then iend.(v) <- p
+  in
+  List.iter (fun p -> extend p (-1)) fn.fn_params; (* bound before any op *)
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (_, (phis, body), term) ->
+      let bs = !pos in
+      bit_iter (fun v -> extend v bs) live_in.(i);
+      List.iter
+        (fun (v, _) ->
+          extend v !pos;
+          incr pos)
+        phis;
+      List.iter
+        (fun ins ->
+          List.iter (fun u -> extend u !pos) (uses_of_instr ins);
+          Option.iter (fun v -> extend v !pos) (def_of_instr ins);
+          incr pos)
+        body;
+      List.iter (fun u -> extend u !pos) (uses_of_terminator term);
+      let be = !pos in
+      incr pos;
+      bit_iter (fun v -> extend v be) live_out.(i))
+    blocks;
+  (* registers possibly read before any write: live into the entry without
+     being parameters.  Lowered programs zero-define every local, so this
+     is almost always empty — it exists so hand-built IR that reads an
+     undefined register traps exactly like the interpreter. *)
+  let is_undef = Array.make (max nvars 1) false in
+  (match Hashtbl.find_opt bidx fn.fn_entry with
+   | None -> ()
+   | Some e -> bit_iter (fun v -> is_undef.(v) <- true) live_in.(e));
+  List.iter (fun p -> is_undef.(p) <- false) fn.fn_params;
+  let maybe_undef = ref [] in
+  for v = nvars - 1 downto 0 do
+    if is_undef.(v) then maybe_undef := v :: !maybe_undef
+  done;
+  let maybe_undef = !maybe_undef in (* ascending *)
+  (* ---- linear scan over whole lifetime ranges ----
+     Active intervals live in a binary min-heap on interval end; expired
+     slots return to a free pool from which the smallest is always taken,
+     so allocation is deterministic. *)
+  let module S = Set.Make (Int) in
+  let slots = Array.make (max nvars 1) (-1) in
+  let next_slot = ref 0 in
+  let free = ref S.empty in
+  let hend = Array.make (max nvars 1) 0 in
+  let hslot = Array.make (max nvars 1) 0 in
+  let hsize = ref 0 in
+  let heap_push e s =
+    let i = ref !hsize in
+    incr hsize;
+    hend.(!i) <- e;
+    hslot.(!i) <- s;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if hend.(p) > hend.(!i) then begin
+        let te = hend.(p) and ts = hslot.(p) in
+        hend.(p) <- hend.(!i);
+        hslot.(p) <- hslot.(!i);
+        hend.(!i) <- te;
+        hslot.(!i) <- ts;
+        i := p
+      end
+      else continue := false
+    done
+  in
+  let heap_pop () =
+    decr hsize;
+    let n = !hsize in
+    hend.(0) <- hend.(n);
+    hslot.(0) <- hslot.(n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < n && hend.(l) < hend.(!m) then m := l;
+      if r < n && hend.(r) < hend.(!m) then m := r;
+      if !m <> !i then begin
+        let te = hend.(!m) and ts = hslot.(!m) in
+        hend.(!m) <- hend.(!i);
+        hslot.(!m) <- hslot.(!i);
+        hend.(!i) <- te;
+        hslot.(!i) <- ts;
+        i := !m
+      end
+      else continue := false
+    done
+  in
+  let interval_vars =
+    let acc = ref [] in
+    for v = nvars - 1 downto 0 do
+      if iend.(v) >= istart.(v) && not is_undef.(v) then acc := v :: !acc
+    done;
+    let arr = Array.of_list !acc in
+    (* ties broken by var id, so the order is fully deterministic *)
+    Array.sort
+      (fun a b -> match compare istart.(a) istart.(b) with 0 -> compare a b | c -> c)
+      arr;
+    arr
+  in
+  Array.iter
+    (fun v ->
+      let s = istart.(v) in
+      while !hsize > 0 && hend.(0) < s do
+        free := S.add hslot.(0) !free;
+        heap_pop ()
+      done;
+      let slot =
+        match S.min_elt_opt !free with
+        | Some sl ->
+          free := S.remove sl !free;
+          sl
+        | None ->
+          let sl = !next_slot in
+          incr next_slot;
+          sl
+      in
+      slots.(v) <- slot;
+      heap_push iend.(v) slot)
+    interval_vars;
+  let nregs = !next_slot in
+  let sentinels =
+    List.map
+      (fun v ->
+        let sl = !next_slot in
+        incr next_slot;
+        slots.(v) <- sl;
+        sl)
+      maybe_undef
+  in
+  let slot_of_var v =
+    let s = slots.(v) in
+    if s >= 0 then s
+    else begin
+      (* only reachable from phi rows of never-taken edges *)
+      let s = !next_slot in
+      incr next_slot;
+      slots.(v) <- s;
+      s
+    end
+  in
+  let const_tbl = Hashtbl.create 16 in
+  let const_slots = ref [] in
+  let slot_of_operand = function
+    | Reg v -> slot_of_var v
+    | Const n -> (
+      match Hashtbl.find_opt const_tbl n with
+      | Some s -> s
+      | None ->
+        let s = !next_slot in
+        incr next_slot;
+        Hashtbl.add const_tbl n s;
+        const_slots := (s, B.Cint n) :: !const_slots;
+        s)
+  in
+  (* global addresses with a constant offset are compile-time constants:
+     the pointer is preboxed into a const slot and the Lea becomes a Mov
+     (same single tick, same impossibility of trapping).  Frame symbols
+     cannot fold — their instance is per-activation. *)
+  let pconst_tbl = Hashtbl.create 4 in
+  let slot_of_ptr_const sym k =
+    match Hashtbl.find_opt pconst_tbl (sym, k) with
+    | Some s -> s
+    | None ->
+      let s = !next_slot in
+      incr next_slot;
+      Hashtbl.add pconst_tbl (sym, k) s;
+      const_slots := (s, B.Cptr (sym, k)) :: !const_slots;
+      s
+  in
+  (* ---- emission, into a growing op array ---- *)
+  let cap = ref 256 in
+  let code = ref (Array.make !cap (B.Ret (-1))) in
+  let npc = ref 0 in
+  let emit op =
+    if !npc = !cap then begin
+      let bigger = Array.make (2 * !cap) (B.Ret (-1)) in
+      Array.blit !code 0 bigger 0 !cap;
+      code := bigger;
+      cap := 2 * !cap
+    end;
+    !code.(!npc) <- op;
+    incr npc
+  in
+  let block_pc = Hashtbl.create 16 in
+  (* Chk ops guard reads of maybe-undefined registers; their order mirrors
+     the interpreter's operand evaluation order (OCaml evaluates argument
+     tuples right to left), so multi-operand traps pick the same register. *)
+  let emit_chk = function
+    | Reg v when v < nvars && is_undef.(v) -> emit (B.Chk { slot = slot_of_var v; var = v })
+    | Reg _ | Const _ -> ()
+  in
+  let frame_syms =
+    List.filter (fun s -> s.sym_kind = `Frame fn.fn_name) prog.prog_syms |> Array.of_list
+  in
+  let fs_index name =
+    let r = ref (-1) in
+    Array.iteri (fun i s -> if !r < 0 && s.sym_name = name then r := i) frame_syms;
+    !r
+  in
+  let phi_row args =
+    Array.of_list
+      (List.map
+         (fun (pl, op) ->
+           match op with
+           | Reg u -> (pl, slot_of_var u, if u < nvars && is_undef.(u) then u else -1)
+           | Const n -> (pl, slot_of_operand (Const n), -1))
+         args)
+  in
+  let emit_instr = function
+    | Def (v, rv) -> (
+      let dst = slot_of_var v in
+      match rv with
+      | Op a ->
+        emit_chk a;
+        emit (B.Mov { dst; src = slot_of_operand a })
+      | Unary (op, a) ->
+        emit_chk a;
+        emit (B.Una { dst; op; src = slot_of_operand a })
+      | Binary (op, a, b) ->
+        emit_chk b;
+        emit_chk a;
+        emit (B.Bin { dst; op; a = slot_of_operand a; b = slot_of_operand b })
+      | Addr (sym, off) -> (
+        emit_chk off;
+        let fs = fs_index sym in
+        match off with
+        | Const k when fs < 0 -> emit (B.Mov { dst; src = slot_of_ptr_const sym k })
+        | _ -> emit (B.Lea { dst; sym; fs; off = slot_of_operand off }))
+      | Ptradd (p, off) ->
+        emit_chk off;
+        emit_chk p;
+        emit (B.Padd { dst; p = slot_of_operand p; off = slot_of_operand off })
+      | Load p ->
+        emit_chk p;
+        emit (B.Ld { dst; p = slot_of_operand p })
+      | Phi args -> emit (B.PhiSeq { dst; row = phi_row args }))
+    | Store (p, v) ->
+      emit_chk v;
+      emit_chk p;
+      emit (B.St { p = slot_of_operand p; v = slot_of_operand v })
+    | Call (res, name, args) ->
+      List.iter emit_chk args;
+      let dst = match res with Some v -> slot_of_var v | None -> -1 in
+      let args = Array.of_list (List.map slot_of_operand args) in
+      (match fn_index_of name with
+       | Some fidx -> emit (B.CallF { dst; fidx; args })
+       | None -> emit (B.CallX { dst; name; args }))
+    | Marker n -> emit (B.Mark n)
+  in
+  let emit_term l = function
+    | Jmp t -> emit (B.Jmp { target = -2; label = t; from = l })
+    | Br (c, lt, lf) ->
+      emit_chk c;
+      emit (B.Br { c = slot_of_operand c; t = -2; tl = lt; f = -2; fl = lf; from = l })
+    | Switch (c, cases, d) ->
+      emit_chk c;
+      emit
+        (B.Sw
+           {
+             c = slot_of_operand c;
+             cases = Array.of_list (List.map (fun (k, t) -> (k, -2, t)) cases);
+             d = -2;
+             dl = d;
+             from = l;
+           })
+    | Ret None -> emit (B.Ret (-1))
+    | Ret (Some a) ->
+      emit_chk a;
+      emit (B.Ret (slot_of_operand a))
+  in
+  let max_phis = ref 0 in
+  List.iter
+    (fun (l, (phis, body), term) ->
+      Hashtbl.replace block_pc l !npc;
+      emit (B.Enter l);
+      (match phis with
+       | [] -> ()
+       | _ ->
+         if List.length phis > !max_phis then max_phis := List.length phis;
+         let dsts = Array.of_list (List.map (fun (v, _) -> slot_of_var v) phis) in
+         let rows = Array.of_list (List.map (fun (_, args) -> phi_row args) phis) in
+         emit (B.PhiPar { dsts; rows }));
+      List.iter emit_instr body;
+      emit_term l term)
+    parts;
+  (* resolve label targets to pcs, in place; missing blocks become -1 so
+     the VM can record-then-trap exactly like the interpreter *)
+  let resolve l = match Hashtbl.find_opt block_pc l with Some pc -> pc | None -> -1 in
+  let code = Array.sub !code 0 !npc in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | B.Jmp j -> code.(i) <- B.Jmp { j with target = resolve j.label }
+      | B.Br b -> code.(i) <- B.Br { b with t = resolve b.tl; f = resolve b.fl }
+      | B.Sw s ->
+        code.(i) <-
+          B.Sw
+            {
+              s with
+              cases = Array.map (fun (k, _, tl) -> (k, resolve tl, tl)) s.cases;
+              d = resolve s.dl;
+            }
+      | _ -> ())
+    code;
+  let nslots = !next_slot in
+  let nlabels =
+    List.fold_left (fun acc (l, _, _) -> max acc (l + 1)) (max fn.fn_next_label 0) parts
+  in
+  {
+    B.cf_name = fn.fn_name;
+    cf_params = Array.of_list (List.map slot_of_var fn.fn_params);
+    cf_code = code;
+    cf_entry_pc = resolve fn.fn_entry;
+    cf_entry_label = fn.fn_entry;
+    cf_nslots = nslots;
+    cf_nregs = nregs;
+    cf_nvars = nvars;
+    cf_consts = Array.of_list !const_slots;
+    cf_sentinels = Array.of_list sentinels;
+    cf_frame_syms =
+      Array.map (fun s -> { B.fs_name = s.sym_name; fs_init = s.sym_init }) frame_syms;
+    cf_nlabels = nlabels;
+    cf_max_phis = !max_phis;
+  }
+
+let program (prog : program) : B.cprog =
+  (* name resolution matches the interpreter's [Hashtbl.replace] function
+     table: the last definition of a duplicated name wins *)
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i fn -> Hashtbl.replace tbl fn.fn_name i) prog.prog_funcs;
+  let fn_index_of name = Hashtbl.find_opt tbl name in
+  let funcs = Array.of_list (List.map (compile_func fn_index_of prog) prog.prog_funcs) in
+  let globals =
+    List.filter_map
+      (fun s ->
+        match s.sym_kind with
+        | `Global -> Some (s.sym_name, s.sym_init)
+        | `Frame _ -> None)
+      prog.prog_syms
+    |> Array.of_list
+  in
+  {
+    B.cp_funcs = funcs;
+    cp_main = (match fn_index_of "main" with Some i -> i | None -> -1);
+    cp_globals = globals;
+    cp_src = prog;
+  }

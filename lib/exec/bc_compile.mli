@@ -1,0 +1,22 @@
+(** IR → bytecode compiler with lifetime-range register allocation.
+
+    Per function: block-level liveness (leading-phi arguments count as uses
+    on the incoming edge, phi results as definitions at block top), one
+    lifetime interval per virtual register over a deterministic
+    linearization of the blocks, then linear scan over whole intervals —
+    registers whose lifetimes do not overlap share a frame slot.
+    Constants are pooled into dedicated slots initialized once per fresh
+    frame, so the hot loop never materializes immediates.
+
+    Registers that may be read before any write (live into the entry block
+    without being parameters — impossible for {!Dce_ir.Lower}ed programs,
+    which zero-define every local) get dedicated sentinel slots guarded by
+    explicit {!Bc.op.Chk} ops, preserving the interpreter's
+    "read of undefined register" traps. *)
+
+val compile_func : (string -> int option) -> Dce_ir.Ir.program -> Dce_ir.Ir.func -> Bc.cfunc
+(** [compile_func fn_index_of prog fn]: [fn_index_of] resolves a call
+    target to its index in the compiled program's function table (None =
+    external). *)
+
+val program : Dce_ir.Ir.program -> Bc.cprog

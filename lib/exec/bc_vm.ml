@@ -1,0 +1,407 @@
+open Dce_ir.Ir
+module I = Dce_interp.Interp
+module Ops = Dce_minic.Ops
+module B = Bc
+
+(* Register files are struct-of-arrays with an unboxed integer plane:
+   tag 0 means the register's value is [fi.(i)] (no heap object at all),
+   tag 1 means it is [fv.(i)] — always a [Vptr] or the undef sentinel,
+   since integer writes go through the int plane.  Integer arithmetic,
+   moves, branches and phis — the bulk of any execution — touch only the
+   tag and int planes, so the hot loop allocates nothing; boxed values
+   appear only at genuine pointer operations, stores into memory, and
+   call/return boundaries. *)
+type frame = {
+  ft : int array;       (* 0 = int plane valid, 1 = value plane valid *)
+  fi : int array;
+  fv : I.value array;
+}
+
+(* Per-run mutable state.  Executed blocks are flat flag arrays (one bool
+   per label per function) collected into a Bset at the end; jumps to
+   labels outside the flag range (only possible in hand-built IR) overflow
+   into [extra_blocks]. *)
+type rstate = {
+  memory : (string * int, I.value array) Hashtbl.t;
+  (* one-entry cache of the last memory lookup: loops hammer the same
+     symbol, and hashing a (string, int) key per access is the single
+     largest memory cost.  Entries are only ever *added* to [memory]
+     (instance numbers are never reused), so the cache needs invalidating
+     only when a frame symbol is deallocated. *)
+  mutable mc_sym : string;
+  mutable mc_inst : int; (* -1 = cache empty *)
+  mutable mc_cells : I.value array;
+  mutable fuel : int;
+  mutable steps : int;
+  mutable next_instance : int;
+  mutable events : I.event list; (* reversed *)
+  mutable markers : Iset.t;
+  flags : bool array array;
+  mutable extra_blocks : (string * int) list;
+  pools : frame list array; (* per function: reusable frames *)
+  (* parallel-phi read buffer, one entry per leading phi *)
+  sct : int array;
+  sci : int array;
+  scv : I.value array;
+  max_depth : int;
+}
+
+(* Exactly the interpreter's [tick]: count the step, burn fuel, then poll
+   the ambient guard every 256 steps (distinct site so supervision records
+   name the backend that tripped). *)
+let[@inline] tick st =
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise I.Fuel_exn;
+  if st.steps land 255 = 0 then Dce_support.Guard.poll ~site:"vm"
+
+let find_cells st sym inst =
+  if inst = st.mc_inst && (sym == st.mc_sym || String.equal sym st.mc_sym) then st.mc_cells
+  else
+    match Hashtbl.find_opt st.memory (sym, inst) with
+    | None -> I.trap "dangling pointer to %s" sym
+    | Some cells ->
+      st.mc_sym <- sym;
+      st.mc_inst <- inst;
+      st.mc_cells <- cells;
+      cells
+
+let record st fidx (cf : B.cfunc) l =
+  let fl = st.flags.(fidx) in
+  if l >= 0 && l < Array.length fl then fl.(l) <- true
+  else st.extra_blocks <- (cf.cf_name, l) :: st.extra_blocks
+
+(* boxed view of a register (allocates for the int plane — used only at
+   call boundaries, returns, and memory stores) *)
+let[@inline] get fr i = if fr.ft.(i) = 0 then I.Vint fr.fi.(i) else fr.fv.(i)
+
+let[@inline] set fr i v =
+  match v with
+  | I.Vint n ->
+    fr.ft.(i) <- 0;
+    fr.fi.(i) <- n
+  | I.Vptr _ ->
+    fr.ft.(i) <- 1;
+    fr.fv.(i) <- v
+
+let[@inline] blit fr src dst =
+  let t = fr.ft.(src) in
+  fr.ft.(dst) <- t;
+  if t = 0 then fr.fi.(dst) <- fr.fi.(src) else fr.fv.(dst) <- fr.fv.(src)
+
+let fresh_frame (cf : B.cfunc) =
+  let n = cf.cf_nslots in
+  let fr = { ft = Array.make n 0; fi = Array.make n 0; fv = Array.make n (I.Vint 0) } in
+  Array.iter
+    (fun (s, c) ->
+      match c with
+      | B.Cint k -> fr.fi.(s) <- k
+      | B.Cptr (sym, k) ->
+        fr.ft.(s) <- 1;
+        fr.fv.(s) <- I.Vptr (sym, 0, k))
+    cf.cf_consts;
+  Array.iter
+    (fun s ->
+      fr.ft.(s) <- 1;
+      fr.fv.(s) <- B.undef_sentinel)
+    cf.cf_sentinels;
+  fr
+
+let acquire st fidx (cf : B.cfunc) =
+  match st.pools.(fidx) with
+  | fr :: rest ->
+    st.pools.(fidx) <- rest;
+    (* constants survive reuse (nothing writes their slots); only the
+       undef sentinels must be re-poisoned per activation *)
+    Array.iter
+      (fun s ->
+        fr.ft.(s) <- 1;
+        fr.fv.(s) <- B.undef_sentinel)
+      cf.cf_sentinels;
+    fr
+  | [] -> fresh_frame cf
+
+let release st fidx fr = st.pools.(fidx) <- fr :: st.pools.(fidx)
+
+(* Phi source against the incoming edge: the slot of the first row entry
+   for the predecessor, after the interpreter's trap checks. *)
+let phi_src (cf : B.cfunc) (fr : frame) p (row : (int * int * int) array) =
+  if p < 0 then I.trap "phi in entry block";
+  let n = Array.length row in
+  let rec find i =
+    if i >= n then I.trap "phi has no argument for predecessor L%d" p
+    else
+      let pl, s, chk = row.(i) in
+      if pl = p then begin
+        if chk >= 0 && fr.ft.(s) = 1 && fr.fv.(s) == B.undef_sentinel then
+          I.trap "read of undefined register %%%d in %s" chk cf.cf_name;
+        s
+      end
+      else find (i + 1)
+  in
+  find 0
+
+let rec exec_fn st (cp : B.cprog) fidx depth (args : I.value array) : I.value =
+  let cf = cp.cp_funcs.(fidx) in
+  if depth > st.max_depth then I.trap "call depth exceeded in %s" cf.cf_name;
+  (* frame symbols first, then the arity check — instance numbering and
+     trap order match the interpreter *)
+  let nsyms = Array.length cf.cf_frame_syms in
+  let insts = Array.make nsyms 0 in
+  for i = 0 to nsyms - 1 do
+    let fs = cf.cf_frame_syms.(i) in
+    let inst = st.next_instance in
+    st.next_instance <- inst + 1;
+    insts.(i) <- inst;
+    Hashtbl.replace st.memory (fs.B.fs_name, inst) (Array.map I.value_of_cell fs.B.fs_init)
+  done;
+  if Array.length cf.cf_params <> Array.length args then
+    I.trap "arity mismatch calling %s" cf.cf_name;
+  if cf.cf_entry_pc < 0 then begin
+    record st fidx cf cf.cf_entry_label;
+    I.trap "jump to missing block L%d in %s" cf.cf_entry_label cf.cf_name
+  end;
+  let fr = acquire st fidx cf in
+  Array.iteri (fun i p -> set fr p args.(i)) cf.cf_params;
+  let ft = fr.ft and fi = fr.fi and fv = fr.fv in
+  let code = cf.cf_code in
+  let pc = ref cf.cf_entry_pc in
+  let prev = ref (-1) in
+  let retv = ref (I.Vint 0) in
+  let running = ref true in
+  let jump target label =
+    if target >= 0 then pc := target
+    else begin
+      record st fidx cf label;
+      I.trap "jump to missing block L%d in %s" label cf.cf_name
+    end
+  in
+  while !running do
+    match code.(!pc) with
+    | B.Enter l ->
+      record st fidx cf l;
+      incr pc
+    | B.Chk { slot; var } ->
+      if ft.(slot) = 1 && fv.(slot) == B.undef_sentinel then
+        I.trap "read of undefined register %%%d in %s" var cf.cf_name;
+      incr pc
+    | B.Mov { dst; src } ->
+      tick st;
+      blit fr src dst;
+      incr pc
+    | B.Una { dst; op; src } ->
+      tick st;
+      if ft.(src) = 0 then begin
+        ft.(dst) <- 0;
+        fi.(dst) <- Ops.eval_unop op fi.(src)
+      end
+      else set fr dst (I.eval_unary op fv.(src));
+      incr pc
+    | B.Bin { dst; op; a; b } ->
+      tick st;
+      if ft.(a) = 0 && ft.(b) = 0 then begin
+        let r = Ops.eval_binop op fi.(a) fi.(b) in
+        ft.(dst) <- 0;
+        fi.(dst) <- r
+      end
+      else set fr dst (I.eval_binary op (get fr a) (get fr b));
+      incr pc
+    | B.Lea { dst; sym; fs; off } ->
+      tick st;
+      if ft.(off) = 0 then begin
+        ft.(dst) <- 1;
+        fv.(dst) <- I.Vptr (sym, (if fs >= 0 then insts.(fs) else 0), fi.(off))
+      end
+      else I.trap "pointer used as offset";
+      incr pc
+    | B.Padd { dst; p; off } ->
+      tick st;
+      if ft.(p) = 0 then I.trap "ptradd on non-pointer (null dereference?)"
+      else if ft.(off) = 1 then I.trap "pointer used as offset"
+      else
+        (match fv.(p) with
+         | I.Vptr (s, i, o) ->
+           ft.(dst) <- 1;
+           fv.(dst) <- I.Vptr (s, i, o + fi.(off))
+         | I.Vint _ -> I.trap "ptradd on non-pointer (null dereference?)");
+      incr pc
+    | B.Ld { dst; p } ->
+      tick st;
+      if ft.(p) = 0 then I.trap "load through non-pointer value"
+      else
+        (match fv.(p) with
+         | I.Vptr (sym, inst, off) ->
+           let cells = find_cells st sym inst in
+           if off < 0 || off >= Array.length cells then
+             I.trap "out-of-bounds read of %s[%d]" sym off
+           else set fr dst cells.(off)
+         | I.Vint _ -> I.trap "load through non-pointer value");
+      incr pc
+    | B.St { p; v } ->
+      tick st;
+      if ft.(p) = 0 then I.trap "store through non-pointer value"
+      else
+        (match fv.(p) with
+         | I.Vptr (sym, inst, off) ->
+           let cells = find_cells st sym inst in
+           if off < 0 || off >= Array.length cells then
+             I.trap "out-of-bounds write of %s[%d]" sym off
+           else cells.(off) <- get fr v
+         | I.Vint _ -> I.trap "store through non-pointer value");
+      incr pc
+    | B.Mark n ->
+      tick st;
+      st.events <- I.Ev_marker n :: st.events;
+      st.markers <- Iset.add n st.markers;
+      incr pc
+    | B.CallF { dst; fidx = callee; args } ->
+      tick st;
+      let argv = Array.map (fun s -> get fr s) args in
+      let r = exec_fn st cp callee (depth + 1) argv in
+      if dst >= 0 then set fr dst r;
+      incr pc
+    | B.CallX { dst; name; args } ->
+      tick st;
+      let argv = Array.to_list (Array.map (fun s -> get fr s) args) in
+      st.events <- I.Ev_extern (name, argv) :: st.events;
+      if dst >= 0 then begin
+        ft.(dst) <- 0;
+        fi.(dst) <- I.extern_result name argv
+      end;
+      incr pc
+    | B.PhiPar { dsts; rows } ->
+      (* all reads first (one tick each), then all writes — parallel
+         assignment against the incoming edge *)
+      let n = Array.length dsts in
+      let p = !prev in
+      for i = 0 to n - 1 do
+        tick st;
+        let s = phi_src cf fr p rows.(i) in
+        let t = ft.(s) in
+        st.sct.(i) <- t;
+        if t = 0 then st.sci.(i) <- fi.(s) else st.scv.(i) <- fv.(s)
+      done;
+      for i = 0 to n - 1 do
+        let d = dsts.(i) in
+        let t = st.sct.(i) in
+        ft.(d) <- t;
+        if t = 0 then fi.(d) <- st.sci.(i) else fv.(d) <- st.scv.(i)
+      done;
+      incr pc
+    | B.PhiSeq { dst; row } ->
+      tick st;
+      let s = phi_src cf fr !prev row in
+      blit fr s dst;
+      incr pc
+    | B.Jmp { target; label; from } ->
+      tick st;
+      prev := from;
+      jump target label
+    | B.Br { c; t; tl; f; fl; from } ->
+      tick st;
+      let cond = if ft.(c) = 0 then fi.(c) <> 0 else I.truthy fv.(c) in
+      prev := from;
+      if cond then jump t tl else jump f fl
+    | B.Sw { c; cases; d; dl; from } ->
+      tick st;
+      let k =
+        if ft.(c) = 0 then fi.(c)
+        else
+          match fv.(c) with
+          | I.Vptr _ -> I.trap "switch on pointer"
+          | I.Vint k -> k
+      in
+      prev := from;
+      let target = ref d and label = ref dl in
+      (try
+         Array.iter
+           (fun (kv, tpc, tl) ->
+             if kv = k then begin
+               target := tpc;
+               label := tl;
+               raise Exit
+             end)
+           cases
+       with Exit -> ());
+      jump !target !label
+    | B.Ret s ->
+      tick st;
+      retv := (if s >= 0 then get fr s else I.Vint 0);
+      running := false
+  done;
+  (* deallocate this activation's frame symbols (pointers into them become
+     dangling) and recycle the slot frame *)
+  for i = 0 to nsyms - 1 do
+    Hashtbl.remove st.memory (cf.cf_frame_syms.(i).B.fs_name, insts.(i))
+  done;
+  if nsyms > 0 then st.mc_inst <- -1;
+  release st fidx fr;
+  !retv
+
+let run ?(fuel = 2_000_000) ?(max_depth = 256) (cp : B.cprog) : I.result =
+  let nfuncs = Array.length cp.cp_funcs in
+  let max_phis = Array.fold_left (fun acc cf -> max acc cf.B.cf_max_phis) 0 cp.cp_funcs in
+  let nphis = max max_phis 1 in
+  let st =
+    {
+      memory = Hashtbl.create 64;
+      mc_sym = "";
+      mc_inst = -1;
+      mc_cells = [||];
+      fuel;
+      steps = 0;
+      next_instance = 1;
+      events = [];
+      markers = Iset.empty;
+      flags = Array.map (fun cf -> Array.make cf.B.cf_nlabels false) cp.cp_funcs;
+      extra_blocks = [];
+      pools = Array.make nfuncs [];
+      sct = Array.make nphis 0;
+      sci = Array.make nphis 0;
+      scv = Array.make nphis (I.Vint 0);
+      max_depth;
+    }
+  in
+  Array.iter
+    (fun (name, init) -> Hashtbl.replace st.memory (name, 0) (Array.map I.value_of_cell init))
+    cp.cp_globals;
+  let outcome =
+    if cp.cp_main < 0 then I.Trap "no main function"
+    else
+      try
+        match exec_fn st cp cp.cp_main 0 [||] with
+        | I.Vint n -> I.Finished n
+        | I.Vptr _ -> I.Finished 1
+      with
+      | I.Trap_exn m -> I.Trap m
+      | I.Fuel_exn -> I.Out_of_fuel
+  in
+  let final_globals =
+    List.filter_map
+      (fun sym ->
+        match sym.sym_kind with
+        | `Global -> (
+          match Hashtbl.find_opt st.memory (sym.sym_name, 0) with
+          | Some cells -> Some (sym.sym_name, Array.map I.cell_checksum cells)
+          | None -> None)
+        | `Frame _ -> None)
+      cp.cp_src.prog_syms
+  in
+  let executed_blocks =
+    let acc = ref Bset.empty in
+    Array.iteri
+      (fun fi fl ->
+        let name = cp.cp_funcs.(fi).B.cf_name in
+        Array.iteri (fun l hit -> if hit then acc := Bset.add (name, l) !acc) fl)
+      st.flags;
+    List.iter (fun b -> acc := Bset.add b !acc) st.extra_blocks;
+    !acc
+  in
+  {
+    I.outcome;
+    events = List.rev st.events;
+    executed_markers = st.markers;
+    executed_blocks;
+    steps = st.steps;
+    final_globals;
+  }

@@ -1,0 +1,14 @@
+(** Flat dispatch-loop virtual machine over {!Bc} bytecode.
+
+    One `while` loop per activation over the function's [op array]:
+    register slots are a plain [value array] (pooled and reused across
+    activations of the same function), jumps assign the program counter,
+    and every costed op runs the interpreter's exact tick — one step, one
+    fuel unit, a {!Dce_support.Guard.poll} every 256 steps (site ["vm"]).
+    Traps, instance numbering, event order, and the executed block/marker
+    sets are bit-compatible with {!Dce_interp.Interp.run}; the differential
+    soak in [test/suite_exec.ml] holds the two to full result equality. *)
+
+val run : ?fuel:int -> ?max_depth:int -> Bc.cprog -> Dce_interp.Interp.result
+(** Same contract and defaults as {!Dce_interp.Interp.run} (fuel 2,000,000,
+    call depth 256). *)

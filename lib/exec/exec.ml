@@ -1,0 +1,24 @@
+module I = Dce_interp.Interp
+
+type backend = Vm | Interp
+
+let ambient = Atomic.make Vm
+let default () = Atomic.get ambient
+let set_default b = Atomic.set ambient b
+
+let name = function Vm -> "vm" | Interp -> "interp"
+let of_string = function "vm" -> Some Vm | "interp" -> Some Interp | _ -> None
+let all_names = [ "vm"; "interp" ]
+
+let run ?backend ?fuel ?max_depth prog =
+  let b = match backend with Some b -> b | None -> Atomic.get ambient in
+  match b with
+  | Interp -> I.run ?fuel ?max_depth prog
+  | Vm -> Bc_vm.run ?fuel ?max_depth (Bc_compile.program prog)
+
+let results_equal (a : I.result) (b : I.result) =
+  a.I.outcome = b.I.outcome && a.I.events = b.I.events
+  && Dce_ir.Ir.Iset.equal a.I.executed_markers b.I.executed_markers
+  && Dce_ir.Ir.Bset.equal a.I.executed_blocks b.I.executed_blocks
+  && a.I.steps = b.I.steps
+  && a.I.final_globals = b.I.final_globals

@@ -1,0 +1,42 @@
+(** The shared executor interface: one entry point for ground-truth
+    execution, selectable between the bytecode VM (default) and the
+    tree-walking reference interpreter.
+
+    Every execution consumer (ground truth, differential checks, value
+    instrumentation, reduction predicates, campaign stages) calls {!run}
+    instead of naming an executor; the backend is either passed explicitly
+    or taken from the process-wide ambient default ([dce_hunt --exec
+    vm|interp] sets it before any domain spawns).  Both backends produce
+    the same {!Dce_interp.Interp.result} — same step accounting, same
+    default fuel — so journals, metrics, and Guard budgets mean the same
+    thing regardless of backend.
+
+    The interpreter stays the semantic oracle: the VM's compiler and
+    allocator are extra machinery that could drift, so the differential
+    soak ([test/suite_exec.ml]) and any suspicious finding are checked
+    against [Interp]. *)
+
+type backend =
+  | Vm      (** compile to {!Bc} bytecode and run {!Bc_vm} (default) *)
+  | Interp  (** the reference {!Dce_interp.Interp} *)
+
+val default : unit -> backend
+(** The ambient default, readable from any domain. *)
+
+val set_default : backend -> unit
+(** Set the ambient default (done once by the CLI before workers spawn). *)
+
+val name : backend -> string
+val of_string : string -> backend option
+val all_names : string list
+
+val run :
+  ?backend:backend -> ?fuel:int -> ?max_depth:int -> Dce_ir.Ir.program ->
+  Dce_interp.Interp.result
+(** Execute [main] under the given (or ambient) backend; defaults match
+    {!Dce_interp.Interp.run}. *)
+
+val results_equal : Dce_interp.Interp.result -> Dce_interp.Interp.result -> bool
+(** Full value equality of results — outcome, events, marker and block
+    sets, step count, final-global checksums.  Stronger than
+    {!Dce_interp.Interp.equivalent}; this is the differential-soak bar. *)

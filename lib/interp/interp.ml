@@ -12,7 +12,7 @@ type result = {
   outcome : outcome;
   events : event list;
   executed_markers : Iset.t;
-  executed_blocks : (string * int, unit) Hashtbl.t;
+  executed_blocks : Bset.t;
   steps : int;
   final_globals : (string * int array) list;
 }
@@ -307,7 +307,7 @@ let run ?(fuel = 2_000_000) ?(max_depth = 256) prog =
     outcome;
     events = List.rev st.events;
     executed_markers = st.markers;
-    executed_blocks = st.blocks_run;
+    executed_blocks = Hashtbl.fold (fun k () acc -> Bset.add k acc) st.blocks_run Bset.empty;
     steps = st.steps;
     final_globals;
   }

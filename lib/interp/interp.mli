@@ -37,7 +37,7 @@ type result = {
   outcome : outcome;
   events : event list;            (** observable events in execution order *)
   executed_markers : Dce_ir.Ir.Iset.t;   (** marker ids that ran at least once *)
-  executed_blocks : (string * int, unit) Hashtbl.t;
+  executed_blocks : Dce_ir.Ir.Bset.t;
       (** (function, block label) pairs entered at least once — block-level
           ground truth for the primary-marker analysis *)
   steps : int;                    (** instructions executed *)
@@ -59,3 +59,41 @@ val equivalent : result -> result -> bool
 val equivalent_strict : result -> result -> bool
 (** {!equivalent} plus identical final global memory. Holds for
     transformations that do not remove stores (lowering↔SSA, SCCP, CSE…). *)
+
+(** {1 Shared evaluation semantics}
+
+    Exported so the bytecode VM ({!Dce_exec.Bc_vm}) reuses the exact same
+    value semantics — same trap messages, same extern hashing, same
+    checksums — rather than reimplementing them and drifting. *)
+
+exception Trap_exn of string
+(** Raised internally on a runtime error; {!run} catches it.  Exported so
+    alternate executors can share trap plumbing. *)
+
+exception Fuel_exn
+(** Raised internally on fuel exhaustion; {!run} catches it. *)
+
+val trap : ('a, unit, string, 'b) format4 -> 'a
+(** Formats a message and raises {!Trap_exn}. *)
+
+val truthy : value -> bool
+(** Branch condition semantics: nonzero integers and all pointers. *)
+
+val eval_binary : Dce_minic.Ops.binop -> value -> value -> value
+(** Binary operator semantics over run-time values, including pointer
+    comparison/arithmetic rules.  Raises {!Trap_exn} on incompatible
+    operands. *)
+
+val eval_unary : Dce_minic.Ops.unop -> value -> value
+(** Unary operator semantics.  Raises {!Trap_exn} on pointer negation. *)
+
+val extern_result : string -> value list -> int
+(** Deterministic result of a call to an undefined external function: a
+    stable mix of the name and the argument values. *)
+
+val value_of_cell : Dce_ir.Ir.init_cell -> value
+(** Run-time value of an initial memory cell. *)
+
+val cell_checksum : value -> int
+(** Stable integer encoding of a final memory cell (pointers hash by
+    target), used for the [final_globals] checksum. *)

@@ -4,6 +4,12 @@ type var = int
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
 
+module Bset = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
 type operand = Const of int | Reg of var
 
 type rvalue =

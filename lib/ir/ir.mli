@@ -25,6 +25,12 @@ type var = int
 module Imap : Map.S with type key = int
 module Iset : Set.S with type elt = int
 
+module Bset : Set.S with type elt = string * int
+(** Sets of (function name, block label) pairs — the executed/live block
+    sets produced by the executors.  Immutable so executor results are
+    value-comparable in differential tests; [elements] yields the same
+    order as sorting the pairs with polymorphic [compare]. *)
+
 type operand =
   | Const of int  (** integer constant *)
   | Reg of var

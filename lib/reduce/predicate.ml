@@ -127,7 +127,7 @@ let of_fun predicate =
       };
     ]
 
-let marker_diff ~compile_cache ~keep_missed_by ~eliminated_by ~marker =
+let marker_diff ?exec ~compile_cache ~keep_missed_by ~eliminated_by ~marker () =
   let survives (cfg : Dce_core.Differential.config) p =
     if compile_cache then
       List.mem marker
@@ -151,7 +151,7 @@ let marker_diff ~compile_cache ~keep_missed_by ~eliminated_by ~marker =
         st_cost = Execution;
         st_run =
           (fun p ->
-            match Dce_core.Ground_truth.compute p with
+            match Dce_core.Ground_truth.compute ?exec p with
             | Dce_core.Ground_truth.Valid truth
               when Dce_ir.Ir.Iset.mem marker truth.Dce_core.Ground_truth.dead ->
               Some p

@@ -57,16 +57,19 @@ val of_fun : (Ast.program -> bool) -> t
     sequence of the original reducer. *)
 
 val marker_diff :
+  ?exec:Dce_exec.Exec.backend ->
   compile_cache:bool ->
   keep_missed_by:Dce_core.Differential.config ->
   eliminated_by:Dce_core.Differential.config ->
   marker:int ->
+  unit ->
   t
 (** The paper's reduction predicate, staged:
     typecheck → marker-present (free syntactic filter) → ground-truth
     (marker dead under execution) → keeper-survives → eliminator-kills.
     Equivalent to {!Dce_reduce.Reduce.marker_diff_predicate} preceded by
-    typechecking. *)
+    typechecking.  [exec] selects the ground-truth executor backend
+    (default ambient). *)
 
 val run : t -> Ast.program -> outcome * (string * float) list
 (** Evaluate, first stage first, stopping at the first rejection.  Returns

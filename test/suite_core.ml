@@ -131,8 +131,7 @@ let graph_of src =
     | Core.Ground_truth.Rejected r -> Alcotest.failf "rejected: %s" r
   in
   ( instr,
-    Core.Primary.build
-      ~block_live:(Core.Ground_truth.block_live truth)
+    Core.Primary.build ~live_blocks:truth.Core.Ground_truth.live_blocks
       (Dce_ir.Lower.program instr) )
 
 let test_primary_nested_dead () =

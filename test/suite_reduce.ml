@@ -45,7 +45,7 @@ let diff_marker prog =
   Ir.Iset.choose (Ir.Iset.diff g l)
 
 let staged_predicate ?(compile_cache = true) marker =
-  R.Predicate.marker_diff ~compile_cache ~keep_missed_by:gcc_o3 ~eliminated_by:llvm_o3 ~marker
+  R.Predicate.marker_diff ~compile_cache ~keep_missed_by:gcc_o3 ~eliminated_by:llvm_o3 ~marker ()
 
 let check_same_result name (a : R.Engine.result) (b : R.Engine.result) =
   Alcotest.(check string)

@@ -5,6 +5,7 @@ let () =
       ("minic", Suite_minic.suite);
       ("ir", Suite_ir.suite);
       ("interp", Suite_interp.suite);
+      ("exec", Suite_exec.suite);
       ("passes", Suite_passes.suite);
       ("loop-passes", Suite_loop_passes.suite);
       ("compiler", Suite_compiler.suite);
