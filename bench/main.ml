@@ -721,6 +721,144 @@ let print_reduction () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Oracles: size-hunt and level-hunt throughput + sibling reuse         *)
+(* ------------------------------------------------------------------ *)
+
+(* The observables memo stores markers and size together, so every analysis
+   that looks at a (compiler, level, program) the corpus has already
+   compiled pays nothing.  This section runs four consumers over one
+   corpus — the size campaign, the inversion campaign, and the two classic
+   marker analyses (per-level missed counts, cross-level regressions)
+   re-run as standalone passes — and reports queries-per-compile.  Only the
+   inversion campaign's level set actually compiles (8 keys per valid
+   program); the other 24 queries per program are cache hits, so sibling
+   reuse lands at 4 queries per pipeline execution. *)
+let print_oracles_bench () =
+  section (Printf.sprintf "Oracles: size-hunt and level-hunt, %d worker domain(s)" jobs);
+  let module OC = Campaign.Oracle_campaign in
+  C.Compiler.clear_caches ();
+  let snap () = (C.Compiler.cache_stats ()).C.Compiler.cs_surviving in
+  let c0 = snap () in
+  let t0 = Unix.gettimeofday () in
+  let s = OC.run_size ~jobs ~seed:20220228 ~count:corpus_size () in
+  let t_size = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let inv = OC.run_inversion ~jobs ~seed:20220228 ~count:corpus_size () in
+  let t_inv = Unix.gettimeofday () -. t0 in
+  let sf = OC.size_findings s in
+  let cross, intra =
+    List.partition (function _, Core.Differential.Size_cross _ -> true | _ -> false) sf
+  in
+  let invf = OC.inversion_findings inv in
+  Printf.printf "size-hunt   %3d programs in %5.2fs (%6.1f programs/sec): %d findings (%d cross, %d intra)\n"
+    corpus_size t_size
+    (float_of_int corpus_size /. t_size)
+    (List.length sf) (List.length cross) (List.length intra);
+  Printf.printf "level-hunt  %3d programs in %5.2fs (%6.1f programs/sec): %d inversions\n"
+    corpus_size t_inv
+    (float_of_int corpus_size /. t_inv)
+    (List.length invf);
+  (* consumers three and four: the marker oracle's per-level missed counts
+     and the paper's cross-level regressions, as independent passes over the
+     same corpus — every surviving-set query below is a cache hit *)
+  let valid =
+    Array.to_list inv.OC.i_cases
+    |> List.filter_map (function
+         | Campaign.Engine.Done ic when ic.OC.ic_rejected = None ->
+           Some
+             ( Core.Instrument.program (fst (Smith.generate (Smith.default_config ic.OC.ic_seed))),
+               ic.OC.ic_dead )
+         | _ -> None)
+  in
+  let compilers = [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ] in
+  let missed_total = ref 0 in
+  List.iter
+    (fun (prog, dead) ->
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun level ->
+              let surv = C.Compiler.surviving_markers_cached compiler level prog in
+              missed_total :=
+                !missed_total + List.length (List.filter (fun m -> Ir.Iset.mem m dead) surv))
+            OC.inversion_levels)
+        compilers)
+    valid;
+  let adjacent = [ (C.Level.O1, C.Level.Os); (C.Level.Os, C.Level.O2); (C.Level.O2, C.Level.O3) ] in
+  let regressions = ref 0 in
+  List.iter
+    (fun (prog, dead) ->
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun (lo, hi) ->
+              let at l = C.Compiler.surviving_markers_cached compiler l prog in
+              let s_lo = at lo and s_hi = at hi in
+              Ir.Iset.iter
+                (fun m -> if (not (List.mem m s_lo)) && List.mem m s_hi then incr regressions)
+                dead)
+            adjacent)
+        compilers)
+    valid;
+  Printf.printf
+    "marker sweeps over the same corpus: %d missed-marker observations, %d adjacent-level \
+     regressions (no new compiles)\n"
+    !missed_total !regressions;
+  let c1 = snap () in
+  let probes =
+    c1.C.Compile_cache.hits + c1.C.Compile_cache.misses - c0.C.Compile_cache.hits
+    - c0.C.Compile_cache.misses
+  in
+  let pipelines = c1.C.Compile_cache.misses - c0.C.Compile_cache.misses in
+  let hits = c1.C.Compile_cache.hits - c0.C.Compile_cache.hits in
+  let reuse = if pipelines = 0 then 0.0 else float_of_int probes /. float_of_int pipelines in
+  let hit_rate = if probes = 0 then 0.0 else float_of_int hits /. float_of_int probes in
+  Printf.printf
+    "compile cache: %d surviving-set queries answered by %d pipeline executions — %.1f queries \
+     per compile, %.1f%% hit rate\n"
+    probes pipelines reuse (100.0 *. hit_rate);
+  if reuse < 3.0 then
+    Printf.printf "WARNING: sibling reuse %.1fx is below the 3x bar\n" reuse;
+  let doc =
+    Campaign.Json.Obj
+      [
+        ("programs", Campaign.Json.Int corpus_size);
+        ("valid", Campaign.Json.Int (List.length valid));
+        ("jobs", Campaign.Json.Int jobs);
+        ( "size",
+          Campaign.Json.Obj
+            [
+              ("findings", Campaign.Json.Int (List.length sf));
+              ("cross", Campaign.Json.Int (List.length cross));
+              ("intra", Campaign.Json.Int (List.length intra));
+              ("programs_per_sec", Campaign.Json.Float (float_of_int corpus_size /. t_size));
+            ] );
+        ( "inversion",
+          Campaign.Json.Obj
+            [
+              ("findings", Campaign.Json.Int (List.length invf));
+              ("programs_per_sec", Campaign.Json.Float (float_of_int corpus_size /. t_inv));
+            ] );
+        ( "cache",
+          Campaign.Json.Obj
+            [
+              ("probes", Campaign.Json.Int probes);
+              ("pipelines", Campaign.Json.Int pipelines);
+              ("hits", Campaign.Json.Int hits);
+              ("hit_rate", Campaign.Json.Float hit_rate);
+              ("sibling_reuse", Campaign.Json.Float reuse);
+              ("meets_3x_bar", Campaign.Json.Bool (reuse >= 3.0));
+              ("meets_hit_rate_floor", Campaign.Json.Bool (hit_rate >= 0.6));
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_oracles.json" in
+  output_string oc (Campaign.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_oracles.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -796,6 +934,7 @@ let () =
       ("value_checks", print_value_checks);
       ("ablations", print_ablations);
       ("reduction", print_reduction);
+      ("oracles", print_oracles_bench);
     ];
   Printf.printf "\nreproduction sections completed in %.1fs\n" (Unix.gettimeofday () -. t0);
   run_section "micro_benchmarks" micro_benchmarks;

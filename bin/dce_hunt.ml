@@ -5,7 +5,9 @@
      analyze    instrument one program, compute ground truth, compare configs
      compile    run one simulated compiler and show IR/assembly
      hunt       end-to-end campaign over a generated corpus
-     reduce     shrink a test case while preserving a marker difference
+     size-hunt  code-size oracle campaign (-Os larger than the rival's, or than own -O2)
+     level-hunt level-inversion oracle campaign (dead at a weak level, alive at a strong one)
+     reduce     shrink a test case while preserving an oracle finding
      bisect     find the commit that introduced a regression
      bisect-campaign
                 bisect every missed marker of a corpus into Tables 3/4
@@ -467,10 +469,120 @@ let value_hunt_cmd =
       const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
       $ step_budget_arg $ retries_arg $ exec_arg)
 
+(* ---------- size-hunt ---------- *)
+
+let size_hunt_cmd =
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let ratio =
+    Arg.(
+      value & opt float 1.25
+      & info [ "ratio" ] ~docv:"R"
+          ~doc:
+            "Cross-compiler threshold: flag a case when one compiler's -Os output is at least \
+             $(docv) times the other's.  A reporting parameter only — the journal stores size \
+             curves, so resuming with a different $(docv) re-thresholds without recompiling.")
+  in
+  let run seed count ratio jobs journal metrics deadline step_budget retries exec =
+    set_exec exec;
+    let s =
+      Campaign.Oracle_campaign.run_size ?journal ~ratio ?deadline ?step_budget ~retries ~jobs
+        ~seed ~count ()
+    in
+    print_string (Campaign.Oracle_campaign.size_report s);
+    print_epilogue ~metrics ~quarantine:s.Campaign.Oracle_campaign.s_quarantine
+      ~quarantine_text:(Campaign.Oracle_campaign.size_quarantine_to_string s)
+      ~resumed:s.Campaign.Oracle_campaign.s_resumed s.Campaign.Oracle_campaign.s_metrics
+  in
+  Cmd.v
+    (Cmd.info "size-hunt"
+       ~doc:
+         "Run the code-size oracle over a generated corpus: flag programs where one simulated \
+          compiler's -Os output is $(b,--ratio) times larger than the other's, or larger than \
+          its own -O2 — sharded over $(b,--jobs) worker domains, resumable via $(b,--journal), \
+          with sizes routed through the content-addressed compile cache.")
+    Term.(
+      const run $ seed $ count $ ratio $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
+      $ step_budget_arg $ retries_arg $ exec_arg)
+
+(* ---------- level-hunt ---------- *)
+
+let level_hunt_cmd =
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let bisect =
+    Arg.(
+      value & flag
+      & info [ "bisect" ]
+          ~doc:
+            "Also bisect every inversion through the keeping level's feature-flag commit \
+             history (probe-cached, on the worker pool) and print the offending commits.")
+  in
+  let run seed count bisect jobs journal metrics deadline step_budget retries exec =
+    set_exec exec;
+    let t =
+      Campaign.Oracle_campaign.run_inversion ?journal ?deadline ?step_budget ~retries ~jobs
+        ~seed ~count ()
+    in
+    print_string (Campaign.Oracle_campaign.inversion_report t);
+    if bisect then
+      print_string
+        (Campaign.Oracle_campaign.inv_bisections_table
+           (Campaign.Oracle_campaign.bisect_inversions ?deadline ?step_budget ~retries ~jobs t));
+    print_epilogue ~metrics ~quarantine:t.Campaign.Oracle_campaign.i_quarantine
+      ~quarantine_text:(Campaign.Oracle_campaign.inversion_quarantine_to_string t)
+      ~resumed:t.Campaign.Oracle_campaign.i_resumed t.Campaign.Oracle_campaign.i_metrics
+  in
+  Cmd.v
+    (Cmd.info "level-hunt"
+       ~doc:
+         "Run the level-inversion oracle over a generated corpus: find markers a compiler \
+          eliminates at a weak level (-O1/-Os) but keeps at a stronger one (-O2/-O3), \
+          attribute each to the pass the strong level is missing, and optionally \
+          $(b,--bisect) each inversion to its offending commit.")
+    Term.(
+      const run $ seed $ count $ bisect $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
+      $ step_budget_arg $ retries_arg $ exec_arg)
+
 (* ---------- reduce ---------- *)
 
 let reduce_cmd =
-  let marker = Arg.(required & opt (some int) None & info [ "marker" ] ~docv:"N") in
+  let marker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "marker" ] ~docv:"N"
+          ~doc:"Marker to preserve (required for $(b,--oracle) markers and inversion).")
+  in
+  let oracle =
+    Arg.(
+      value & opt string "markers"
+      & info [ "oracle" ] ~docv:"markers|size|inversion"
+          ~doc:
+            "Which finding the reduction must preserve.  $(b,markers) (default): \
+             $(b,--missed-by)/$(b,--missed-at) keeps marker $(b,--marker), \
+             $(b,--eliminated-by)/$(b,--eliminated-at) kills it.  $(b,size): \
+             $(b,--missed-by)/$(b,--missed-at) names the larger config, \
+             $(b,--eliminated-by)/$(b,--eliminated-at) the smaller (e.g. --missed-by gcc \
+             --missed-at Os --eliminated-by llvm --eliminated-at Os; use the same compiler at \
+             Os vs O2 with --min-ratio 1.0 for an intra finding).  $(b,inversion): \
+             $(b,--missed-by) is the compiler, $(b,--missed-at) the level keeping \
+             $(b,--marker), $(b,--eliminated-at) the weaker level killing it.")
+  in
+  let min_ratio =
+    Arg.(
+      value & opt float 1.25
+      & info [ "min-ratio" ] ~docv:"R"
+          ~doc:"Size oracle only: the reduced program must keep larger >= $(docv) * smaller.")
+  in
+  let min_gap =
+    Arg.(
+      value & opt int 1
+      & info [ "min-gap" ] ~docv:"N"
+          ~doc:
+            "Size oracle only: absolute instruction-count floor on the gap (stops tiny \
+             programs passing on ratio alone).")
+  in
   let keeper = Arg.(value & opt string "gcc" & info [ "missed-by" ] ~docv:"gcc|llvm") in
   let keeper_level = Arg.(value & opt string "O3" & info [ "missed-at" ] ~docv:"O0..O3") in
   let elim = Arg.(value & opt string "llvm" & info [ "eliminated-by" ] ~docv:"gcc|llvm") in
@@ -493,17 +605,33 @@ let reduce_cmd =
             "Disable the content-addressed verdict cache (every charged candidate re-evaluates). \
              The reduction result is identical either way; this exists for measurement.")
   in
-  let run path marker keeper keeper_level elim elim_level max_tests jobs journal stats no_cache
-      exec =
+  let run path marker oracle min_ratio min_gap keeper keeper_level elim elim_level max_tests jobs
+      journal stats no_cache exec =
     set_exec exec;
     let prog = read_program path in
     let prog =
       if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
     in
     let mk c l = { Core.Differential.compiler = compiler_of_string c; level = level_of_string l; version = None } in
+    let required_marker () =
+      match marker with
+      | Some m -> m
+      | None -> failwith (Printf.sprintf "--marker is required with --oracle %s" oracle)
+    in
     let predicate =
-      Dce_reduce.Predicate.marker_diff ~compile_cache:(not no_cache)
-        ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level) ~marker ()
+      match oracle with
+      | "markers" ->
+        Dce_reduce.Predicate.marker_diff ~compile_cache:(not no_cache)
+          ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level)
+          ~marker:(required_marker ()) ()
+      | "size" ->
+        Dce_reduce.Predicate.size_gap ~compile_cache:(not no_cache)
+          ~larger:(mk keeper keeper_level) ~smaller:(mk elim elim_level) ~min_ratio ~min_gap ()
+      | "inversion" ->
+        Dce_reduce.Predicate.level_inversion ~compile_cache:(not no_cache)
+          ~compiler:(compiler_of_string keeper) ~low:(level_of_string elim_level)
+          ~high:(level_of_string keeper_level) ~marker:(required_marker ()) ()
+      | other -> failwith (Printf.sprintf "unknown oracle %S (use markers, size, or inversion)" other)
     in
     let result =
       Dce_reduce.Engine.reduce ~max_tests ~jobs ~cache:(not no_cache) ?journal ~predicate prog
@@ -521,13 +649,14 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:
-         "Shrink a test case while one configuration keeps the marker and another eliminates it. \
-          The engine stages the predicate cheapest-check-first, memoizes verdicts and compiles by \
-          content hash, and searches candidates on a worker pool ($(b,--jobs)); results are \
-          byte-identical for every jobs value and cache setting.")
+         "Shrink a test case while preserving a finding of the chosen $(b,--oracle): a marker \
+          difference between two configurations (default), a code-size gap, or a level \
+          inversion.  The engine stages the predicate cheapest-check-first, memoizes verdicts \
+          and compiles by content hash, and searches candidates on a worker pool ($(b,--jobs)); \
+          results are byte-identical for every jobs value and cache setting.")
     Term.(
-      const run $ file_arg $ marker $ keeper $ keeper_level $ elim $ elim_level $ max_tests
-      $ jobs_arg $ journal_arg $ stats $ no_cache $ exec_arg)
+      const run $ file_arg $ marker $ oracle $ min_ratio $ min_gap $ keeper $ keeper_level $ elim
+      $ elim_level $ max_tests $ jobs_arg $ journal_arg $ stats $ no_cache $ exec_arg)
 
 (* ---------- bisect ---------- *)
 
@@ -663,6 +792,8 @@ let () =
             hunt_cmd;
             triage_cmd;
             value_hunt_cmd;
+            size_hunt_cmd;
+            level_hunt_cmd;
             reduce_cmd;
             bisect_cmd;
             bisect_campaign_cmd;

@@ -19,6 +19,8 @@ let to_string t =
 let instruction_count t =
   List.length (List.filter (function Ins _ -> true | Label _ | Directive _ -> false) t.lines)
 
+let size = instruction_count
+
 let surviving_calls t =
   List.filter_map
     (function

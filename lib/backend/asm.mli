@@ -19,6 +19,13 @@ val to_string : t -> string
 val instruction_count : t -> int
 (** Number of [Ins] lines (a code-size proxy). *)
 
+val size : t -> int
+(** The code-size proxy the size oracle compares: currently
+    {!instruction_count}.  Labels and directives are free — they assemble to
+    no bytes — so counting executable instructions is the textual analogue of
+    an object-file [.text] size, and stays purely a function of the emitted
+    assembly (the black-box property again). *)
+
 val surviving_calls : t -> string list
 (** Call targets appearing in the text, in order, with duplicates. *)
 

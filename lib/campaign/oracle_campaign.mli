@@ -1,0 +1,163 @@
+(** The size and level-inversion oracle campaigns: the two non-marker
+    regression classes run through the full {!Engine} machinery — Domain
+    pool, deterministic sharding, quarantine, metrics, JSONL journal/resume.
+
+    {b Size campaign} (["size-hunt"], record kind ["size-case"]): per valid
+    program, the {!Dce_core.Differential.size_curve} of both simulated
+    compilers at [-Os]/[-O2].  The journal stores the {e curve}, never the
+    findings — {!Dce_core.Differential.size_findings_of} is pure, so reports
+    can be re-derived (even re-thresholded via [ratio]) from a journal
+    without recompiling anything.
+
+    {b Inversion campaign} (["level-hunt"], record kind ["inversion-case"]):
+    per valid program and compiler, surviving sets at [-O1]/[-Os]/[-O2]/[-O3]
+    (through the shared compile cache) feed
+    {!Dce_core.Differential.inversions}; each inversion is attributed to the
+    pass that eliminates the marker at the low level via one traced compile
+    per distinct (compiler, low level).  The journal stores the oracle's
+    inputs (dead set, surviving sets) plus the guilty-pass triples
+    (attribution is the one expensive, uncacheable step); inversions are
+    re-derived on decode.
+
+    Both campaigns size the {e instrumented} program, so their compiles share
+    content-addressed cache entries with the marker campaigns on the same
+    corpus.  As everywhere: [jobs = N] output is byte-identical to
+    [jobs = 1], and journal records of unknown kind are skipped-with-count,
+    never fatal. *)
+
+(** {1 Size campaign} *)
+
+type size_case = {
+  sc_seed : int;
+  sc_rejected : string option;  (** ground-truth rejection reason *)
+  sc_curve : (string * Dce_compiler.Level.t * int) list;
+}
+
+type size_t = {
+  s_seed : int;
+  s_count : int;
+  s_jobs : int;
+  s_ratio : float;  (** cross-compiler threshold (reporting parameter) *)
+  s_seeds : int array;
+  s_cases : size_case Engine.case_outcome array;
+  s_quarantine : Engine.quarantined list;
+  s_metrics : Metrics.summary;
+  s_resumed : int;
+  s_skipped : int;
+}
+
+val size_codec : size_case Engine.codec
+(** The ["size-case"] journal record codec (exposed for tests). *)
+
+val run_size :
+  ?journal:string ->
+  ?fuel:int ->
+  ?exec:Dce_exec.Exec.backend ->
+  ?ratio:float ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  size_t
+(** [ratio] defaults to 1.25.  [fuel]/[exec] control the ground-truth
+    executor (programs that trap or exhaust fuel are rejected, exactly as in
+    the marker campaign); the remaining options are the {!Engine.run}
+    supervision controls. *)
+
+val size_findings : size_t -> (int * Dce_core.Differential.size_finding) list
+(** [(corpus case, finding)] pairs, ascending case order — derived from the
+    journaled curves with the campaign's [ratio]. *)
+
+val size_report : size_t -> string
+(** Summary line ("… N size findings …"), size-delta histogram, and
+    per-guilty-config counts. *)
+
+val size_quarantine_to_string : size_t -> string
+
+(** {1 Level-inversion campaign} *)
+
+type inv_finding = {
+  if_compiler : string;
+  if_inversion : Dce_core.Differential.inversion;
+  if_guilty : string;
+      (** label of the pass that eliminates the marker at [iv_low] — what
+          the [iv_high] pipeline is failing to do *)
+}
+
+type inv_case = {
+  ic_seed : int;
+  ic_rejected : string option;
+  ic_dead : Dce_ir.Ir.Iset.t;
+  ic_surviving : (string * (Dce_compiler.Level.t * Dce_ir.Ir.Iset.t) list) list;
+  ic_findings : inv_finding list;
+}
+
+type inv_t = {
+  i_seed : int;
+  i_count : int;
+  i_jobs : int;
+  i_seeds : int array;
+  i_cases : inv_case Engine.case_outcome array;
+  i_quarantine : Engine.quarantined list;
+  i_metrics : Metrics.summary;
+  i_resumed : int;
+  i_skipped : int;
+}
+
+val inversion_levels : Dce_compiler.Level.t list
+(** [[O1; Os; O2; O3]] — [O0] never eliminates, so it is excluded. *)
+
+val inv_codec : inv_case Engine.codec
+(** The ["inversion-case"] journal record codec (exposed for tests). *)
+
+val run_inversion :
+  ?journal:string ->
+  ?fuel:int ->
+  ?exec:Dce_exec.Exec.backend ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  inv_t
+
+val inversion_findings : inv_t -> (int * inv_finding) list
+(** [(corpus case, finding)] pairs, ascending case order, gcc-sim before
+    llvm-sim within a case, ascending marker within a compiler. *)
+
+val inversion_report : inv_t -> string
+(** Summary line ("… N level inversions …"), per-(compiler, low→high)
+    counts, and per-guilty-pass counts. *)
+
+val inversion_quarantine_to_string : inv_t -> string
+
+(** {1 Bisecting inversions}
+
+    An inversion is a regression of the [iv_high] pipeline relative to its
+    own weaker levels; {!bisect_inversions} chases each one through the
+    compiler's feature-flag commit history at [iv_high]. *)
+
+type inv_bisection = {
+  ib_case : int;
+  ib_finding : inv_finding;
+  ib_outcome : Dce_bisect.Bisect.outcome;
+  ib_probes : int;
+}
+
+val bisect_inversions :
+  ?cache:bool ->
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  jobs:int ->
+  inv_t ->
+  inv_bisection list
+(** One bisection per inversion finding, on the Engine pool (no journal —
+    probes already route through the compile cache), campaign order. *)
+
+val inv_bisections_table : inv_bisection list -> string

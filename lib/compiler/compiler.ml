@@ -29,6 +29,21 @@ let surviving_markers t ?version ?validate level ast =
   fst (surviving_markers_traced t ?version ?validate level ast)
 
 (* ------------------------------------------------------------------ *)
+(* observables: everything the oracles read off one compile            *)
+(* ------------------------------------------------------------------ *)
+
+type observables = {
+  obs_markers : int list;
+  obs_size : int;
+}
+
+let observe asm =
+  { obs_markers = Dce_backend.Asm.surviving_markers asm; obs_size = Dce_backend.Asm.size asm }
+
+let observables t ?version ?validate level ast =
+  observe (compile t ?version ?validate level ast)
+
+(* ------------------------------------------------------------------ *)
 (* content-addressed compile caches (the reduction fast path)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -55,25 +70,33 @@ let lower_cached ast =
         (fun () -> Lower.func env fn))
     ast
 
-(* Whole-compile verdict memo: (compiler, version, level, program) →
-   surviving markers.  The program itself is part of the key (compared
-   structurally on every lookup), so a hash collision can never alias two
-   different candidates.  The memo granularity is deliberately the whole
-   program: per-function memoization of the *optimized* pipeline would be
-   unsound under the cross-function passes (inline, ipa-cp, function-dce,
-   whole-program memory analysis) — see DESIGN.md. *)
-let surviving_cache : (string * int * Level.t * Ast.program, int list) Compile_cache.t =
+(* Whole-compile observables memo: (compiler, version, level, program) →
+   surviving markers + assembly size.  The program itself is part of the key
+   (compared structurally on every lookup), so a hash collision can never
+   alias two different candidates.  The memo granularity is deliberately the
+   whole program: per-function memoization of the *optimized* pipeline would
+   be unsound under the cross-function passes (inline, ipa-cp, function-dce,
+   whole-program memory analysis) — see DESIGN.md.  Storing all observables
+   in one entry is what makes the size oracle free to run next to the marker
+   oracle: whichever campaign compiles a (config, program) first, the sibling
+   probes of the other oracle are cache hits. *)
+let surviving_cache : (string * int * Level.t * Ast.program, observables) Compile_cache.t =
   Compile_cache.create
     ~hash:(fun (name, v, level, prog) ->
       Hashtbl.hash (name, v, level) lxor Ast.hash_program prog)
     ~equal:( = ) ()
 
-let surviving_markers_cached t ?version level ast =
+let observables_cached t ?version level ast =
   let v = Option.value ~default:(head t) version in
   Compile_cache.find_or_add surviving_cache (t.name, v, level, ast) (fun () ->
       let feats = features t ~version:v level in
       let ir = Pipeline.run feats (lower_cached ast) in
-      Dce_backend.Asm.surviving_markers (Dce_backend.Codegen.program ir))
+      observe (Dce_backend.Codegen.program ir))
+
+let surviving_markers_cached t ?version level ast =
+  (observables_cached t ?version level ast).obs_markers
+
+let asm_size_cached t ?version level ast = (observables_cached t ?version level ast).obs_size
 
 type cache_stats = {
   cs_surviving : Compile_cache.counters;  (** whole-compile memo; misses = pipelines run *)

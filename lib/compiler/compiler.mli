@@ -59,6 +59,21 @@ val surviving_markers_traced :
   Dce_minic.Ast.program ->
   int list * Passmgr.trace
 
+(** {1 Observables}
+
+    Everything the oracles read off one compiled program.  The marker oracle
+    consumes [obs_markers]; the code-size oracle consumes [obs_size]
+    ({!Dce_backend.Asm.size} of the same assembly).  Bundling them means one
+    compile — and one cache entry — answers both. *)
+
+type observables = {
+  obs_markers : int list;  (** surviving marker ids, deduplicated, sorted *)
+  obs_size : int;  (** {!Dce_backend.Asm.size} of the generated assembly *)
+}
+
+val observables :
+  t -> ?version:int -> ?validate:bool -> Level.t -> Dce_minic.Ast.program -> observables
+
 (** {1 Content-addressed compile caching}
 
     The reduction engine's fast path: {!surviving_markers_cached} memoizes
@@ -71,10 +86,22 @@ val surviving_markers_traced :
     like the {!Passmgr} analysis cache).  Both caches are process-global,
     domain-safe, and shared across configurations and reductions. *)
 
+val observables_cached : t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> observables
+(** Same result as {!observables}; a full pipeline executes only on a memo
+    miss (counted in {!cache_stats}).  The memo stores the whole observable
+    record, so a marker probe and a size probe of the same
+    [(compiler, version, level, program)] share one compile — this is what
+    lets a size campaign ride on the marker campaign's cache (and vice
+    versa) for free. *)
+
 val surviving_markers_cached :
   t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int list
-(** Same result as {!surviving_markers}; a full pipeline executes only on a
-    memo miss (counted in {!cache_stats}). *)
+(** [(observables_cached ...).obs_markers] — same result as
+    {!surviving_markers}. *)
+
+val asm_size_cached : t -> ?version:int -> Level.t -> Dce_minic.Ast.program -> int
+(** [(observables_cached ...).obs_size] — {!Dce_backend.Asm.size} of the
+    compiled program, through the same memo. *)
 
 type cache_stats = {
   cs_surviving : Compile_cache.counters;

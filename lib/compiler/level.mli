@@ -11,5 +11,10 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Accepts ["O2"], ["-O2"], ["o2"], … *)
 
+val rank : t -> int
+(** Nominal strength as an integer: O0 = 0, O1 = 1, Os = 2, O2 = 3, O3 = 4.
+    The level-inversion oracle compares ranks: a marker dead at a low rank
+    but alive at a higher rank is an inversion. *)
+
 val compare_strength : t -> t -> int
 (** Orders levels by nominal strength (O0 < O1 < Os < O2 < O3). *)

@@ -35,3 +35,160 @@ let semantics_preserved_strict ?exec a b =
     (Dce_exec.Exec.run ?backend:exec b)
 
 let missed_vs_other ~mine ~other = Ir.Iset.diff mine other
+
+(* ------------------------------------------------------------------ *)
+(* code-size oracle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let asm_size ?(cache = true) cfg prog =
+  if cache then C.Compiler.asm_size_cached cfg.compiler ?version:cfg.version cfg.level prog
+  else (C.Compiler.observables cfg.compiler ?version:cfg.version cfg.level prog).obs_size
+
+let default_size_levels = [ C.Level.Os; C.Level.O2 ]
+
+let size_curve ?(cache = true) ?(levels = default_size_levels) ~compilers prog =
+  List.concat_map
+    (fun (c : C.Compiler.t) ->
+      List.map
+        (fun level ->
+          let size =
+            if cache then C.Compiler.asm_size_cached c level prog
+            else (C.Compiler.observables c level prog).obs_size
+          in
+          (c.C.Compiler.name, level, size))
+        levels)
+    compilers
+
+type size_finding =
+  | Size_cross of {
+      level : C.Level.t;
+      larger : string;
+      larger_size : int;
+      smaller : string;
+      smaller_size : int;
+    }
+  | Size_intra of { compiler : string; os_size : int; o2_size : int }
+
+let size_ratio = function
+  | Size_cross { larger_size; smaller_size; _ } ->
+    float_of_int larger_size /. float_of_int (max 1 smaller_size)
+  | Size_intra { os_size; o2_size; _ } -> float_of_int os_size /. float_of_int (max 1 o2_size)
+
+let size_finding_to_string = function
+  | Size_cross { level; larger; larger_size; smaller; smaller_size } ->
+    Printf.sprintf "%s %s emits %d instrs where %s emits %d (%.2fx)" larger
+      (C.Level.to_string level) larger_size smaller smaller_size
+      (float_of_int larger_size /. float_of_int (max 1 smaller_size))
+  | Size_intra { compiler; os_size; o2_size } ->
+    Printf.sprintf "%s -Os emits %d instrs, its own -O2 emits %d" compiler os_size o2_size
+
+(* The cross check fires at the threshold: [larger >= ratio * smaller] (and
+   strictly larger, so ratio <= 1.0 cannot flag equal outputs).  The intra
+   check is absolute — any [-Os] output strictly larger than the same
+   compiler's [-O2] is a self-evident miss, no second compiler needed. *)
+let size_findings_of ?(ratio = 1.25) curve =
+  let names =
+    List.fold_left (fun acc (n, _, _) -> if List.mem n acc then acc else n :: acc) [] curve
+    |> List.rev
+  in
+  let at name level =
+    List.find_map (fun (n, l, s) -> if n = name && l = level then Some s else None) curve
+  in
+  let exceeds a b = a > b && float_of_int a >= ratio *. float_of_int b in
+  let cross =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if a >= b then None
+            else
+              match (at a C.Level.Os, at b C.Level.Os) with
+              | Some sa, Some sb when exceeds sa sb ->
+                Some
+                  (Size_cross
+                     {
+                       level = C.Level.Os;
+                       larger = a;
+                       larger_size = sa;
+                       smaller = b;
+                       smaller_size = sb;
+                     })
+              | Some sa, Some sb when exceeds sb sa ->
+                Some
+                  (Size_cross
+                     {
+                       level = C.Level.Os;
+                       larger = b;
+                       larger_size = sb;
+                       smaller = a;
+                       smaller_size = sa;
+                     })
+              | _ -> None)
+          names)
+      names
+  in
+  let intra =
+    List.filter_map
+      (fun n ->
+        match (at n C.Level.Os, at n C.Level.O2) with
+        | Some os, Some o2 when os > o2 -> Some (Size_intra { compiler = n; os_size = os; o2_size = o2 })
+        | _ -> None)
+      names
+  in
+  cross @ intra
+
+let size_findings ?cache ?ratio ?levels ~compilers prog =
+  size_findings_of ?ratio (size_curve ?cache ?levels ~compilers prog)
+
+(* ------------------------------------------------------------------ *)
+(* level-inversion oracle                                              *)
+(* ------------------------------------------------------------------ *)
+
+type inversion = { iv_marker : int; iv_low : C.Level.t; iv_high : C.Level.t }
+
+let inversion_to_string iv =
+  Printf.sprintf "marker %d dead at %s, survives at %s" iv.iv_marker
+    (C.Level.to_string iv.iv_low)
+    (C.Level.to_string iv.iv_high)
+
+let inversions ~dead per_level =
+  Ir.Iset.fold
+    (fun m acc ->
+      let eliminating = List.filter (fun (_, s) -> not (Ir.Iset.mem m s)) per_level in
+      let keeping = List.filter (fun (_, s) -> Ir.Iset.mem m s) per_level in
+      let weakest_eliminating =
+        List.fold_left
+          (fun best (l, _) ->
+            match best with
+            | None -> Some l
+            | Some b -> if C.Level.rank l < C.Level.rank b then Some l else Some b)
+          None eliminating
+      in
+      let strongest_keeping =
+        List.fold_left
+          (fun best (l, _) ->
+            match best with
+            | None -> Some l
+            | Some b -> if C.Level.rank l > C.Level.rank b then Some l else Some b)
+          None keeping
+      in
+      match (weakest_eliminating, strongest_keeping) with
+      | Some lo, Some hi when C.Level.rank lo < C.Level.rank hi ->
+        { iv_marker = m; iv_low = lo; iv_high = hi } :: acc
+      | _ -> acc)
+    dead []
+  |> List.sort (fun a b -> compare a.iv_marker b.iv_marker)
+
+let inversions_of ?(cache = true) ?(levels = [ C.Level.O1; C.Level.Os; C.Level.O2; C.Level.O3 ])
+    ~dead compiler prog =
+  let per_level =
+    List.map
+      (fun level ->
+        let markers =
+          if cache then C.Compiler.surviving_markers_cached compiler level prog
+          else C.Compiler.surviving_markers compiler level prog
+        in
+        (level, List.fold_left (fun s n -> Ir.Iset.add n s) Ir.Iset.empty markers))
+      levels
+  in
+  inversions ~dead per_level

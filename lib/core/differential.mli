@@ -47,3 +47,96 @@ val missed_vs_other :
   mine:Dce_ir.Ir.Iset.t -> other:Dce_ir.Ir.Iset.t -> Dce_ir.Ir.Iset.t
 (** Paper §3.1: markers I keep that the other configuration eliminates —
     feasibly missed opportunities for me. *)
+
+(** {1 Code-size oracle}
+
+    The marker lens is binary; the assembly also has a measurable size
+    ({!Dce_backend.Asm.size}).  At [-Os] size {e is} the contract, so two
+    regression classes fall out: one compiler's [-Os] output significantly
+    larger than the other's (cross, with a configurable ratio threshold), and
+    a compiler's [-Os] output larger than its {e own} [-O2] (intra — a
+    self-evident miss needing no second compiler).  All sizes route through
+    the content-addressed compile cache, so a campaign pays one compile per
+    (config, program) across {e both} the marker and size oracles. *)
+
+val asm_size : ?cache:bool -> config -> Dce_minic.Ast.program -> int
+(** {!Dce_backend.Asm.size} of the configuration's output.  [cache] (default
+    true) routes through {!Dce_compiler.Compiler.observables_cached}. *)
+
+val default_size_levels : Dce_compiler.Level.t list
+(** [[-Os; -O2]] — the minimum the size oracle needs. *)
+
+val size_curve :
+  ?cache:bool ->
+  ?levels:Dce_compiler.Level.t list ->
+  compilers:Dce_compiler.Compiler.t list ->
+  Dce_minic.Ast.program ->
+  (string * Dce_compiler.Level.t * int) list
+(** Size of every (compiler, level) cell at HEAD, in the given order.  This
+    is the complete input of {!size_findings_of} — journaling the curve lets
+    findings be re-derived (even re-thresholded) without recompiling. *)
+
+type size_finding =
+  | Size_cross of {
+      level : Dce_compiler.Level.t;
+      larger : string;
+      larger_size : int;
+      smaller : string;
+      smaller_size : int;
+    }
+      (** At [level] (always [-Os] today), [larger]'s output is at least
+          [ratio] times [smaller]'s. *)
+  | Size_intra of { compiler : string; os_size : int; o2_size : int }
+      (** [compiler]'s [-Os] output is strictly larger than its own [-O2]. *)
+
+val size_ratio : size_finding -> float
+(** Larger-over-smaller ratio of the finding (triage histogram bucket key). *)
+
+val size_finding_to_string : size_finding -> string
+
+val size_findings_of : ?ratio:float -> (string * Dce_compiler.Level.t * int) list -> size_finding list
+(** Pure: derive findings from a size curve.  Cross fires when
+    [larger > smaller && larger >= ratio *. smaller] (default ratio 1.25), at
+    most once per compiler pair, deterministically ordered (curve order,
+    cross before intra).  Intra fires on any strict [-Os] > [-O2] excess. *)
+
+val size_findings :
+  ?cache:bool ->
+  ?ratio:float ->
+  ?levels:Dce_compiler.Level.t list ->
+  compilers:Dce_compiler.Compiler.t list ->
+  Dce_minic.Ast.program ->
+  size_finding list
+(** [size_findings_of ?ratio (size_curve ...)]. *)
+
+(** {1 Level-inversion oracle}
+
+    Within one compiler, a marker eliminated at a weaker level but surviving
+    at a stronger one is a regression of the stronger pipeline — the class
+    the paper's Table 3/4 aggregates; here each inversion is a first-class
+    finding the reducer and bisector can chase. *)
+
+type inversion = {
+  iv_marker : int;
+  iv_low : Dce_compiler.Level.t;  (** weakest level that eliminates the marker *)
+  iv_high : Dce_compiler.Level.t;  (** strongest level that keeps it *)
+}
+
+val inversion_to_string : inversion -> string
+
+val inversions :
+  dead:Dce_ir.Ir.Iset.t -> (Dce_compiler.Level.t * Dce_ir.Ir.Iset.t) list -> inversion list
+(** Pure: given per-level surviving sets of one compiler and the ground-truth
+    dead set, return every dead marker with
+    [rank (weakest eliminating level) < rank (strongest keeping level)],
+    ascending by marker id. *)
+
+val inversions_of :
+  ?cache:bool ->
+  ?levels:Dce_compiler.Level.t list ->
+  dead:Dce_ir.Ir.Iset.t ->
+  Dce_compiler.Compiler.t ->
+  Dce_minic.Ast.program ->
+  inversion list
+(** Compile (cached by default) at [levels] (default [O1; Os; O2; O3] — [O0]
+    keeps everything, so it only adds noise) and run {!inversions}. *)

@@ -127,14 +127,14 @@ let of_fun predicate =
       };
     ]
 
+let survives_in ~compile_cache ~marker (cfg : Dce_core.Differential.config) p =
+  if compile_cache then
+    List.mem marker
+      (Dce_compiler.Compiler.surviving_markers_cached cfg.compiler ?version:cfg.version cfg.level p)
+  else Dce_ir.Ir.Iset.mem marker (Dce_core.Differential.surviving cfg p)
+
 let marker_diff ?exec ~compile_cache ~keep_missed_by ~eliminated_by ~marker () =
-  let survives (cfg : Dce_core.Differential.config) p =
-    if compile_cache then
-      List.mem marker
-        (Dce_compiler.Compiler.surviving_markers_cached cfg.compiler ?version:cfg.version cfg.level
-           p)
-    else Dce_ir.Ir.Iset.mem marker (Dce_core.Differential.surviving cfg p)
-  in
+  let survives = survives_in ~compile_cache ~marker in
   v ~compile_cached:compile_cache
     [
       typecheck_stage;
@@ -166,5 +166,87 @@ let marker_diff ?exec ~compile_cache ~keep_missed_by ~eliminated_by ~marker () =
         st_name = "eliminator-kills";
         st_cost = Pipeline;
         st_run = (fun p -> if survives eliminated_by p then None else Some p);
+      };
+    ]
+
+(* The size-oracle reduction predicate: keep shrinking while [larger]'s
+   output still exceeds [smaller]'s by the ratio (and by [min_gap]
+   instructions — tiny programs make impressive ratios out of a two-instr
+   difference, and a repro below the absolute floor stops being a repro).
+   The valid-execution stage keeps the candidate a campaign-valid test case,
+   exactly the rejection rule of the hunt that produced the finding. *)
+let size_gap ?exec ~compile_cache ~larger ~smaller ?(min_ratio = 1.25) ?(min_gap = 1) () =
+  let size (cfg : Dce_core.Differential.config) p =
+    Dce_core.Differential.asm_size ~cache:compile_cache cfg p
+  in
+  v ~compile_cached:compile_cache
+    [
+      typecheck_stage;
+      {
+        st_name = "valid-execution";
+        st_cost = Execution;
+        st_run =
+          (fun p ->
+            match Dce_core.Ground_truth.compute ?exec p with
+            | Dce_core.Ground_truth.Valid _ -> Some p
+            | Dce_core.Ground_truth.Rejected _ -> None);
+      };
+      (* one stage, two pipelines: the gap needs both sizes at once, and a
+         stage cannot pass a value forward — so pipelines_for undercounts
+         this stage by one (with the compile cache on, real counts come off
+         the cache anyway) *)
+      {
+        st_name = "size-gap";
+        st_cost = Pipeline;
+        st_run =
+          (fun p ->
+            let ls = size larger p and ss = size smaller p in
+            if
+              ls > ss
+              && ls - ss >= min_gap
+              && float_of_int ls >= min_ratio *. float_of_int ss
+            then Some p
+            else None);
+      };
+    ]
+
+(* The inversion-oracle reduction predicate: within one compiler, the marker
+   must stay dead by execution, eliminated at the weak level, and alive at
+   the strong one — {!marker_diff} with both configs pointing at the same
+   compiler. *)
+let level_inversion ?exec ~compile_cache ~compiler ~low ~high ~marker () =
+  let survives level p =
+    survives_in ~compile_cache ~marker
+      { Dce_core.Differential.compiler; level; version = None }
+      p
+  in
+  v ~compile_cached:compile_cache
+    [
+      typecheck_stage;
+      {
+        st_name = "marker-present";
+        st_cost = Free;
+        st_run = (fun p -> if List.mem marker (Ast.markers_of_program p) then Some p else None);
+      };
+      {
+        st_name = "ground-truth";
+        st_cost = Execution;
+        st_run =
+          (fun p ->
+            match Dce_core.Ground_truth.compute ?exec p with
+            | Dce_core.Ground_truth.Valid truth
+              when Dce_ir.Ir.Iset.mem marker truth.Dce_core.Ground_truth.dead ->
+              Some p
+            | _ -> None);
+      };
+      {
+        st_name = "low-eliminates";
+        st_cost = Pipeline;
+        st_run = (fun p -> if survives low p then None else Some p);
+      };
+      {
+        st_name = "high-keeps";
+        st_cost = Pipeline;
+        st_run = (fun p -> if survives high p then Some p else None);
       };
     ]

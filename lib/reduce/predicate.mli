@@ -71,6 +71,40 @@ val marker_diff :
     typechecking.  [exec] selects the ground-truth executor backend
     (default ambient). *)
 
+val size_gap :
+  ?exec:Dce_exec.Exec.backend ->
+  compile_cache:bool ->
+  larger:Dce_core.Differential.config ->
+  smaller:Dce_core.Differential.config ->
+  ?min_ratio:float ->
+  ?min_gap:int ->
+  unit ->
+  t
+(** The size-oracle predicate, staged: typecheck → valid-execution (the
+    candidate must still be a campaign-valid test case: no trap, no fuel
+    exhaustion) → size-gap ([larger]'s output strictly bigger than
+    [smaller]'s, by at least [min_ratio] (default 1.25) {e and} [min_gap]
+    instructions (default 1 — raise it to stop tiny programs passing on
+    ratio alone)).  For an intra-compiler finding, pass the same compiler at
+    [-Os] as [larger] and [-O2] as [smaller] with [min_ratio = 1.0].  The
+    size-gap stage runs two pipelines (both sizes at once), which
+    {!pipelines_for} counts as one — with [compile_cache] the engine reads
+    real pipeline counts off the compile cache instead. *)
+
+val level_inversion :
+  ?exec:Dce_exec.Exec.backend ->
+  compile_cache:bool ->
+  compiler:Dce_compiler.Compiler.t ->
+  low:Dce_compiler.Level.t ->
+  high:Dce_compiler.Level.t ->
+  marker:int ->
+  unit ->
+  t
+(** The inversion-oracle predicate, staged like {!marker_diff} but within
+    one compiler: typecheck → marker-present → ground-truth (marker dead) →
+    low-eliminates ([low] kills the marker) → high-keeps ([high] keeps
+    it). *)
+
 val run : t -> Ast.program -> outcome * (string * float) list
 (** Evaluate, first stage first, stopping at the first rejection.  Returns
     the outcome and the [(stage, seconds)] wall-time samples of the stages

@@ -1,0 +1,38 @@
+(* Pure renderers for the size/inversion oracle triage tables.  Everything
+   here takes plain data (ratios, label/count rows) so the campaign layer can
+   depend on this module and not the other way around. *)
+
+let ratio_buckets =
+  [
+    ("[1.00,1.10)", 1.0, 1.1);
+    ("[1.10,1.25)", 1.1, 1.25);
+    ("[1.25,1.50)", 1.25, 1.5);
+    ("[1.50,2.00)", 1.5, 2.0);
+    ("[2.00,inf)", 2.0, infinity);
+  ]
+
+let size_histogram ratios =
+  Tables.render ~align:[ `Left; `Right ]
+    ~header:[ "Size ratio"; "Findings" ]
+    (List.map
+       (fun (label, lo, hi) ->
+         let n = List.length (List.filter (fun r -> r >= lo && r < hi) ratios) in
+         [ label; string_of_int n ])
+       ratio_buckets)
+
+let count_table ~label ~count rows =
+  Tables.render ~align:[ `Left; `Right ] ~header:[ label; count ]
+    (List.map (fun (k, n) -> [ k; string_of_int n ]) rows)
+
+let tally rows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun k ->
+      (match Hashtbl.find_opt tbl k with
+       | None ->
+         order := k :: !order;
+         Hashtbl.replace tbl k 1
+       | Some n -> Hashtbl.replace tbl k (n + 1)))
+    rows;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order

@@ -1,0 +1,21 @@
+(** Triage tables for the size and level-inversion oracles.
+
+    All functions are pure renderers over plain data — the campaign layer
+    assembles ratios and label/count rows and hands them here, keeping the
+    dependency direction report ← campaign. *)
+
+val ratio_buckets : (string * float * float) list
+(** Histogram buckets [(label, lo, hi)] with [lo <= r < hi], in display
+    order; the last bucket is open-ended. *)
+
+val size_histogram : float list -> string
+(** The size-delta histogram: every finding's larger-over-smaller ratio
+    bucketed per {!ratio_buckets} (zero-count buckets kept, so the layout is
+    stable across runs). *)
+
+val count_table : label:string -> count:string -> (string * int) list -> string
+(** Two-column label/count table in the given row order. *)
+
+val tally : string list -> (string * int) list
+(** Count occurrences, rows in first-appearance order (deterministic input
+    order in, deterministic table out). *)

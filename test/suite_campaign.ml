@@ -330,6 +330,40 @@ let test_corpus_journal_unknown_kind () =
     (Campaign.Corpus.stats clean = Campaign.Corpus.stats resumed);
   Sys.remove path
 
+let test_corpus_journal_oracle_kinds () =
+  (* the specific future kinds a newer build actually writes: a size-hunt
+     or level-hunt journal record must be skipped-with-count by this
+     reader, not crash the resume *)
+  let count = 4 and seed = 777 in
+  List.iter
+    (fun future_kind ->
+      let path = temp_journal () in
+      let clean = Campaign.Corpus.run ~journal:path ~jobs:1 ~seed ~count () in
+      let lines = String.split_on_char '\n' (read_file path) in
+      let mutated =
+        List.mapi
+          (fun i line ->
+            if i <> 2 then line
+            else
+              (* "kind":"analyzed" becomes "kind":"size-case","x":"analyzed"
+                 — still valid JSON, now carrying an oracle record's kind *)
+              match
+                replace_first line "\"kind\":\""
+                  (Printf.sprintf "\"kind\":\"%s\",\"x\":\"" future_kind)
+              with
+              | Some l -> l
+              | None -> Alcotest.fail "journal record has no kind field")
+          lines
+      in
+      write_file path (String.concat "\n" mutated);
+      let resumed = Campaign.Corpus.run ~journal:path ~jobs:1 ~seed ~count () in
+      Alcotest.(check int) (future_kind ^ ": record skipped") 1
+        resumed.Campaign.Corpus.c_metrics.Metrics.journal_skipped;
+      Alcotest.(check bool) (future_kind ^ ": stats equal the clean run") true
+        (Campaign.Corpus.stats clean = Campaign.Corpus.stats resumed);
+      Sys.remove path)
+    [ "size-case"; "inversion-case" ]
+
 let test_value_campaign_determinism () =
   let a = Campaign.Corpus.run_value ~jobs:1 ~seed:corpus_seed ~count:6 () in
   let b = Campaign.Corpus.run_value ~jobs:3 ~seed:corpus_seed ~count:6 () in
@@ -442,6 +476,7 @@ let suite =
     ("fault isolation: injected crash quarantined", `Slow, test_fault_isolation);
     ("checkpoint/resume: corpus campaign", `Slow, test_corpus_resume);
     ("checkpoint/resume: unknown record kind skipped", `Slow, test_corpus_journal_unknown_kind);
+    ("checkpoint/resume: oracle record kinds skipped", `Slow, test_corpus_journal_oracle_kinds);
     ("value campaign: jobs determinism", `Slow, test_value_campaign_determinism);
     ("stats: merge equals collect", `Slow, test_stats_merge_equals_collect);
     json_roundtrip;

@@ -16,6 +16,7 @@ let () =
       ("tools", Suite_tools.suite);
       ("reduce", Suite_reduce.suite);
       ("campaign", Suite_campaign.suite);
+      ("oracles", Suite_oracles.suite);
       ("supervision", Suite_supervision.suite);
       ("bisect", Suite_bisect.suite);
       ("extension", Suite_extension.suite);
