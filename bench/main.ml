@@ -859,6 +859,151 @@ let print_oracles_bench () =
   print_endline "wrote BENCH_oracles.json"
 
 (* ------------------------------------------------------------------ *)
+(* campaign fabric: multi-process scaling and work stealing            *)
+(* ------------------------------------------------------------------ *)
+
+(* The scaling sections use a calibrated sleep-based workload: each case
+   blocks for a fixed wall interval, so N worker processes overlap N sleeps
+   even on a single-core machine (this container has one).  That measures
+   exactly what the fabric adds — process-level overlap, chunk dispatch
+   overhead, and work-stealing balance — without conflating it with CPU
+   contention.  The warm-worker section then runs the real campaign. *)
+let print_fabric_bench () =
+  section "Campaign fabric: worker processes, work stealing, warm caches";
+  if Campaign.Engine.domains_ever_spawned () then
+    (* DCE_BENCH_JOBS > 1 makes earlier sections spawn domains, after which
+       OCaml forbids the fork the fabric needs; the section (and its JSON
+       baseline) is only meaningful at the default jobs=1 anyway *)
+    Printf.printf
+      "  skipped: earlier sections spawned worker domains (DCE_BENCH_JOBS=%d), and OCaml \
+       forbids fork afterwards; rerun with DCE_BENCH_JOBS=1\n"
+      jobs
+  else begin
+  let toy_codec =
+    { Campaign.Engine.encode = (fun i -> Campaign.Json.Int i); decode = Campaign.Json.int_exn }
+  in
+  (* --- near-linear scaling on a uniform corpus ---------------------- *)
+  let case_ms = 10.0 in
+  let cases = 64 in
+  let runner ctx i =
+    Campaign.Engine.stage ctx "sleep" (fun () ->
+        Unix.sleepf (case_ms /. 1000.0);
+        i)
+  in
+  let timed_run workers =
+    let t0 = Unix.gettimeofday () in
+    let r = Campaign.Fabric.run ~codec:toy_codec ~workers ~jobs:1 ~count:cases runner in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let wall_1, r1 = timed_run 1 in
+  let wall_2, _ = timed_run 2 in
+  let wall_4, r4 = timed_run 4 in
+  let speedup_2 = wall_1 /. wall_2 in
+  let speedup_4 = wall_1 /. wall_4 in
+  let outcomes_identical = r1.Campaign.Engine.outcomes = r4.Campaign.Engine.outcomes in
+  Printf.printf
+    "uniform corpus (%d cases x %.0fms): workers=1 %.2fs, workers=2 %.2fs (%.2fx), workers=4 \
+     %.2fs (%.2fx); outcomes identical: %b\n"
+    cases case_ms wall_1 wall_2 speedup_2 wall_4 speedup_4 outcomes_identical;
+  if speedup_4 < 3.0 then
+    Printf.printf "WARNING: 4-worker speedup %.2fx is below the 3x bar\n" speedup_4;
+  (* --- skewed corpus: work stealing vs static sharding -------------- *)
+  (* every 4th case is 25x heavier; round-robin static sharding piles all
+     of them onto slot 0 while dynamic chunks spread the tail *)
+  let skew_cases = 32 in
+  let skew_runner ctx i =
+    Campaign.Engine.stage ctx "sleep" (fun () ->
+        Unix.sleepf (if i mod 4 = 0 then 0.025 else 0.001);
+        i)
+  in
+  let timed_skew scheduling =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Campaign.Fabric.run ~codec:toy_codec ~scheduling ~chunk:2 ~workers:4 ~jobs:1
+        ~count:skew_cases skew_runner
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let wall_static, rs = timed_skew `Static in
+  let wall_dynamic, rd = timed_skew `Dynamic in
+  let dyn_vs_static = wall_static /. wall_dynamic in
+  Printf.printf
+    "skewed corpus (%d cases, every 4th 25x heavier): static %.2fs, dynamic %.2fs — %.2fx from \
+     work stealing; outcomes identical: %b\n"
+    skew_cases wall_static wall_dynamic dyn_vs_static
+    (rs.Campaign.Engine.outcomes = rd.Campaign.Engine.outcomes);
+  if dyn_vs_static < 1.5 then
+    Printf.printf "WARNING: work-stealing gain %.2fx is below the 1.5x bar\n" dyn_vs_static;
+  (* --- warm workers on the real campaign ---------------------------- *)
+  (* worker processes persist across chunks, so the analysis caches heat up
+     for the whole campaign; the farewell message ships the counters back *)
+  let warm_count = min corpus_size 24 in
+  let solo = Campaign.Corpus.run ~jobs:1 ~seed:20220228 ~count:warm_count () in
+  let grid = Campaign.Corpus.run ~workers:2 ~chunk:3 ~jobs:1 ~seed:20220228 ~count:warm_count () in
+  let report c =
+    let st = Campaign.Corpus.stats c in
+    R.Stats.prevalence st ^ R.Stats.table1 st ^ R.Stats.table2 st
+    ^ R.Stats.differential_summary st ^ R.Stats.attribution_table st
+  in
+  let report_identical = report solo = report grid in
+  let hit_rate = C.Passmgr.hit_rate grid.Campaign.Corpus.c_metrics.Campaign.Metrics.cache in
+  let chunks, cases_per_worker =
+    match grid.Campaign.Corpus.c_metrics.Campaign.Metrics.fabric with
+    | Some f -> (f.Campaign.Metrics.f_chunks, f.Campaign.Metrics.f_cases_per_worker)
+    | None -> (0, [])
+  in
+  Printf.printf
+    "real campaign (%d programs, 2 warm workers): analysis-cache hit rate %.1f%%, %d chunks \
+     (cases/worker: %s); report identical to workers=1: %b\n"
+    warm_count (100.0 *. hit_rate) chunks
+    (String.concat "/" (List.map string_of_int cases_per_worker))
+    report_identical;
+  let doc =
+    Campaign.Json.Obj
+      [
+        ( "scaling",
+          Campaign.Json.Obj
+            [
+              ("cases", Campaign.Json.Int cases);
+              ("case_ms", Campaign.Json.Float case_ms);
+              ("wall_1", Campaign.Json.Float wall_1);
+              ("wall_2", Campaign.Json.Float wall_2);
+              ("wall_4", Campaign.Json.Float wall_4);
+              ("speedup_2", Campaign.Json.Float speedup_2);
+              ("speedup_4", Campaign.Json.Float speedup_4);
+              ("meets_scaling_bar", Campaign.Json.Bool (speedup_4 >= 3.0));
+              ("outcomes_identical", Campaign.Json.Bool outcomes_identical);
+            ] );
+        ( "skew",
+          Campaign.Json.Obj
+            [
+              ("cases", Campaign.Json.Int skew_cases);
+              ("wall_static", Campaign.Json.Float wall_static);
+              ("wall_dynamic", Campaign.Json.Float wall_dynamic);
+              ("dyn_vs_static_speedup", Campaign.Json.Float dyn_vs_static);
+              ("meets_1_5x_bar", Campaign.Json.Bool (dyn_vs_static >= 1.5));
+            ] );
+        ( "warm",
+          Campaign.Json.Obj
+            [
+              ("programs", Campaign.Json.Int warm_count);
+              ("workers", Campaign.Json.Int 2);
+              ("hit_rate", Campaign.Json.Float hit_rate);
+              ("chunks", Campaign.Json.Int chunks);
+              ( "cases_per_worker",
+                Campaign.Json.List (List.map (fun n -> Campaign.Json.Int n) cases_per_worker) );
+              ("report_identical", Campaign.Json.Bool report_identical);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_fabric.json" in
+  output_string oc (Campaign.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_fabric.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -935,6 +1080,7 @@ let () =
       ("ablations", print_ablations);
       ("reduction", print_reduction);
       ("oracles", print_oracles_bench);
+      ("fabric", print_fabric_bench);
     ];
   Printf.printf "\nreproduction sections completed in %.1fs\n" (Unix.gettimeofday () -. t0);
   run_section "micro_benchmarks" micro_benchmarks;

@@ -185,6 +185,26 @@ let jobs_arg =
           "Worker domains.  Sharding is deterministic: findings and reports are identical for \
            every $(docv), and $(docv)=1 runs the historical sequential path.")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes.  The campaign fabric forks $(docv) persistent workers (each running \
+           $(b,--jobs) domains) and hands out case chunks on demand, so a slow chunk never stalls \
+           the rest of the corpus.  Output is byte-identical for every $(docv); a crashed worker \
+           only quarantines the cases it was holding.")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Cases per work-stealing chunk handed to a worker process (default: sized from the \
+           pending-case count).  Smaller chunks balance better; larger chunks amortize protocol \
+           round-trips.  Only meaningful with $(b,--workers) > 1.")
+
 let journal_arg =
   Arg.(
     value
@@ -300,13 +320,13 @@ let hunt_cmd =
             "Validate the IR after every optimization pass; a pass emitting invalid IR \
              quarantines the case as ir-invalid blaming that pass.")
   in
-  let run seed count jobs journal inject metrics deadline step_budget retries chaos bundle_dir
-      minimize_bundles checked exec =
+  let run seed count jobs workers chunk journal inject metrics deadline step_budget retries chaos
+      bundle_dir minimize_bundles checked exec =
     set_exec exec;
     let chaos = chaos_plan_of_spec chaos in
     let c =
       Campaign.Corpus.run ?journal ~inject_crash:inject ?deadline ?step_budget ~retries ~chaos
-        ~checked ?bundle_dir ~jobs ~seed ~count ()
+        ~checked ?bundle_dir ~workers ?chunk ~jobs ~seed ~count ()
     in
     let stats = Campaign.Corpus.stats c in
     print_endline (Dce_report.Stats.prevalence stats);
@@ -356,21 +376,23 @@ let hunt_cmd =
          "Generate a corpus and run the full differential campaign over it — sharded over \
           $(b,--jobs) worker domains, fault isolated, supervised via $(b,--deadline) / \
           $(b,--step-budget) / $(b,--retries), chaos-testable via $(b,--chaos), and resumable \
-          via $(b,--journal).")
+          via $(b,--journal) — and optionally forked over $(b,--workers) persistent worker \
+          processes with dynamic work stealing.")
     Term.(
-      const run $ seed $ count $ jobs_arg $ journal_arg $ inject $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ chaos $ bundle_dir $ minimize_bundles $ checked
-      $ exec_arg)
+      const run $ seed $ count $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg $ inject
+      $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ chaos $ bundle_dir
+      $ minimize_bundles $ checked $ exec_arg)
 
 (* ---------- triage ---------- *)
 
 let triage_cmd =
   let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
   let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
-  let run seed count jobs journal metrics deadline step_budget retries exec =
+  let run seed count jobs workers chunk journal metrics deadline step_budget retries exec =
     set_exec exec;
     let c =
-      Campaign.Corpus.run ?journal ?deadline ?step_budget ~retries ~jobs ~seed ~count ()
+      Campaign.Corpus.run ?journal ?deadline ?step_budget ~retries ~workers ?chunk ~jobs ~seed
+        ~count ()
     in
     let stats = Campaign.Corpus.stats c in
     let programs = Campaign.Corpus.instrumented_programs c in
@@ -402,8 +424,8 @@ let triage_cmd =
          "Run the full reporting pipeline on a generated corpus: differential campaign, \
           root-cause diagnosis, deduplication into reports, and Table-5 style statuses.")
     Term.(
-      const run $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ exec_arg)
+      const run $ seed $ count $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg $ metrics_arg
+      $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- value-hunt (the §4.4 extension) ---------- *)
 
@@ -436,9 +458,10 @@ let value_hunt_cmd =
             C.Level.all)
         [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
   in
-  let run_corpus seed count jobs journal metrics deadline step_budget retries =
+  let run_corpus seed count jobs workers chunk journal metrics deadline step_budget retries =
     let v =
-      Campaign.Corpus.run_value ?journal ?deadline ?step_budget ~retries ~jobs ~seed ~count ()
+      Campaign.Corpus.run_value ?journal ?deadline ?step_budget ~retries ~workers ?chunk ~jobs
+        ~seed ~count ()
     in
     print_string (Campaign.Corpus.value_table v);
     let quarantine_text =
@@ -454,11 +477,11 @@ let value_hunt_cmd =
     print_epilogue ~metrics ~quarantine:v.Campaign.Corpus.v_quarantine ~quarantine_text
       ~resumed:v.Campaign.Corpus.v_resumed v.Campaign.Corpus.v_metrics
   in
-  let run path seed count jobs journal metrics deadline step_budget retries exec =
+  let run path seed count jobs workers chunk journal metrics deadline step_budget retries exec =
     set_exec exec;
     match path with
     | Some path -> run_file path
-    | None -> run_corpus seed count jobs journal metrics deadline step_budget retries
+    | None -> run_corpus seed count jobs workers chunk journal metrics deadline step_budget retries
   in
   Cmd.v
     (Cmd.info "value-hunt"
@@ -466,8 +489,8 @@ let value_hunt_cmd =
          "Plant profiled value checks after loops (the paper's future-work mode) and show which \
           configurations prove them — on one file, or as a campaign over a generated corpus.")
     Term.(
-      const run $ file_opt $ seed $ count $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ exec_arg)
+      const run $ file_opt $ seed $ count $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg
+      $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- size-hunt ---------- *)
 
@@ -483,11 +506,11 @@ let size_hunt_cmd =
              $(docv) times the other's.  A reporting parameter only — the journal stores size \
              curves, so resuming with a different $(docv) re-thresholds without recompiling.")
   in
-  let run seed count ratio jobs journal metrics deadline step_budget retries exec =
+  let run seed count ratio jobs workers chunk journal metrics deadline step_budget retries exec =
     set_exec exec;
     let s =
-      Campaign.Oracle_campaign.run_size ?journal ~ratio ?deadline ?step_budget ~retries ~jobs
-        ~seed ~count ()
+      Campaign.Oracle_campaign.run_size ?journal ~ratio ?deadline ?step_budget ~retries ~workers
+        ?chunk ~jobs ~seed ~count ()
     in
     print_string (Campaign.Oracle_campaign.size_report s);
     print_epilogue ~metrics ~quarantine:s.Campaign.Oracle_campaign.s_quarantine
@@ -502,8 +525,8 @@ let size_hunt_cmd =
           its own -O2 — sharded over $(b,--jobs) worker domains, resumable via $(b,--journal), \
           with sizes routed through the content-addressed compile cache.")
     Term.(
-      const run $ seed $ count $ ratio $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ exec_arg)
+      const run $ seed $ count $ ratio $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg
+      $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- level-hunt ---------- *)
 
@@ -518,11 +541,11 @@ let level_hunt_cmd =
             "Also bisect every inversion through the keeping level's feature-flag commit \
              history (probe-cached, on the worker pool) and print the offending commits.")
   in
-  let run seed count bisect jobs journal metrics deadline step_budget retries exec =
+  let run seed count bisect jobs workers chunk journal metrics deadline step_budget retries exec =
     set_exec exec;
     let t =
-      Campaign.Oracle_campaign.run_inversion ?journal ?deadline ?step_budget ~retries ~jobs
-        ~seed ~count ()
+      Campaign.Oracle_campaign.run_inversion ?journal ?deadline ?step_budget ~retries ~workers
+        ?chunk ~jobs ~seed ~count ()
     in
     print_string (Campaign.Oracle_campaign.inversion_report t);
     if bisect then
@@ -541,8 +564,8 @@ let level_hunt_cmd =
           attribute each to the pass the strong level is missing, and optionally \
           $(b,--bisect) each inversion to its offending commit.")
     Term.(
-      const run $ seed $ count $ bisect $ jobs_arg $ journal_arg $ metrics_arg $ deadline_arg
-      $ step_budget_arg $ retries_arg $ exec_arg)
+      const run $ seed $ count $ bisect $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg
+      $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- reduce ---------- *)
 
@@ -701,14 +724,16 @@ let bisect_campaign_cmd =
             "Disable the content-addressed probe cache (every probe recompiles).  Outcomes and \
              probe counts are identical either way; this exists for measurement.")
   in
-  let run seed count level jobs journal metrics no_cache deadline step_budget retries exec =
+  let run seed count level jobs workers chunk journal metrics no_cache deadline step_budget
+      retries exec =
     set_exec exec;
-    let corpus = Campaign.Corpus.run ~jobs ~seed ~count () in
+    let corpus = Campaign.Corpus.run ~workers ?chunk ~jobs ~seed ~count () in
     let b =
       Campaign.Bisect_campaign.run
         ?journal
         ~cache:(not no_cache)
-        ~level:(level_of_string level) ?deadline ?step_budget ~retries ~jobs corpus
+        ~level:(level_of_string level) ?deadline ?step_budget ~retries ~workers ?chunk ~jobs
+        corpus
     in
     print_string (Campaign.Bisect_campaign.summary b);
     print_string (Campaign.Bisect_campaign.component_tables b);
@@ -724,8 +749,8 @@ let bisect_campaign_cmd =
           domains, probe-cached, resumable via $(b,--journal) — and aggregate the offending \
           commits into the paper's component tables (Tables 3/4).")
     Term.(
-      const run $ seed $ count $ level $ jobs_arg $ journal_arg $ metrics_arg $ no_cache
-      $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
+      const run $ seed $ count $ level $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg
+      $ metrics_arg $ no_cache $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
 (* ---------- explain ---------- *)
 

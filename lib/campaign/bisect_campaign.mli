@@ -57,13 +57,16 @@ val run :
   ?deadline:float ->
   ?step_budget:int ->
   ?retries:int ->
+  ?workers:int ->
+  ?chunk:int ->
   jobs:int ->
   Corpus.t ->
   t
 (** Defaults: [cache = true], [level = O3] (the level with the most
     regressions in both simulated histories).  [deadline] / [step_budget] /
     [retries] are the {!Engine.run} supervision controls, bounding each
-    case's bisections. *)
+    case's bisections.  [workers]/[chunk] run the campaign on the
+    multi-process {!Fabric} (byte-identical output). *)
 
 val codec : case_report Engine.codec
 (** The ["bisect-case"] journal record codec (exposed for tests). *)

@@ -179,7 +179,7 @@ let codec = { Engine.encode = encode_payload; decode = decode_payload }
 (* ------------------------------------------------------------------ *)
 
 let run ?journal ?fuel ?exec ?(inject_crash = []) ?deadline ?step_budget ?retries ?(chaos = [])
-    ?(checked = false) ?bundle_dir ~jobs ~seed ~count () =
+    ?(checked = false) ?bundle_dir ?(workers = 1) ?chunk ~jobs ~seed ~count () =
   (* --inject-crash is the legacy spelling of a crash-only chaos plan *)
   let chaos = chaos @ Chaos.crash_plan inject_crash in
   (* a corrupt-IR injection is invisible without per-pass validation *)
@@ -194,8 +194,8 @@ let run ?journal ?fuel ?exec ?(inject_crash = []) ?deadline ?step_budget ?retrie
     { p_seed = seeds.(i); p_outcome = Core.Analysis.run ?fuel ?exec ~checked ~hook raw; p_raw = raw }
   in
   let result =
-    Engine.run ?journal ~codec ~campaign:"hunt" ~seed ?deadline ?step_budget ?retries ~chaos
-      ~jobs ~count runner
+    Fabric.run ?journal ~codec ~campaign:"hunt" ~seed ?deadline ?step_budget ?retries ~chaos
+      ?chunk ~workers ~jobs ~count runner
   in
   let cases =
     Array.map
@@ -330,7 +330,8 @@ type value_campaign = {
   v_resumed : int;
 }
 
-let run_value ?journal ?exec ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
+let run_value ?journal ?exec ?deadline ?step_budget ?retries ?(workers = 1) ?chunk ~jobs ~seed
+    ~count () =
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let case_seed = seeds.(i) in
@@ -367,8 +368,8 @@ let run_value ?journal ?exec ?deadline ?step_budget ?retries ~jobs ~seed ~count 
         })
   in
   let result =
-    Engine.run ?journal ~codec:value_codec ~campaign:"value-hunt" ~seed ?deadline ?step_budget
-      ?retries ~jobs ~count runner
+    Fabric.run ?journal ~codec:value_codec ~campaign:"value-hunt" ~seed ?deadline ?step_budget
+      ?retries ?chunk ~workers ~jobs ~count runner
   in
   {
     v_cases = result.Engine.outcomes;

@@ -44,6 +44,8 @@ val run :
   ?chaos:Chaos.plan ->
   ?checked:bool ->
   ?bundle_dir:string ->
+  ?workers:int ->
+  ?chunk:int ->
   jobs:int ->
   seed:int ->
   count:int ->
@@ -60,7 +62,12 @@ val run :
     every optimization pass, quarantining validation failures as
     [Ir_invalid] blaming the guilty pass.  [bundle_dir] writes a
     {!Bundle} repro directory for every quarantined case (the source is
-    regenerated from the case seed). *)
+    regenerated from the case seed).
+
+    [workers] (default 1) runs the campaign on the multi-process
+    {!Fabric} — [workers] processes × [jobs] domains each, [chunk] cases
+    per work-stealing chunk — with output byte-identical to
+    [workers = 1]. *)
 
 val outcomes : t -> (int * (Dce_core.Analysis.outcome * Dce_minic.Ast.program)) list
 (** Non-quarantined cases with their corpus indices, ascending — the input
@@ -102,6 +109,8 @@ val run_value :
   ?deadline:float ->
   ?step_budget:int ->
   ?retries:int ->
+  ?workers:int ->
+  ?chunk:int ->
   jobs:int ->
   seed:int ->
   count:int ->

@@ -8,6 +8,14 @@ type ctx = {
 }
 
 let worker ctx = ctx.c_worker
+let make_ctx ~worker = { c_worker = worker; c_stage = "setup"; c_metrics = Metrics.create () }
+let ctx_metrics ctx = ctx.c_metrics
+
+(* OCaml's Unix.fork refuses to run once any domain has ever been created in
+   the process, so the fabric must fork its workers first.  This flag lets it
+   fail with a diagnosis instead of the runtime's bare Failure. *)
+let domains_spawned = ref false
+let domains_ever_spawned () = !domains_spawned
 
 let stage ctx name f =
   let prev = ctx.c_stage in
@@ -115,6 +123,82 @@ let case_of_json codec j =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* journal replay and the per-case attempt machinery — shared verbatim *)
+(* by the in-process pool below and the multi-process Fabric, so both  *)
+(* produce identical outcomes and identical journal records            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_name ~campaign ~(chaos : Chaos.plan) =
+  (* the fault plan is part of the campaign identity: resuming a chaos run
+     under a different plan (or none) would replay cases whose recorded
+     outcomes the new plan contradicts *)
+  if chaos = [] then campaign else campaign ^ "+chaos[" ^ Chaos.signature chaos ^ "]"
+
+(* records ignored during replay: unreadable lines, unknown record kinds (a
+   journal written by a different build), out-of-range case indices.  Each
+   such case re-executes — skipping is forward-compatibility, never data
+   loss — but the count is surfaced so the user knows the journal and the
+   binary disagree. *)
+let replay codec ~count (outcomes : 'a case_outcome option array) records =
+  let resumed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun record ->
+      match case_of_json codec record with
+      | Some (i, outcome) when i >= 0 && i < count ->
+        if outcomes.(i) = None then incr resumed;
+        outcomes.(i) <- Some outcome
+      | Some _ | None -> incr skipped
+      | exception _ -> incr skipped)
+    records;
+  (!resumed, !skipped)
+
+let attempt_case ?deadline ?step_budget ?(retries = 0) ?(transient = Chaos.is_transient)
+    ?(chaos : Chaos.plan = []) ctx runner i =
+  (* one guard per attempt: a retry restarts the deadline and the step
+     budget, otherwise a slow-but-recoverable case would inherit an
+     already-spent budget and time out spuriously *)
+  let rec attempt n =
+    ctx.c_stage <- "setup";
+    Chaos.arm chaos ~case:i ~attempt:n;
+    let guard = Guard.create ?deadline ?steps:step_budget () in
+    match Guard.with_guard guard (fun () -> stage ctx "case" (fun () -> runner ctx i)) with
+    | v ->
+      if n > 0 then Metrics.recovered ctx.c_metrics;
+      Done v
+    | exception e ->
+      (* capture before anything else can run and clobber it *)
+      let bt = Printexc.get_backtrace () in
+      if n < retries && transient e then begin
+        Metrics.retried ctx.c_metrics;
+        attempt (n + 1)
+      end
+      else
+        Crashed
+          {
+            q_case = i;
+            q_stage = ctx.c_stage;
+            q_error = Printexc.to_string e;
+            q_kind = classify e;
+            q_backtrace = bt;
+            q_retries = n;
+          }
+  in
+  let outcome = attempt 0 in
+  Chaos.disarm ();
+  outcome
+
+let never_completed ~stage i =
+  Crashed
+    {
+      q_case = i;
+      q_stage = stage;
+      q_error = "case never completed";
+      q_kind = Crash;
+      q_backtrace = "";
+      q_retries = 0;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* cache-counter deltas                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -140,23 +224,13 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
   if journal <> None && codec = None then
     invalid_arg "Engine.run: journaling requires a codec";
   Printexc.record_backtrace true;
-  (* the fault plan is part of the campaign identity: resuming a chaos run
-     under a different plan (or none) would replay cases whose recorded
-     outcomes the new plan contradicts *)
-  let campaign =
-    if chaos = [] then campaign else campaign ^ "+chaos[" ^ Chaos.signature chaos ^ "]"
-  in
+  let campaign = campaign_name ~campaign ~chaos in
   let t0 = Unix.gettimeofday () in
   let cache0 = Passmgr.counters () in
   let chaos0 = Chaos.fired_count () in
   (* slot None = still to run; journal replay fills slots up front *)
   let outcomes : a case_outcome option array = Array.make count None in
   let resumed = ref 0 in
-  (* records ignored during replay: unreadable lines, unknown record kinds
-     (a journal written by a different build), out-of-range case indices.
-     Each such case re-executes — skipping is forward-compatibility, never
-     data loss — but the count is surfaced so the user knows the journal and
-     the binary disagree. *)
   let skipped = ref 0 in
   let jnl =
     match journal with
@@ -164,22 +238,17 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
     | Some path ->
       let codec = Option.get codec in
       let header = { Journal.h_campaign = campaign; h_seed = seed; h_count = count } in
-      (match Journal.load ~path with
+      let existing = Journal.load ~path in
+      (match existing with
        | Some (h, cases, dropped) when h = header ->
          skipped := dropped;
-         List.iter
-           (fun record ->
-             match case_of_json codec record with
-             | Some (i, outcome) when i >= 0 && i < count ->
-               if outcomes.(i) = None then incr resumed;
-               outcomes.(i) <- Some outcome
-             | Some _ | None -> incr skipped
-             | exception _ -> incr skipped)
-           cases
+         let r, s = replay codec ~count outcomes cases in
+         resumed := r;
+         skipped := !skipped + s
        | Some _ | None -> ());
       (* open_append locks the file, validates the header, and rewrites the
-         valid prefix *)
-      Some (Journal.open_append ~path header)
+         valid prefix — reusing the parse just performed *)
+      Some (Journal.open_append ~existing ~path header)
   in
   let record_completion i outcome =
     (match (jnl, codec) with
@@ -188,42 +257,12 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
     outcomes.(i) <- Some outcome
   in
   let run_case ctx i =
-    (* one guard per attempt: a retry restarts the deadline and the step
-       budget, otherwise a slow-but-recoverable case would inherit an
-       already-spent budget and time out spuriously *)
-    let rec attempt n =
-      ctx.c_stage <- "setup";
-      Chaos.arm chaos ~case:i ~attempt:n;
-      let guard = Guard.create ?deadline ?steps:step_budget () in
-      match Guard.with_guard guard (fun () -> stage ctx "case" (fun () -> runner ctx i)) with
-      | v ->
-        if n > 0 then Metrics.recovered ctx.c_metrics;
-        Done v
-      | exception e ->
-        (* capture before anything else can run and clobber it *)
-        let bt = Printexc.get_backtrace () in
-        if n < retries && transient e then begin
-          Metrics.retried ctx.c_metrics;
-          attempt (n + 1)
-        end
-        else
-          Crashed
-            {
-              q_case = i;
-              q_stage = ctx.c_stage;
-              q_error = Printexc.to_string e;
-              q_kind = classify e;
-              q_backtrace = bt;
-              q_retries = n;
-            }
-    in
-    let outcome = attempt 0 in
-    Chaos.disarm ();
-    record_completion i outcome
+    record_completion i
+      (attempt_case ?deadline ?step_budget ~retries ~transient ~chaos ctx runner i)
   in
   let worker_body w =
     Printexc.record_backtrace true;
-    let ctx = { c_worker = w; c_stage = "setup"; c_metrics = Metrics.create () } in
+    let ctx = make_ctx ~worker:w in
     List.iter
       (fun i -> if outcomes.(i) = None then run_case ctx i)
       (Shard.cases_of ~count ~jobs w);
@@ -234,6 +273,7 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
     else
       (* workers never share a case slot (shards are disjoint), and
          Domain.join publishes their writes back to this domain *)
+      let () = domains_spawned := true in
       Array.to_list (Array.init jobs (fun w -> Domain.spawn (fun () -> worker_body w)))
       |> List.map Domain.join
       |> List.fold_left Metrics.merge (Metrics.create ())
@@ -242,18 +282,7 @@ let run (type a) ?journal ?(codec : a codec option) ?(campaign = "campaign") ?(s
   let outcomes =
     Array.mapi
       (fun i slot ->
-        match slot with
-        | Some o -> o
-        | None ->
-          Crashed
-            {
-              q_case = i;
-              q_stage = "engine";
-              q_error = "case never completed";
-              q_kind = Crash;
-              q_backtrace = "";
-              q_retries = 0;
-            })
+        match slot with Some o -> o | None -> never_completed ~stage:"engine" i)
       outcomes
   in
   let quarantine =

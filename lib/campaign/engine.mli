@@ -127,3 +127,68 @@ val run :
 
     Raises [Invalid_argument] when [jobs < 1], [count < 0], or [journal] is
     given without [codec]. *)
+
+(** {1 Fabric building blocks}
+
+    The multi-process {!Fabric} reuses the engine's per-case machinery
+    verbatim — same attempt loop, same journal records, same replay — which
+    is what makes its merged output byte-identical to an in-process run.
+    These entry points exist for it (and for tests); campaign code should
+    call {!run} or {!Fabric.run}. *)
+
+val make_ctx : worker:int -> ctx
+(** A fresh per-worker context with empty metrics, stage ["setup"]. *)
+
+val ctx_metrics : ctx -> Metrics.t
+(** The context's live metrics accumulator (for merging after a join or
+    shipping across a process boundary). *)
+
+val attempt_case :
+  ?deadline:float ->
+  ?step_budget:int ->
+  ?retries:int ->
+  ?transient:(exn -> bool) ->
+  ?chaos:Chaos.plan ->
+  ctx ->
+  (ctx -> int -> 'a) ->
+  int ->
+  'a case_outcome
+(** One case through the full supervision machinery: chaos arming, a fresh
+    guard per attempt, bounded transient retries, fault classification and
+    backtrace capture into a {!quarantined}.  Exactly the engine's inner
+    loop — {!run} is [attempt_case] over a shard. *)
+
+val case_to_json : 'a codec -> int -> 'a case_outcome -> Json.t
+(** The JSONL case record: [{"case";"status";...}] with the codec payload
+    for [Done] and stage/error/kind/backtrace/retries for [Crashed]. *)
+
+val case_of_json : 'a codec -> Json.t -> (int * 'a case_outcome) option
+(** Inverse of {!case_to_json}; [None] for records of unknown status,
+    raises when a known shape is malformed (both are skip-with-count during
+    replay).  Decodes pre-supervision records (missing kind/backtrace/
+    retries) with defaults. *)
+
+val replay : 'a codec -> count:int -> 'a case_outcome option array -> Json.t list -> int * int
+(** Fill outcome slots from journal records; [(resumed, skipped)].  A record
+    is skipped — counted, never fatal — when unreadable, of unknown kind, or
+    out of range; earlier records win a slot, later duplicates do not bump
+    [resumed]. *)
+
+val campaign_name : campaign:string -> chaos:Chaos.plan -> string
+(** The journal-header campaign identity: the plain name, extended with the
+    chaos-plan signature when the plan is non-empty. *)
+
+val never_completed : stage:string -> int -> 'a case_outcome
+(** The [Crashed] outcome recorded for a slot no worker ever filled
+    ("case never completed"), blamed on [stage]. *)
+
+val counters_delta :
+  Dce_compiler.Passmgr.counters -> Dce_compiler.Passmgr.counters -> Dce_compiler.Passmgr.counters
+(** [counters_delta before after]: the analysis-cache activity between two
+    snapshots of the global pass-manager counters. *)
+
+val domains_ever_spawned : unit -> bool
+(** Whether this process has ever spawned worker domains ([run] with
+    [jobs > 1]).  OCaml's [Unix.fork] refuses after any domain creation, so
+    {!Fabric.run} checks this to refuse a multi-process grid with a clear
+    message instead of the runtime's bare [Failure]. *)

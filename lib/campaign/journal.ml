@@ -57,8 +57,11 @@ let read_complete_lines path =
   match List.rev lines with
   | last :: rest when last <> "" ->
     ignore rest;
-    (* no trailing newline: the final line may be half-written *)
-    List.filteri (fun i _ -> i < List.length lines - 1) lines
+    (* no trailing newline: the final line may be half-written.  The length
+       is hoisted out of the predicate — recomputing it per line made large-
+       journal resume quadratic. *)
+    let n = List.length lines in
+    List.filteri (fun i _ -> i < n - 1) lines
   | _ -> lines
 
 let load ~path =
@@ -90,9 +93,12 @@ let load ~path =
           Some (h, records, dropped)))
   end
 
-let open_append ~path header =
+let open_append ?existing ~path header =
   Dce_support.Fsx.mkdir_p (Filename.dirname path);
-  let existing = load ~path in
+  (* [?existing] lets a caller that already called {!load} (to prefill its
+     outcome slots) hand the parse through instead of paying for a second
+     full read of the journal *)
+  let existing = match existing with Some e -> e | None -> load ~path in
   (match existing with
    | None -> ()
    | Some (h, _, _) ->

@@ -17,11 +17,16 @@ type t
 (** An open journal being appended to.  Writes are serialized internally, so
     worker domains may append concurrently. *)
 
-val open_append : path:string -> header -> t
+val open_append : ?existing:(header * Json.t list * int) option -> path:string -> header -> t
 (** Open [path] for appending, creating parent directories as needed.  When
     the file is empty or new, the header line is written first; when it
     already has content, the existing header must match (the resume case) —
     a mismatch raises [Failure] naming both parameter sets.
+
+    [existing] is the result of a {!load} the caller already performed; pass
+    it to avoid parsing the journal a second time on open (the engine loads
+    once to prefill its outcome slots and hands the parse through).  Omit it
+    and [open_append] loads for itself.
 
     The journal is opened exclusively: an advisory [lockf] lock plus an
     in-process open-path registry (POSIX record locks do not conflict within

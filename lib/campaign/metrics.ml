@@ -18,6 +18,34 @@ let merge a b =
     m_recovered = a.m_recovered + b.m_recovered;
   }
 
+(* wire form for the fabric: a worker process ships its accumulator to the
+   coordinator in its farewell message.  Samples are (stage, seconds) pairs;
+   order does not matter downstream ({!summarize} sorts per stage), so the
+   reversal a round trip introduces is harmless. *)
+let to_json t =
+  Json.Obj
+    [
+      ( "samples",
+        Json.List
+          (List.map (fun (stage, dt) -> Json.List [ Json.String stage; Json.Float dt ]) t.samples)
+      );
+      ("retries", Json.Int t.m_retries);
+      ("recovered", Json.Int t.m_recovered);
+    ]
+
+let of_json j =
+  let sample = function
+    | Json.List [ Json.String stage; (Json.Float _ | Json.Int _) as v ] ->
+      let dt = match v with Json.Float f -> f | Json.Int n -> float_of_int n | _ -> 0. in
+      (stage, dt)
+    | v -> failwith (Printf.sprintf "metrics wire record: bad sample %s" (Json.to_string v))
+  in
+  {
+    samples = List.map sample (Json.get_list j "samples");
+    m_retries = Json.get_int j "retries";
+    m_recovered = Json.get_int j "recovered";
+  }
+
 type stage_summary = {
   ss_stage : string;
   ss_samples : int;
@@ -25,6 +53,16 @@ type stage_summary = {
   ss_p50 : float;
   ss_p90 : float;
   ss_p99 : float;
+}
+
+type fabric = {
+  f_workers : int;
+  f_jobs : int;
+  f_chunks : int;
+  f_cases_per_worker : int list;
+  f_reassigned : int;
+  f_deaths : int;
+  f_respawns : int;
 }
 
 type summary = {
@@ -40,6 +78,7 @@ type summary = {
   retries : int;
   recovered : int;
   chaos_fired : int;
+  fabric : fabric option;
 }
 
 let percentile sorted q =
@@ -52,7 +91,7 @@ let percentile sorted q =
   end
 
 let summarize ?(journal_skipped = 0) ?(crashed = 0) ?(timeouts = 0) ?(ir_invalid = 0)
-    ?(chaos_fired = 0) ~cases ~wall ~cache t =
+    ?(chaos_fired = 0) ?fabric ~cases ~wall ~cache t =
   let by_stage : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (stage, dt) ->
@@ -90,6 +129,7 @@ let summarize ?(journal_skipped = 0) ?(crashed = 0) ?(timeouts = 0) ?(ir_invalid
     retries = t.m_retries;
     recovered = t.m_recovered;
     chaos_fired;
+    fabric;
   }
 
 let to_string s =
@@ -105,6 +145,19 @@ let to_string s =
          "supervision: %d crashed, %d timed out, %d invalid IR; %d retries (%d recovered); %d \
           chaos faults injected\n"
          s.crashed s.timeouts s.ir_invalid s.retries s.recovered s.chaos_fired);
+  (match s.fabric with
+   | None -> ()
+   | Some f ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "fabric: %d worker process(es) x %d domain(s), %d chunk(s) dispatched (cases/worker: \
+           %s)%s%s\n"
+          f.f_workers f.f_jobs f.f_chunks
+          (String.concat "/" (List.map string_of_int f.f_cases_per_worker))
+          (if f.f_deaths > 0 then
+             Printf.sprintf "; %d worker death(s), %d case(s) reassigned" f.f_deaths f.f_reassigned
+           else "")
+          (if f.f_respawns > 0 then Printf.sprintf ", %d respawn(s)" f.f_respawns else "")));
   if s.journal_skipped > 0 then
     Buffer.add_string buf
       (Printf.sprintf "%d journal record(s) skipped (unreadable or from another build)\n"

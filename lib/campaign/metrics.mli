@@ -19,7 +19,18 @@ val recovered : t -> unit
 
 val merge : t -> t -> t
 (** Functional union of two accumulators' samples and counters (inputs
-    unchanged). *)
+    unchanged).  Associative and — up to sample order, which {!summarize}
+    erases — commutative, so per-worker-process accumulators merge to the
+    same summary in any order (property-tested). *)
+
+val to_json : t -> Json.t
+(** Wire form of an accumulator, for shipping across a process boundary
+    (the fabric's worker farewell message). *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json}; raises [Failure] on a malformed record.  The
+    round trip may reorder samples, which is invisible after
+    {!summarize}. *)
 
 type stage_summary = {
   ss_stage : string;
@@ -28,6 +39,20 @@ type stage_summary = {
   ss_p50 : float;
   ss_p90 : float;
   ss_p99 : float;
+}
+
+(** Multi-process campaign-fabric counters, present when the campaign ran
+    through {!Fabric.run} with more than one worker process. *)
+type fabric = {
+  f_workers : int;  (** worker processes forked *)
+  f_jobs : int;     (** domains per worker process *)
+  f_chunks : int;   (** case chunks dispatched by the coordinator *)
+  f_cases_per_worker : int list;
+      (** cases completed per worker slot, in slot order — the work-stealing
+          balance at a glance *)
+  f_reassigned : int;  (** cases re-queued after their worker died *)
+  f_deaths : int;      (** worker processes that died mid-campaign *)
+  f_respawns : int;    (** replacement workers forked *)
 }
 
 type summary = {
@@ -48,6 +73,8 @@ type summary = {
   retries : int;     (** transient-fault retry attempts across all cases *)
   recovered : int;   (** cases that succeeded after at least one retry *)
   chaos_fired : int; (** chaos faults actually injected during the run *)
+  fabric : fabric option;
+      (** multi-process execution counters; [None] outside the fabric *)
 }
 
 val summarize :
@@ -56,6 +83,7 @@ val summarize :
   ?timeouts:int ->
   ?ir_invalid:int ->
   ?chaos_fired:int ->
+  ?fabric:fabric ->
   cases:int ->
   wall:float ->
   cache:Dce_compiler.Passmgr.counters ->

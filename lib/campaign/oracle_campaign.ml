@@ -113,8 +113,8 @@ let decode_size j =
 
 let size_codec = { Engine.encode = encode_size; decode = decode_size }
 
-let run_size ?journal ?fuel ?exec ?(ratio = 1.25) ?deadline ?step_budget ?retries ~jobs ~seed
-    ~count () =
+let run_size ?journal ?fuel ?exec ?(ratio = 1.25) ?deadline ?step_budget ?retries ?(workers = 1)
+    ?chunk ~jobs ~seed ~count () =
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let case_seed = seeds.(i) in
@@ -140,8 +140,8 @@ let run_size ?journal ?fuel ?exec ?(ratio = 1.25) ?deadline ?step_budget ?retrie
       { sc_seed = case_seed; sc_rejected = None; sc_curve = curve }
   in
   let result =
-    Engine.run ?journal ~codec:size_codec ~campaign:"size-hunt" ~seed ?deadline ?step_budget
-      ?retries ~jobs ~count runner
+    Fabric.run ?journal ~codec:size_codec ~campaign:"size-hunt" ~seed ?deadline ?step_budget
+      ?retries ?chunk ~workers ~jobs ~count runner
   in
   {
     s_seed = seed;
@@ -331,7 +331,8 @@ let decode_inv j =
 
 let inv_codec = { Engine.encode = encode_inv; decode = decode_inv }
 
-let run_inversion ?journal ?fuel ?exec ?deadline ?step_budget ?retries ~jobs ~seed ~count () =
+let run_inversion ?journal ?fuel ?exec ?deadline ?step_budget ?retries ?(workers = 1) ?chunk
+    ~jobs ~seed ~count () =
   let seeds = Array.of_list (Smith.corpus_seeds ~seed ~count) in
   let runner ctx i =
     let case_seed = seeds.(i) in
@@ -404,8 +405,8 @@ let run_inversion ?journal ?fuel ?exec ?deadline ?step_budget ?retries ~jobs ~se
         ic_findings = findings }
   in
   let result =
-    Engine.run ?journal ~codec:inv_codec ~campaign:"level-hunt" ~seed ?deadline ?step_budget
-      ?retries ~jobs ~count runner
+    Fabric.run ?journal ~codec:inv_codec ~campaign:"level-hunt" ~seed ?deadline ?step_budget
+      ?retries ?chunk ~workers ~jobs ~count runner
   in
   {
     i_seed = seed;

@@ -57,6 +57,8 @@ val run_size :
   ?deadline:float ->
   ?step_budget:int ->
   ?retries:int ->
+  ?workers:int ->
+  ?chunk:int ->
   jobs:int ->
   seed:int ->
   count:int ->
@@ -65,7 +67,8 @@ val run_size :
 (** [ratio] defaults to 1.25.  [fuel]/[exec] control the ground-truth
     executor (programs that trap or exhaust fuel are rejected, exactly as in
     the marker campaign); the remaining options are the {!Engine.run}
-    supervision controls. *)
+    supervision controls.  [workers]/[chunk] run the campaign on the
+    multi-process {!Fabric} (byte-identical output, as everywhere). *)
 
 val size_findings : size_t -> (int * Dce_core.Differential.size_finding) list
 (** [(corpus case, finding)] pairs, ascending case order — derived from the
@@ -120,6 +123,8 @@ val run_inversion :
   ?deadline:float ->
   ?step_budget:int ->
   ?retries:int ->
+  ?workers:int ->
+  ?chunk:int ->
   jobs:int ->
   seed:int ->
   count:int ->

@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "dce-lens"
     [
+      (* fabric first: its multi-process tests fork worker processes, and
+         OCaml forbids Unix.fork once any domain has ever been created in
+         the process — which the later --jobs > 1 suites do *)
+      ("fabric", Suite_fabric.suite);
       ("support", Suite_support.suite);
       ("minic", Suite_minic.suite);
       ("ir", Suite_ir.suite);
