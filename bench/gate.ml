@@ -32,6 +32,8 @@ let enforced_bools =
     "meets_scaling_bar";
     "report_identical";
     "outcomes_identical";
+    "found_repair";
+    "verified_clean";
   ]
 
 (* key -> slack below the baseline that is still acceptable.  Ratios in
@@ -41,7 +43,7 @@ let numeric_tolerance key =
   match key with
   | "hit_rate" -> Some (`Abs 0.15)
   | "speedup_vs_uncached" | "sibling_reuse" | "speedup_2" | "speedup_4"
-  | "dyn_vs_static_speedup" ->
+  | "dyn_vs_static_speedup" | "search_cache_speedup" ->
     Some (`Rel 0.4)
   | _ -> None
 

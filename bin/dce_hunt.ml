@@ -11,7 +11,14 @@
      bisect     find the commit that introduced a regression
      bisect-campaign
                 bisect every missed marker of a corpus into Tables 3/4
-     explain    show a configuration's feature matrix, pass schedule, history *)
+     repair     search feature-edit fixes for a missed marker and A/B-verify them
+     campaign-diff
+                compare two persisted campaign runs table by table
+     explain    show a configuration's feature matrix, pass schedule, history
+
+   Argument errors (unknown compiler/level/oracle/executor, missing --marker)
+   are reported as a one-line usage error naming the offending flag, exit 2 —
+   never as an escaped exception with a backtrace. *)
 
 open Cmdliner
 module C = Dce_compiler
@@ -27,15 +34,16 @@ let read_program path =
   | Ok prog -> prog
   | Error errs -> failwith (String.concat "\n" errs)
 
-let compiler_of_string = function
+let compiler_of_string ?(flag = "--compiler") s =
+  match s with
   | "gcc" | "gcc-sim" -> C.Gcc_sim.compiler
   | "llvm" | "llvm-sim" -> C.Llvm_sim.compiler
-  | other -> failwith (Printf.sprintf "unknown compiler %S (use gcc or llvm)" other)
+  | other -> failwith (Printf.sprintf "%s: unknown compiler %S (use gcc or llvm)" flag other)
 
-let level_of_string s =
+let level_of_string ?(flag = "--level") s =
   match C.Level.of_string s with
   | Some l -> l
-  | None -> failwith (Printf.sprintf "unknown level %S (use O0, O1, Os, O2, O3)" s)
+  | None -> failwith (Printf.sprintf "%s: unknown level %S (use O0, O1, Os, O2, O3)" flag s)
 
 let iset_to_string s = String.concat "," (List.map string_of_int (Ir.Iset.elements s))
 
@@ -57,7 +65,7 @@ let set_exec s =
   | Some b -> Dce_exec.Exec.set_default b
   | None ->
     failwith
-      (Printf.sprintf "unknown executor %S (use %s)" s
+      (Printf.sprintf "--exec: unknown executor %S (use %s)" s
          (String.concat " or " Dce_exec.Exec.all_names))
 
 (* ---------- generate ---------- *)
@@ -256,7 +264,7 @@ let chaos_plan_of_spec = function
   | Some spec -> (
     match Campaign.Chaos.of_string spec with
     | Ok plan -> plan
-    | Error msg -> failwith msg)
+    | Error msg -> failwith ("--chaos: " ^ msg))
 
 let print_epilogue ?(metrics = false) ~quarantine ~quarantine_text ~resumed summary =
   if quarantine <> [] then begin
@@ -269,6 +277,84 @@ let print_epilogue ?(metrics = false) ~quarantine ~quarantine_text ~resumed summ
     Printf.printf "(%d journal record(s) skipped — unreadable or from another build — and re-run)\n"
       summary.Campaign.Metrics.journal_skipped;
   if metrics then print_string (Campaign.Metrics.to_string summary)
+
+(* ---------- per-run artifact directories ---------- *)
+
+let run_root_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-root" ] ~docv:"DIR"
+        ~doc:
+          "Persist the run as $(docv)/run-$(i,ID)/ — meta.json, report.json, metrics.json, \
+           report.txt, and the checkpoint journal (unless $(b,--journal) points elsewhere).  The \
+           run id is a pure function of the campaign parameters, so re-running lands in (and \
+           resumes from) the same directory, and two such directories feed \
+           $(b,dce_hunt campaign-diff).")
+
+(* Fold a corpus campaign into the cross-run comparison report: per-case
+   missed dead markers per configuration, plus each compiler's level
+   inversions.  Sizes are the oracle campaigns' concern — the slot stays
+   empty here, and campaign-diff simply has no size cells to compare. *)
+let corpus_report ~campaign ~seed ~count (c : Campaign.Corpus.t) =
+  let misses = ref [] and invs = ref [] and rejected = ref [] in
+  let compilers = ref [] in
+  Array.iteri
+    (fun i case ->
+      match case with
+      | Campaign.Corpus.Quarantined _ -> ()
+      | Campaign.Corpus.Case (Core.Analysis.Rejected _, _) -> rejected := i :: !rejected
+      | Campaign.Corpus.Case (Core.Analysis.Analyzed a, _) ->
+        let by_compiler = Hashtbl.create 4 in
+        List.iter
+          (fun pc ->
+            let name = pc.Core.Analysis.cfg_compiler in
+            if not (List.mem name !compilers) then compilers := !compilers @ [ name ];
+            Ir.Iset.iter
+              (fun m ->
+                misses :=
+                  {
+                    Campaign.Run_store.m_case = i;
+                    m_compiler = name;
+                    m_level = pc.Core.Analysis.cfg_level;
+                    m_marker = m;
+                  }
+                  :: !misses)
+              pc.Core.Analysis.missed;
+            Hashtbl.replace by_compiler name
+              ((pc.Core.Analysis.cfg_level, pc.Core.Analysis.missed)
+              :: Option.value ~default:[] (Hashtbl.find_opt by_compiler name)))
+          a.Core.Analysis.configs;
+        let dead = a.Core.Analysis.truth.Core.Ground_truth.dead in
+        Hashtbl.iter
+          (fun name per_level ->
+            List.iter
+              (fun (iv : Core.Differential.inversion) ->
+                invs :=
+                  {
+                    Campaign.Run_store.v_case = i;
+                    v_compiler = name;
+                    v_marker = iv.Core.Differential.iv_marker;
+                    v_low = iv.Core.Differential.iv_low;
+                    v_high = iv.Core.Differential.iv_high;
+                  }
+                  :: !invs)
+              (Core.Differential.inversions ~dead per_level))
+          by_compiler)
+    c.Campaign.Corpus.c_cases;
+  Campaign.Run_store.sort_report
+    {
+      Campaign.Run_store.r_campaign = campaign;
+      r_seed = seed;
+      r_count = count;
+      r_compilers = !compilers;
+      r_misses = !misses;
+      r_sizes = [];
+      r_inversions = !invs;
+      r_rejected = !rejected;
+      r_quarantined =
+        List.map (fun q -> q.Campaign.Engine.q_case) c.Campaign.Corpus.c_quarantine;
+    }
 
 (* ---------- hunt ---------- *)
 
@@ -320,10 +406,27 @@ let hunt_cmd =
             "Validate the IR after every optimization pass; a pass emitting invalid IR \
              quarantines the case as ir-invalid blaming that pass.")
   in
-  let run seed count jobs workers chunk journal inject metrics deadline step_budget retries chaos
-      bundle_dir minimize_bundles checked exec =
+  let run seed count jobs workers chunk journal run_root inject metrics deadline step_budget
+      retries chaos_spec bundle_dir minimize_bundles checked exec =
     set_exec exec;
-    let chaos = chaos_plan_of_spec chaos in
+    let chaos = chaos_plan_of_spec chaos_spec in
+    (* the run id folds in everything that shapes the outcomes — jobs and
+       workers are excluded on purpose, the report is identical across them *)
+    let run_id =
+      Campaign.Run_store.run_id ~campaign:"hunt" ~seed ~count
+        ((if checked then [ "checked" ] else [])
+        @ (match chaos_spec with Some s -> [ "chaos:" ^ s ] | None -> [])
+        @ List.map (fun i -> Printf.sprintf "inject:%d" i) inject)
+    in
+    let run_dir = Option.map (fun root -> Campaign.Run_store.dir_of ~root ~id:run_id) run_root in
+    let journal =
+      match (journal, run_dir) with
+      | (Some _ as j), _ -> j
+      | None, Some dir ->
+        Dce_support.Fsx.mkdir_p dir;
+        Some (Campaign.Run_store.journal_path dir)
+      | None, None -> None
+    in
     let c =
       Campaign.Corpus.run ?journal ~inject_crash:inject ?deadline ?step_budget ~retries ~chaos
         ~checked ?bundle_dir ~workers ?chunk ~jobs ~seed ~count ()
@@ -368,7 +471,38 @@ let hunt_cmd =
          let n = Dce_reduce.Minimize_bundle.minimize_dir ~still_faulty ~dir () in
          Printf.printf "%d bundle(s) auto-minimized\n" n
        end
-     | _ -> ())
+     | _ -> ());
+    match run_root with
+    | None -> ()
+    | Some root ->
+      let report = corpus_report ~campaign:"hunt" ~seed ~count c in
+      let meta =
+        Campaign.Json.Obj
+          [
+            ("campaign", Campaign.Json.String "hunt");
+            ("seed", Campaign.Json.Int seed);
+            ("count", Campaign.Json.Int count);
+            ("checked", Campaign.Json.Bool checked);
+            ( "chaos",
+              match chaos_spec with
+              | Some s -> Campaign.Json.String s
+              | None -> Campaign.Json.Null );
+          ]
+      in
+      let report_text =
+        String.concat ""
+          [
+            Dce_report.Stats.prevalence stats; "\n";
+            "Table 1 (% dead blocks missed):\n"; Dce_report.Stats.table1 stats;
+            "Table 2 (% dead blocks primary missed):\n"; Dce_report.Stats.table2 stats;
+            Dce_report.Stats.differential_summary stats;
+          ]
+      in
+      let dir =
+        Campaign.Run_store.write ~report_text ~root ~id:run_id ~meta
+          ~metrics:c.Campaign.Corpus.c_metrics report
+      in
+      Printf.printf "run artifacts written to %s\n" dir
   in
   Cmd.v
     (Cmd.info "hunt"
@@ -379,8 +513,8 @@ let hunt_cmd =
           via $(b,--journal) — and optionally forked over $(b,--workers) persistent worker \
           processes with dynamic work stealing.")
     Term.(
-      const run $ seed $ count $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg $ inject
-      $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ chaos $ bundle_dir
+      const run $ seed $ count $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg $ run_root_arg
+      $ inject $ metrics_arg $ deadline_arg $ step_budget_arg $ retries_arg $ chaos $ bundle_dir
       $ minimize_bundles $ checked $ exec_arg)
 
 (* ---------- triage ---------- *)
@@ -635,7 +769,15 @@ let reduce_cmd =
     let prog =
       if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
     in
-    let mk c l = { Core.Differential.compiler = compiler_of_string c; level = level_of_string l; version = None } in
+    let mk ~cflag ~lflag c l =
+      {
+        Core.Differential.compiler = compiler_of_string ~flag:cflag c;
+        level = level_of_string ~flag:lflag l;
+        version = None;
+      }
+    in
+    let keep = mk ~cflag:"--missed-by" ~lflag:"--missed-at"
+    and kill = mk ~cflag:"--eliminated-by" ~lflag:"--eliminated-at" in
     let required_marker () =
       match marker with
       | Some m -> m
@@ -645,16 +787,20 @@ let reduce_cmd =
       match oracle with
       | "markers" ->
         Dce_reduce.Predicate.marker_diff ~compile_cache:(not no_cache)
-          ~keep_missed_by:(mk keeper keeper_level) ~eliminated_by:(mk elim elim_level)
+          ~keep_missed_by:(keep keeper keeper_level) ~eliminated_by:(kill elim elim_level)
           ~marker:(required_marker ()) ()
       | "size" ->
         Dce_reduce.Predicate.size_gap ~compile_cache:(not no_cache)
-          ~larger:(mk keeper keeper_level) ~smaller:(mk elim elim_level) ~min_ratio ~min_gap ()
+          ~larger:(keep keeper keeper_level) ~smaller:(kill elim elim_level) ~min_ratio ~min_gap ()
       | "inversion" ->
         Dce_reduce.Predicate.level_inversion ~compile_cache:(not no_cache)
-          ~compiler:(compiler_of_string keeper) ~low:(level_of_string elim_level)
-          ~high:(level_of_string keeper_level) ~marker:(required_marker ()) ()
-      | other -> failwith (Printf.sprintf "unknown oracle %S (use markers, size, or inversion)" other)
+          ~compiler:(compiler_of_string ~flag:"--missed-by" keeper)
+          ~low:(level_of_string ~flag:"--eliminated-at" elim_level)
+          ~high:(level_of_string ~flag:"--missed-at" keeper_level)
+          ~marker:(required_marker ()) ()
+      | other ->
+        failwith
+          (Printf.sprintf "--oracle: unknown oracle %S (use markers, size, or inversion)" other)
     in
     let result =
       Dce_reduce.Engine.reduce ~max_tests ~jobs ~cache:(not no_cache) ?journal ~predicate prog
@@ -752,6 +898,141 @@ let bisect_campaign_cmd =
       const run $ seed $ count $ level $ jobs_arg $ workers_arg $ chunk_arg $ journal_arg
       $ metrics_arg $ no_cache $ deadline_arg $ step_budget_arg $ retries_arg $ exec_arg)
 
+(* ---------- repair ---------- *)
+
+let repair_cmd =
+  let marker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "marker" ] ~docv:"N" ~doc:"The missed (dead but surviving) marker to repair.")
+  in
+  let comp = Arg.(value & opt string "gcc" & info [ "compiler" ] ~docv:"gcc|llvm") in
+  let level = Arg.(value & opt string "O3" & info [ "level" ] ~docv:"O0..O3") in
+  let seed =
+    Arg.(
+      value & opt int 20220228
+      & info [ "seed" ] ~docv:"N" ~doc:"Smoke-corpus seed for the verification campaigns.")
+  in
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count" ] ~docv:"N" ~doc:"Smoke-corpus size for the verification campaigns.")
+  in
+  let verify_limit =
+    Arg.(
+      value & opt int 3
+      & info [ "verify-limit" ] ~docv:"N"
+          ~doc:
+            "How many passing candidates get a full verification campaign before the search \
+             gives up (each costs a patched-compiler sweep over the smoke corpus).")
+  in
+  let max_pairs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-pairs" ] ~docv:"N"
+          ~doc:"Probe budget for the pair stage of the search (default 64).")
+  in
+  let run path marker comp level seed count verify_limit max_pairs jobs workers chunk run_root
+      exec =
+    set_exec exec;
+    let marker =
+      match marker with
+      | Some m -> m
+      | None -> failwith "--marker is required: name the missed marker to repair"
+    in
+    let prog = read_program path in
+    let prog =
+      if Dce_minic.Ast.markers_of_program prog = [] then Core.Instrument.program prog else prog
+    in
+    let compiler = compiler_of_string comp in
+    let level = level_of_string level in
+    let r =
+      Dce_repair.Driver.run ~jobs ~workers ?chunk ~seed ~count ~verify_limit
+        ?max_pairs:(match max_pairs with Some _ -> max_pairs | None -> None)
+        ?run_root compiler level prog ~marker
+    in
+    let s = r.Dce_repair.Driver.rr_search in
+    Printf.printf "search: %d probe(s) (%d single(s), %d pair(s)), %d passing candidate(s)%s\n"
+      s.Dce_repair.Search.so_probes s.Dce_repair.Search.so_singles s.Dce_repair.Search.so_pairs
+      (List.length s.Dce_repair.Search.so_passing)
+      (match s.Dce_repair.Search.so_guilty_stage with
+       | Some g -> Printf.sprintf "; guilty stage %s" g
+       | None -> "");
+    List.iter
+      (fun cv ->
+        Printf.printf "candidate %s: %s\n"
+          (String.concat "+" cv.Dce_repair.Driver.cv_edits)
+          (if cv.Dce_repair.Driver.cv_clean then "verified clean on the smoke corpus"
+           else "REJECTED (regressions on the smoke corpus)"))
+      r.Dce_repair.Driver.rr_tried;
+    (match r.Dce_repair.Driver.rr_accepted with
+     | Some (edits, verdict) ->
+       Printf.printf "repair: %s\n"
+         (String.concat " + " (List.map (fun e -> e.Core.Diagnose.repair_name) edits));
+       print_string (Campaign.Run_diff.render verdict)
+     | None -> print_endline "no verified repair found");
+    print_endline (Campaign.Json.to_string (Dce_repair.Driver.record_to_json r));
+    (match Dce_repair.Driver.write_record r with
+     | Some path -> Printf.printf "repair record written to %s\n" path
+     | None -> ());
+    match (r.Dce_repair.Driver.rr_base_dir, r.Dce_repair.Driver.rr_patched_dir) with
+    | Some a, Some b ->
+      Printf.printf "reproduce the verdict: dce_hunt campaign-diff --run-a %s --run-b %s\n" a b
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Close the loop on a reduced repro: search minimal pipeline-feature edits (guilty \
+          component first, then single flags, then bounded pairs — every probe through the \
+          compile cache) under which the compiler eliminates marker $(b,--marker), then verify \
+          each passing candidate with a patched-compiler campaign over the smoke corpus and \
+          accept only a candidate whose campaign diff shows no regressions.  The printed repair \
+          record is byte-identical across $(b,--jobs) and $(b,--workers).")
+    Term.(
+      const run $ file_arg $ marker $ comp $ level $ seed $ count $ verify_limit $ max_pairs
+      $ jobs_arg $ workers_arg $ chunk_arg $ run_root_arg $ exec_arg)
+
+(* ---------- campaign-diff ---------- *)
+
+let campaign_diff_cmd =
+  let run_a =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "run-a" ] ~docv:"DIR" ~doc:"Baseline run directory (as written by --run-root).")
+  in
+  let run_b =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "run-b" ] ~docv:"DIR" ~doc:"Candidate run directory to compare against --run-a.")
+  in
+  let run run_a run_b =
+    let a = Campaign.Run_store.load_report run_a in
+    let b = Campaign.Run_store.load_report run_b in
+    let v = Campaign.Run_diff.diff a b in
+    let stage_deltas =
+      Campaign.Run_diff.stage_deltas
+        (Campaign.Run_store.load_stage_totals run_a)
+        (Campaign.Run_store.load_stage_totals run_b)
+    in
+    print_string (Campaign.Run_diff.render ~stage_deltas v);
+    print_endline (Campaign.Json.to_string (Campaign.Run_diff.to_json ~stage_deltas v));
+    if Campaign.Run_diff.has_regressions v then exit 1
+  in
+  Cmd.v
+    (Cmd.info "campaign-diff"
+       ~doc:
+         "Compare two persisted campaign runs table by table: new and fixed misses, new and \
+          fixed level inversions, per-cell size deltas (growth at -Os is a regression), new \
+          quarantines, and informational per-stage timing deltas.  Prints the human tables and \
+          one machine-readable JSON verdict line; exits 1 when run B regresses run A, so the \
+          verdict can gate CI.")
+    Term.(const run $ run_a $ run_b)
+
 (* ---------- explain ---------- *)
 
 let explain_cmd =
@@ -807,20 +1088,29 @@ let explain_cmd =
 let () =
   let doc = "finding missed optimizations through the lens of dead code elimination" in
   let info = Cmd.info "dce_hunt" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        analyze_cmd;
+        compile_cmd;
+        hunt_cmd;
+        triage_cmd;
+        value_hunt_cmd;
+        size_hunt_cmd;
+        level_hunt_cmd;
+        reduce_cmd;
+        bisect_cmd;
+        bisect_campaign_cmd;
+        repair_cmd;
+        campaign_diff_cmd;
+        explain_cmd;
+      ]
+  in
+  (* the CLI boundary: argument and input errors surface as one-line usage
+     errors naming the offending flag, never as an escaped backtrace *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd;
-            analyze_cmd;
-            compile_cmd;
-            hunt_cmd;
-            triage_cmd;
-            value_hunt_cmd;
-            size_hunt_cmd;
-            level_hunt_cmd;
-            reduce_cmd;
-            bisect_cmd;
-            bisect_campaign_cmd;
-            explain_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+     | Failure msg | Sys_error msg ->
+       prerr_endline ("dce_hunt: " ^ msg);
+       2)

@@ -132,6 +132,58 @@ let summarize ?(journal_skipped = 0) ?(crashed = 0) ?(timeouts = 0) ?(ir_invalid
     fabric;
   }
 
+(* artifact form of a campaign summary (a run directory's metrics.json).
+   Everything the human block prints, as data; the per-stage rows carry the
+   summed totals campaign-diff reads back for its timing-delta table. *)
+let summary_to_json s =
+  let stage st =
+    Json.Obj
+      [
+        ("stage", Json.String st.ss_stage);
+        ("samples", Json.Int st.ss_samples);
+        ("total", Json.Float st.ss_total);
+        ("p50", Json.Float st.ss_p50);
+        ("p90", Json.Float st.ss_p90);
+        ("p99", Json.Float st.ss_p99);
+      ]
+  in
+  let base =
+    [
+      ("cases", Json.Int s.cases);
+      ("wall", Json.Float s.wall);
+      ("throughput", Json.Float s.throughput);
+      ("hit_rate", Json.Float (Passmgr.hit_rate s.cache));
+      ("journal_skipped", Json.Int s.journal_skipped);
+      ("crashed", Json.Int s.crashed);
+      ("timeouts", Json.Int s.timeouts);
+      ("ir_invalid", Json.Int s.ir_invalid);
+      ("retries", Json.Int s.retries);
+      ("recovered", Json.Int s.recovered);
+      ("chaos_fired", Json.Int s.chaos_fired);
+      ("stages", Json.List (List.map stage s.stages));
+    ]
+  in
+  let fabric =
+    match s.fabric with
+    | None -> []
+    | Some f ->
+      [
+        ( "fabric",
+          Json.Obj
+            [
+              ("workers", Json.Int f.f_workers);
+              ("jobs", Json.Int f.f_jobs);
+              ("chunks", Json.Int f.f_chunks);
+              ( "cases_per_worker",
+                Json.List (List.map (fun n -> Json.Int n) f.f_cases_per_worker) );
+              ("reassigned", Json.Int f.f_reassigned);
+              ("deaths", Json.Int f.f_deaths);
+              ("respawns", Json.Int f.f_respawns);
+            ] );
+      ]
+  in
+  Json.Obj (base @ fabric)
+
 let to_string s =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

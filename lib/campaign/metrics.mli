@@ -97,6 +97,12 @@ val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [0,1]: nearest-rank on a sorted array;
     0 on the empty array.  Exposed for tests. *)
 
+val summary_to_json : summary -> Json.t
+(** Artifact form of a summary (a run directory's [metrics.json]): counters,
+    cache hit rate, per-stage rows with summed totals and percentiles, and
+    the fabric block when present.  {!Run_diff} reads the per-stage totals
+    back for its timing-delta table. *)
+
 val to_string : summary -> string
 (** Human-readable block: throughput line, cache hit-rate line, a
     supervision line when any fault/retry/chaos counter is nonzero, and one

@@ -1,0 +1,59 @@
+(** A/B comparison of two campaign runs, table by table.
+
+    The input is two {!Run_store.report}s (typically loaded from two run
+    directories); the output is a {!verdict}: new/fixed misses, new/fixed
+    level inversions, per-configuration size deltas, newly
+    rejected/quarantined cases — plus, informationally, per-stage timing
+    deltas read from the runs' metrics.
+
+    {b Regression policy.}  A size increase counts as a regression only at
+    [-Os] (size is the contract there); new misses, new inversions, and new
+    quarantines are regressions at every level.  A seed/count mismatch makes
+    the runs non-comparable, which is itself treated as a failed verdict.
+    Timing deltas are measurements and never affect the verdict. *)
+
+type size_delta = {
+  sd_case : int;
+  sd_compiler : string;
+  sd_level : Dce_compiler.Level.t;
+  sd_a : int;
+  sd_b : int;
+}
+
+type verdict = {
+  d_run_a : string;  (** run A's campaign name *)
+  d_run_b : string;
+  d_comparable : bool;  (** same seed and count *)
+  d_new_misses : Run_store.miss list;      (** in B, not in A *)
+  d_fixed_misses : Run_store.miss list;    (** in A, not in B *)
+  d_new_inversions : Run_store.inv_row list;
+  d_fixed_inversions : Run_store.inv_row list;
+  d_size_deltas : size_delta list;  (** cells present in both with different sizes *)
+  d_new_rejected : int list;
+  d_new_quarantined : int list;
+}
+
+val diff : Run_store.report -> Run_store.report -> verdict
+(** Pure and deterministic: inputs are canonically sorted first, so the
+    verdict is independent of row collection order. *)
+
+val size_regressions : verdict -> size_delta list
+(** The size deltas that count against the verdict: [-Os] cells that grew. *)
+
+val has_regressions : verdict -> bool
+
+val is_empty : verdict -> bool
+(** No differences at all — the self-diff invariant. *)
+
+val stage_deltas :
+  (string * float) list -> (string * float) list -> (string * float * float) list
+(** Pair two runs' per-stage totals ({!Run_store.load_stage_totals}) by
+    stage name: [(stage, total_a, total_b)], union of both runs' stages. *)
+
+val to_json : ?stage_deltas:(string * float * float) list -> verdict -> Json.t
+(** Machine-readable verdict: [clean], [identical], and the full row lists;
+    [stage_deltas] are appended when provided. *)
+
+val render : ?stage_deltas:(string * float * float) list -> verdict -> string
+(** Human tables; prints ["runs are identical: empty diff"] on a self-diff
+    and a final verdict line otherwise. *)

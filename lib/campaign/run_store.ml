@@ -1,0 +1,232 @@
+module C = Dce_compiler
+
+(* ------------------------------------------------------------------ *)
+(* stable run ids                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A run id is a pure function of the campaign parameters — no timestamps,
+   no pids — so the same campaign always lands in the same directory and a
+   repair search is byte-identical across --jobs/--workers settings.  The
+   hash is djb2 over the parameter string, wider than the commit-id hash
+   (60 bits) because ids are directory names, not table keys. *)
+let run_id ~campaign ~seed ~count extras =
+  let key = String.concat "\x00" (campaign :: string_of_int seed :: string_of_int count :: extras) in
+  let h = ref 5381 in
+  String.iter
+    (fun ch -> h := ((!h lsl 5) + !h + Char.code ch) land 0xFFFFFFFFFFFFFFF)
+    key;
+  Printf.sprintf "run-%015x" !h
+
+(* ------------------------------------------------------------------ *)
+(* the cross-run report: what campaign-diff compares table by table    *)
+(* ------------------------------------------------------------------ *)
+
+type miss = { m_case : int; m_compiler : string; m_level : C.Level.t; m_marker : int }
+
+type size_row = { z_case : int; z_compiler : string; z_level : C.Level.t; z_size : int }
+
+type inv_row = {
+  v_case : int;
+  v_compiler : string;
+  v_marker : int;
+  v_low : C.Level.t;
+  v_high : C.Level.t;
+}
+
+type report = {
+  r_campaign : string;
+  r_seed : int;
+  r_count : int;
+  r_compilers : string list;
+  r_misses : miss list;
+  r_sizes : size_row list;
+  r_inversions : inv_row list;
+  r_rejected : int list;
+  r_quarantined : int list;
+}
+
+let level_rank l = C.Level.rank l
+
+let sort_report r =
+  {
+    r with
+    r_misses =
+      List.sort
+        (fun a b ->
+          compare
+            (a.m_case, a.m_compiler, level_rank a.m_level, a.m_marker)
+            (b.m_case, b.m_compiler, level_rank b.m_level, b.m_marker))
+        r.r_misses;
+    r_sizes =
+      List.sort
+        (fun a b ->
+          compare
+            (a.z_case, a.z_compiler, level_rank a.z_level)
+            (b.z_case, b.z_compiler, level_rank b.z_level))
+        r.r_sizes;
+    r_inversions =
+      List.sort
+        (fun a b ->
+          compare (a.v_case, a.v_compiler, a.v_marker) (b.v_case, b.v_compiler, b.v_marker))
+        r.r_inversions;
+    r_rejected = List.sort_uniq compare r.r_rejected;
+    r_quarantined = List.sort_uniq compare r.r_quarantined;
+  }
+
+(* ---------------- JSON codec ---------------- *)
+
+let level_to_json l = Json.String (C.Level.to_string l)
+
+let level_of_json j =
+  match Option.bind (Json.to_str j) C.Level.of_string with
+  | Some l -> l
+  | None -> failwith (Printf.sprintf "run report: bad level %s" (Json.to_string j))
+
+let report_to_json r =
+  let miss m =
+    Json.Obj
+      [
+        ("case", Json.Int m.m_case);
+        ("compiler", Json.String m.m_compiler);
+        ("level", level_to_json m.m_level);
+        ("marker", Json.Int m.m_marker);
+      ]
+  in
+  let size z =
+    Json.Obj
+      [
+        ("case", Json.Int z.z_case);
+        ("compiler", Json.String z.z_compiler);
+        ("level", level_to_json z.z_level);
+        ("size", Json.Int z.z_size);
+      ]
+  in
+  let inv v =
+    Json.Obj
+      [
+        ("case", Json.Int v.v_case);
+        ("compiler", Json.String v.v_compiler);
+        ("marker", Json.Int v.v_marker);
+        ("low", level_to_json v.v_low);
+        ("high", level_to_json v.v_high);
+      ]
+  in
+  Json.Obj
+    [
+      ("campaign", Json.String r.r_campaign);
+      ("seed", Json.Int r.r_seed);
+      ("count", Json.Int r.r_count);
+      ("compilers", Json.List (List.map (fun n -> Json.String n) r.r_compilers));
+      ("misses", Json.List (List.map miss r.r_misses));
+      ("sizes", Json.List (List.map size r.r_sizes));
+      ("inversions", Json.List (List.map inv r.r_inversions));
+      ("rejected", Json.List (List.map (fun i -> Json.Int i) r.r_rejected));
+      ("quarantined", Json.List (List.map (fun i -> Json.Int i) r.r_quarantined));
+    ]
+
+let report_of_json j =
+  let miss m =
+    {
+      m_case = Json.get_int m "case";
+      m_compiler = Json.get_str m "compiler";
+      m_level = level_of_json (Json.get m "level");
+      m_marker = Json.get_int m "marker";
+    }
+  in
+  let size z =
+    {
+      z_case = Json.get_int z "case";
+      z_compiler = Json.get_str z "compiler";
+      z_level = level_of_json (Json.get z "level");
+      z_size = Json.get_int z "size";
+    }
+  in
+  let inv v =
+    {
+      v_case = Json.get_int v "case";
+      v_compiler = Json.get_str v "compiler";
+      v_marker = Json.get_int v "marker";
+      v_low = level_of_json (Json.get v "low");
+      v_high = level_of_json (Json.get v "high");
+    }
+  in
+  let str_exn v =
+    match Json.to_str v with
+    | Some s -> s
+    | None -> failwith "run report: expected a string"
+  in
+  {
+    r_campaign = Json.get_str j "campaign";
+    r_seed = Json.get_int j "seed";
+    r_count = Json.get_int j "count";
+    r_compilers = List.map str_exn (Json.get_list j "compilers");
+    r_misses = List.map miss (Json.get_list j "misses");
+    r_sizes = List.map size (Json.get_list j "sizes");
+    r_inversions = List.map inv (Json.get_list j "inversions");
+    r_rejected = List.map Json.int_exn (Json.get_list j "rejected");
+    r_quarantined = List.map Json.int_exn (Json.get_list j "quarantined");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the artifact directory                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let dir_of ~root ~id = Filename.concat root id
+
+let journal_path dir = Filename.concat dir "journal.jsonl"
+
+let write ?report_text ~root ~id ~meta ~metrics report =
+  let dir = dir_of ~root ~id in
+  Dce_support.Fsx.mkdir_p dir;
+  let report = sort_report report in
+  write_file (Filename.concat dir "meta.json") (Json.to_string meta ^ "\n");
+  write_file (Filename.concat dir "report.json") (Json.to_string (report_to_json report) ^ "\n");
+  write_file (Filename.concat dir "metrics.json")
+    (Json.to_string (Metrics.summary_to_json metrics) ^ "\n");
+  (match report_text with
+   | Some text -> write_file (Filename.concat dir "report.txt") text
+   | None -> ());
+  dir
+
+let load_json path =
+  match Json.of_string (String.trim (read_file path)) with
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "%s: unparseable: %s" path e)
+
+let load_report dir =
+  let path = Filename.concat dir "report.json" in
+  if not (Sys.file_exists path) then
+    failwith (Printf.sprintf "%s: no report.json — not a run directory?" dir);
+  report_of_json (load_json path)
+
+(* the per-stage wall totals of a run's metrics.json, for the diff's
+   timing-delta table; [] when the file is missing or unreadable — timing
+   is a measurement, never a verdict input *)
+let load_stage_totals dir =
+  let path = Filename.concat dir "metrics.json" in
+  if not (Sys.file_exists path) then []
+  else
+    match load_json path with
+    | exception _ -> []
+    | j -> (
+      match Json.member "stages" j with
+      | Some (Json.List stages) ->
+        List.filter_map
+          (fun st ->
+            match (Json.member "stage" st, Json.member "total" st) with
+            | Some (Json.String name), Some (Json.Float t) -> Some (name, t)
+            | Some (Json.String name), Some (Json.Int t) -> Some (name, float_of_int t)
+            | _ -> None)
+          stages
+      | _ -> [])

@@ -1,0 +1,93 @@
+(** Per-run artifact directories under stable run ids.
+
+    A campaign run can persist itself as [<root>/<run-id>/] holding
+    [meta.json] (the campaign parameters), [report.json] (the cross-run
+    comparison report below), [metrics.json] ({!Metrics.summary_to_json}),
+    optionally [report.txt] (the rendered human report) and
+    [journal.jsonl] (the campaign's checkpoint journal, written by the
+    engine itself when the caller routes it here via {!journal_path}).
+
+    The run id is a {e pure function of the campaign parameters} — no
+    timestamps, no pids — so re-running the same campaign lands in the same
+    directory, and ids are identical across [--jobs]/[--workers] settings.
+    [campaign-diff] consumes two such directories and compares their
+    reports table by table ({!Run_diff}). *)
+
+val run_id : campaign:string -> seed:int -> count:int -> string list -> string
+(** [run_id ~campaign ~seed ~count extras]: deterministic id
+    ["run-<15 hex digits>"].  [extras] folds in whatever else distinguishes
+    the run (compiler names, a patch signature). *)
+
+(** {1 The comparison report} *)
+
+type miss = {
+  m_case : int;  (** corpus index *)
+  m_compiler : string;
+  m_level : Dce_compiler.Level.t;
+  m_marker : int;  (** dead marker the configuration kept *)
+}
+
+type size_row = {
+  z_case : int;
+  z_compiler : string;
+  z_level : Dce_compiler.Level.t;
+  z_size : int;  (** {!Dce_backend.Asm.size} of the output *)
+}
+
+type inv_row = {
+  v_case : int;
+  v_compiler : string;
+  v_marker : int;
+  v_low : Dce_compiler.Level.t;   (** weakest level eliminating the marker *)
+  v_high : Dce_compiler.Level.t;  (** strongest level keeping it *)
+}
+
+type report = {
+  r_campaign : string;
+  r_seed : int;
+  r_count : int;
+  r_compilers : string list;  (** display names, in campaign order *)
+  r_misses : miss list;
+  r_sizes : size_row list;
+  r_inversions : inv_row list;
+  r_rejected : int list;     (** ground-truth-rejected corpus indices *)
+  r_quarantined : int list;  (** quarantined corpus indices *)
+}
+
+val sort_report : report -> report
+(** Canonical row order (by case, then compiler, level rank, marker) and
+    deduplicated index lists — applied by {!write}, so persisted reports
+    are byte-stable regardless of collection order. *)
+
+val report_to_json : report -> Json.t
+val report_of_json : Json.t -> report
+(** Raises [Failure] on a malformed document. *)
+
+(** {1 The artifact directory} *)
+
+val dir_of : root:string -> id:string -> string
+
+val journal_path : string -> string
+(** [journal_path dir]: where a campaign journaling into the run directory
+    should write ([<dir>/journal.jsonl]). *)
+
+val write :
+  ?report_text:string ->
+  root:string ->
+  id:string ->
+  meta:Json.t ->
+  metrics:Metrics.summary ->
+  report ->
+  string
+(** Create [<root>/<id>/] (parents included) and write [meta.json],
+    [report.json] (sorted canonically), [metrics.json], and — when given —
+    [report.txt].  Returns the directory path. *)
+
+val load_report : string -> report
+(** Read back [<dir>/report.json]; raises [Failure] naming the path when the
+    directory holds no parseable report. *)
+
+val load_stage_totals : string -> (string * float) list
+(** The per-stage summed wall seconds of [<dir>/metrics.json], for the
+    diff's timing-delta table; [[]] when missing or unreadable (timings are
+    measurements, never verdict inputs). *)

@@ -1,5 +1,9 @@
 type t = { name : string; history : Version.commit list }
 
+let create ~name history =
+  Version.validate_history history;
+  { name; history }
+
 let head t = Version.head t.history
 
 let features t ?version level =

@@ -10,6 +10,12 @@ type t = {
   history : Version.commit list;
 }
 
+val create : name:string -> Version.commit list -> t
+(** The validated constructor: {!Version.validate_history} rejects histories
+    with colliding commit ids (raising [Failure]) before the compiler can be
+    used.  Both built-in compilers and every synthetic patched compiler
+    ({!Dce_repair}) are built through this. *)
+
 val head : t -> int
 (** HEAD version index (post-HEAD fix commits excluded). *)
 

@@ -136,4 +136,4 @@ let history =
       (at_least L.O1 (fun f -> { f with uniform_arrays = true }));
   ]
 
-let compiler = { Compiler.name = "gcc-sim"; history }
+let compiler = Compiler.create ~name:"gcc-sim" history

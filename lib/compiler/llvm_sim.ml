@@ -126,4 +126,4 @@ let history =
       (at_least L.O1 (fun f -> { f with addr_cmp = Dce_opt.Sccp.Cmp_full }));
   ]
 
-let compiler = { Compiler.name = "llvm-sim"; history }
+let compiler = Compiler.create ~name:"llvm-sim" history

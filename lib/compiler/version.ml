@@ -19,6 +19,28 @@ let make_commit ~summary ~component ~files ?(post_head = false) apply =
 let head history =
   List.length (List.filter (fun c -> not c.post_head) history)
 
+(* The id space is a 44-bit truncated djb2 of the summary, so distinct
+   summaries *can* collide (e.g. "b0" and "aQ" hash identically).  A silent
+   collision would mis-attribute bisection results and break journal
+   commit-id resolution, so histories are checked for duplicates up front
+   and fail loudly naming both colliding commits. *)
+let validate_history history =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt seen c.id with
+      | Some earlier when earlier <> c.summary ->
+        failwith
+          (Printf.sprintf
+             "commit id collision: %S and %S both hash to %s — rewrite one summary" earlier
+             c.summary c.id)
+      | Some earlier ->
+        failwith
+          (Printf.sprintf "duplicate commit: summary %S (id %s) appears twice in the history"
+             earlier c.id)
+      | None -> Hashtbl.add seen c.id c.summary)
+    history
+
 let features_at history v level =
   let v = max 0 (min v (List.length history)) in
   let applied = Dce_support.Listx.take v history in

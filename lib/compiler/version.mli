@@ -31,6 +31,13 @@ val make_commit :
 val head : commit list -> int
 (** Index of HEAD: the number of non-[post_head] commits. *)
 
+val validate_history : commit list -> unit
+(** Fail loudly on duplicate commit ids.  Ids are a 44-bit truncated hash of
+    the summary, so two distinct summaries can silently collide — which would
+    mis-attribute bisection results and break journal commit-id resolution.
+    Raises [Failure] naming both colliding summaries and the shared id;
+    called by {!Compiler.create} at history-construction time. *)
+
 val features_at : commit list -> int -> Level.t -> Features.t
 (** [features_at history v level]: the matrix after the first [v] commits.
     [v] is clamped to the history length. *)

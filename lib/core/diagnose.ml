@@ -151,18 +151,11 @@ let trace_guilty trace ~marker =
      | Some label -> Some label
      | None -> Some elim.C.Passmgr.sr_label)
 
-let run compiler level prog ~marker =
-  (* lower exactly once; every repair attempt re-optimizes the same IR *)
-  let ir = Dce_ir.Lower.program prog in
-  let eliminates feats =
-    let optimized = C.Pipeline.run feats ir in
-    let asm = Dce_backend.Codegen.program optimized in
-    not (Dce_backend.Asm.marker_survives asm marker)
-  in
+(* the fully-fixed pipeline (every post-HEAD fix applied) eliminates the
+   marker iff the miss is a modeled bug; its stage trace then names the
+   pass that catches it — the component whose repairs are tried first *)
+let guilty_and_order compiler level ir ~marker =
   let base = C.Compiler.features compiler level in
-  (* the fully-fixed pipeline (every post-HEAD fix applied) eliminates the
-     marker iff the miss is a modeled bug; its stage trace then names the
-     pass that catches it — the component whose repairs we try first *)
   let fixed =
     C.Compiler.features compiler
       ~version:(List.length compiler.C.Compiler.history)
@@ -181,6 +174,21 @@ let run compiler level prog ~marker =
       let first, rest = List.partition (fun r -> r.repair_component = comp) catalogue in
       first @ rest
   in
+  (guilty, ordered)
+
+let ordered_catalogue compiler level prog ~marker =
+  guilty_and_order compiler level (Dce_ir.Lower.program prog) ~marker
+
+let run compiler level prog ~marker =
+  (* lower exactly once; every repair attempt re-optimizes the same IR *)
+  let ir = Dce_ir.Lower.program prog in
+  let eliminates feats =
+    let optimized = C.Pipeline.run feats ir in
+    let asm = Dce_backend.Codegen.program optimized in
+    not (Dce_backend.Asm.marker_survives asm marker)
+  in
+  let base = C.Compiler.features compiler level in
+  let guilty, ordered = guilty_and_order compiler level ir ~marker in
   let rec try_repairs tried = function
     | [] -> { marker; guilty_stage = guilty; diagnosis = None; tried }
     | r :: rest ->

@@ -33,6 +33,16 @@ type t = {
 val catalogue : repair list
 (** All known repairs, ordered from most specific to most generic. *)
 
+val ordered_catalogue :
+  Dce_compiler.Compiler.t ->
+  Dce_compiler.Level.t ->
+  Dce_minic.Ast.program ->
+  marker:int ->
+  string option * repair list
+(** The guilty stage (as in {!t.guilty_stage}) and the catalogue reordered
+    with the guilty component's repairs first — the candidate order both
+    {!run} and the {!Dce_repair} searcher walk. *)
+
 val run :
   Dce_compiler.Compiler.t ->
   Dce_compiler.Level.t ->

@@ -1,0 +1,42 @@
+module C = Dce_compiler
+module Diagnose = Dce_core.Diagnose
+
+(* A candidate fix is a set of catalogue repairs expressed as synthetic
+   commits, so it composes with everything the commit model already does:
+   [features_at] folds it into the feature matrix, bisection can walk over
+   it, and [explain --history] shows it like any upstream commit.
+
+   The edit is scoped to levels at least as strong as the repro's level
+   (the gcc_sim/llvm_sim [at_least] combinator): an -O3 repair changes only
+   -O3 behaviour, which keeps the A/B verification diff focused on the
+   level under repair. *)
+
+let commit_of_repair ~level (r : Diagnose.repair) =
+  C.Version.make_commit
+    ~summary:
+      (Printf.sprintf "repair: %s (%s and stronger)" r.Diagnose.repair_name
+         (C.Level.to_string level))
+    ~component:r.Diagnose.repair_component ~files:[]
+    (fun l f -> if C.Level.compare_strength l level >= 0 then r.Diagnose.edit f else f)
+
+let signature edits =
+  String.concat "+" (List.map (fun r -> r.Diagnose.repair_name) edits)
+
+(* The patched compiler's name embeds the full edit signature, NOT a hash of
+   it: the content-addressed compile cache keys on the compiler name, so two
+   distinct candidates must never share a name — a truncated hash could
+   silently alias them and corrupt every verdict downstream. *)
+let patched_name (base : C.Compiler.t) edits =
+  Printf.sprintf "%s+fix.%s" base.C.Compiler.name (signature edits)
+
+(* Repair commits slot in between HEAD and the post-HEAD fixes: [head] of
+   the patched history counts them (they are not post_head), so the default
+   feature matrix includes them, while the upstream post-HEAD fixes stay
+   where the triage model expects them. *)
+let patched (base : C.Compiler.t) ~level edits =
+  if edits = [] then invalid_arg "Edit.patched: empty edit set";
+  let pre, post =
+    List.partition (fun c -> not c.C.Version.post_head) base.C.Compiler.history
+  in
+  let commits = List.map (commit_of_repair ~level) edits in
+  C.Compiler.create ~name:(patched_name base edits) (pre @ commits @ post)

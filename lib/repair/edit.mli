@@ -1,0 +1,33 @@
+(** Candidate fixes as synthetic commits.
+
+    A repair candidate is a set of {!Dce_core.Diagnose.repair}s lifted into
+    {!Dce_compiler.Version.commit}s, inserted between HEAD and the post-HEAD
+    fixes of the guilty compiler's history.  Expressing fixes as commits is
+    what makes them compose with the rest of the system: the feature matrix,
+    bisection, [explain --history], and the content-addressed compile cache
+    (the patched compiler gets a collision-free name of its own) all work
+    unchanged. *)
+
+val commit_of_repair :
+  level:Dce_compiler.Level.t -> Dce_core.Diagnose.repair -> Dce_compiler.Version.commit
+(** The repair as a synthetic commit applying its feature edit at [level]
+    and every stronger level (the [at_least] scoping the built-in histories
+    use), leaving weaker levels untouched. *)
+
+val signature : Dce_core.Diagnose.repair list -> string
+(** ["name1+name2"] — the stable identity of an edit set. *)
+
+val patched_name : Dce_compiler.Compiler.t -> Dce_core.Diagnose.repair list -> string
+(** ["gcc-sim+fix.<signature>"].  Embeds the {e full} signature, never a
+    hash: the compile cache keys on the name, so two candidates must never
+    alias. *)
+
+val patched :
+  Dce_compiler.Compiler.t ->
+  level:Dce_compiler.Level.t ->
+  Dce_core.Diagnose.repair list ->
+  Dce_compiler.Compiler.t
+(** The patched compiler: base history with the edit-set commits inserted at
+    HEAD (before the post-HEAD fixes), built through the validated
+    {!Dce_compiler.Compiler.create}.  Raises [Invalid_argument] on an empty
+    edit set. *)

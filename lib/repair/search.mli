@@ -1,0 +1,41 @@
+(** The repair searcher: find minimal feature-edit sets under which the
+    guilty compiler eliminates a missed marker.
+
+    Search order is the mechanical triage order: repairs of the guilty
+    component (per {!Dce_core.Diagnose.ordered_catalogue}) first, then the
+    remaining single-flag sweep, then a bounded pair search over the same
+    priority order.  Any passing pair is minimal by construction, because
+    pairs are only searched after {e every} single failed individually.
+
+    Probes run on the {!Dce_campaign.Engine} Domain pool and route through
+    the content-addressed compile cache (each candidate's patched compiler
+    has a distinct, signature-bearing name); results are deterministic and
+    independent of [jobs]. *)
+
+type outcome = {
+  so_marker : int;
+  so_guilty_stage : string option;
+      (** as {!Dce_core.Diagnose.t.guilty_stage} — the attribution that
+          ordered the candidates *)
+  so_singles : int;  (** single-edit candidates evaluated *)
+  so_pairs : int;    (** pair candidates evaluated *)
+  so_probes : int;   (** total candidates evaluated (= compiles charged) *)
+  so_passing : Dce_core.Diagnose.repair list list;
+      (** every passing candidate in search order; head is the accepted
+          minimal edit set, the tail feeds the verification fallback *)
+}
+
+val default_max_pairs : int
+
+val search :
+  ?jobs:int ->
+  ?max_pairs:int ->
+  Dce_compiler.Compiler.t ->
+  Dce_compiler.Level.t ->
+  Dce_minic.Ast.program ->
+  marker:int ->
+  outcome
+(** [search compiler level repro ~marker]: the repro should be instrumented
+    (markers present) and is typically a {!Dce_reduce} output.  [jobs]
+    (default 1) sizes the probe pool; [max_pairs] (default
+    {!default_max_pairs}) bounds stage 3. *)

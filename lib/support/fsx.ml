@@ -1,8 +1,27 @@
+(* mkdir -p that tolerates concurrent creators.  Two fabric workers (separate
+   processes) may race to create the same bundle/artifact directory; checking
+   [Sys.file_exists] before [mkdir] is a TOCTOU hole — the component can
+   appear between the check and the call, or the check can pass while another
+   worker is still mid-create.  The only race-free protocol is to always
+   attempt the mkdir and treat EEXIST as success at every component. *)
 let rec mkdir_p path =
-  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
-  else begin
-    mkdir_p (Filename.dirname path);
-    (* tolerate a concurrent creator (two campaign workers journaling into
-       the same fresh directory) *)
-    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
-  end
+  if path = "" || path = "." || path = "/" then ()
+  else
+    match Unix.mkdir path 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      (* someone (possibly a sibling worker) got there first — but a regular
+         file squatting on the path is a genuine failure *)
+      if not (try Sys.is_directory path with Sys_error _ -> false) then
+        raise (Sys_error (Printf.sprintf "%s: file exists and is not a directory" path))
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      mkdir_p (Filename.dirname path);
+      (match Unix.mkdir path 0o755 with
+       | () -> ()
+       | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+         if not (try Sys.is_directory path with Sys_error _ -> false) then
+           raise (Sys_error (Printf.sprintf "%s: file exists and is not a directory" path))
+       | exception Unix.Unix_error (e, _, _) ->
+         raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e))))
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))

@@ -2,5 +2,7 @@
 
 val mkdir_p : string -> unit
 (** Create a directory and any missing parents ([mkdir -p]).  No-op when the
-    path already exists; raises [Sys_error] only when creation genuinely
+    path already exists; safe against concurrent creators — [EEXIST] is
+    tolerated at every component, so two processes racing to create the same
+    directory both succeed.  Raises [Sys_error] only when creation genuinely
     fails (e.g. permission denied, or a path component is a regular file). *)

@@ -63,6 +63,31 @@ let test_commit_ids_unique () =
         (List.length (Dce_support.Listx.uniq ids)))
     [ C.Gcc_sim.compiler; C.Llvm_sim.compiler ]
 
+let test_commit_id_collision_detected () =
+  (* "b0" and "aQ" are a verified collision pair of the 44-bit truncated
+     djb2 id hash: distinct summaries, same commit id.  History
+     construction must refuse them loudly — a silent collision would
+     mis-attribute bisections and alias journal commit references. *)
+  let mk s = C.Version.make_commit ~summary:s ~component:"x" ~files:[] (fun _ f -> f) in
+  let a = mk "b0" and b = mk "aQ" in
+  Alcotest.(check string) "the pair really collides" a.C.Version.id b.C.Version.id;
+  (match C.Version.validate_history [ a; b ] with
+   | () -> Alcotest.fail "colliding history accepted"
+   | exception Failure msg ->
+     Alcotest.(check bool) "error names both summaries" true
+       (Helpers.contains msg "b0" && Helpers.contains msg "aQ"));
+  (match C.Version.validate_history [ a; mk "b0" ] with
+   | () -> Alcotest.fail "duplicate summary accepted"
+   | exception Failure msg ->
+     Alcotest.(check bool) "duplicate reported as duplicate" true
+       (Helpers.contains msg "duplicate"));
+  (match C.Compiler.create ~name:"bad" [ a; b ] with
+   | _ -> Alcotest.fail "Compiler.create accepted a colliding history"
+   | exception Failure _ -> ());
+  (* the built-in histories construct through the same validation *)
+  C.Version.validate_history C.Gcc_sim.compiler.C.Compiler.history;
+  C.Version.validate_history C.Llvm_sim.compiler.C.Compiler.history
+
 let test_designed_head_traits () =
   let gcc = C.Compiler.features C.Gcc_sim.compiler C.Level.O3 in
   let llvm = C.Compiler.features C.Llvm_sim.compiler C.Level.O3 in
@@ -251,6 +276,7 @@ let suite =
     ("versions: O0 never gains features", `Quick, test_version_o0_stays_nothing);
     ("versions: head excludes post-head fixes", `Quick, test_head_excludes_post_head);
     ("versions: commit ids unique", `Quick, test_commit_ids_unique);
+    ("versions: commit id collisions refused", `Quick, test_commit_id_collision_detected);
     ("versions: post-head commits are a suffix", `Quick, test_post_head_commits_are_suffix);
     ("versions: commits carry metadata", `Quick, test_commits_carry_metadata);
     ("versions: HEAD features = default features", `Quick, test_head_features_match_default);

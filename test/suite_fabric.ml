@@ -366,6 +366,76 @@ let test_fabric_refuses_after_domains () =
       "diagnosis names the fork-after-domains ban" true
       (contains msg "after worker domains have been spawned")
 
+(* ------------------------------------------------------------------ *)
+(* the mkdir_p fork race (satellite bugfix regression test)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two fabric workers creating the same run directory used to race:
+   both see it missing, both mkdir, the loser got EEXIST only at the final
+   component.  Now EEXIST is tolerated at every component, so concurrent
+   creators all succeed. *)
+let test_mkdir_p_concurrent_race () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dce-mkdirp-race-%d" (Unix.getpid ()))
+  in
+  let deep = List.fold_left Filename.concat root [ "a"; "b"; "c"; "d" ] in
+  let spawn () =
+    let r, w = Unix.pipe ~cloexec:false () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Unix.close w;
+      (* wait for the parent's go signal so every creation really races *)
+      ignore (Unix.read r (Bytes.create 1) 0 1);
+      let code = match Dce_support.Fsx.mkdir_p deep with () -> 0 | exception _ -> 1 in
+      Unix._exit code
+    | pid ->
+      Unix.close r;
+      (pid, w)
+  in
+  let children = List.init 4 (fun _ -> spawn ()) in
+  List.iter (fun (_, w) -> ignore (Unix.write w (Bytes.of_string "g") 0 1)) children;
+  List.iter
+    (fun (pid, w) ->
+      let _, status = Unix.waitpid [] pid in
+      Unix.close w;
+      Alcotest.(check bool) "racing mkdir_p child succeeded" true (status = Unix.WEXITED 0))
+    children;
+  Alcotest.(check bool) "directory exists afterwards" true (Sys.is_directory deep);
+  (* EEXIST tolerance must not paper over a plain file in the way *)
+  let file = Filename.concat root "plain" in
+  let oc = open_out file in
+  close_out oc;
+  (match Dce_support.Fsx.mkdir_p file with
+   | () -> Alcotest.fail "mkdir_p over a plain file should fail"
+   | exception Sys_error _ -> ());
+  match Dce_support.Fsx.mkdir_p (Filename.concat file "x") with
+  | () -> Alcotest.fail "mkdir_p through a plain file should fail"
+  | exception Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* the repair verification campaign across the fabric grid             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fabric_verify_report_identical () =
+  let compilers =
+    [
+      (Dce_compiler.Gcc_sim.compiler, "gcc-sim"); (Dce_compiler.Llvm_sim.compiler, "llvm-sim");
+    ]
+  in
+  let report workers jobs =
+    let v =
+      Dce_repair.Verify.campaign ~workers ~jobs ~name:"fabric-verify" ~compilers ~seed:4242
+        ~count:6 ()
+    in
+    Json.to_string (Campaign.Run_store.report_to_json v.Dce_repair.Verify.vy_report)
+  in
+  let solo = report 1 1 in
+  Alcotest.(check string) "verify report byte-identical at workers=2" solo (report 2 1);
+  Alcotest.(check string) "verify report byte-identical at workers=2 jobs=2" solo (report 2 2)
+
 let suite =
   [
     Alcotest.test_case "fabric: toy grid determinism" `Quick test_fabric_toy_grid_determinism;
@@ -382,6 +452,9 @@ let suite =
     Alcotest.test_case "fabric: counters reported" `Quick test_fabric_counters_reported;
     Alcotest.test_case "fabric: edge cases" `Quick test_fabric_edge_cases;
     Alcotest.test_case "journal: cross-process lockf" `Quick test_journal_lock_cross_process;
+    Alcotest.test_case "fsx: mkdir_p concurrent fork race" `Quick test_mkdir_p_concurrent_race;
+    Alcotest.test_case "fabric: verify report identical" `Slow
+      test_fabric_verify_report_identical;
     Alcotest.test_case "metrics: merge associative" `Quick test_metrics_merge_associative;
     Alcotest.test_case "metrics: merge permutation-invariant" `Quick
       test_metrics_merge_permutation_invariant;

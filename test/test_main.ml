@@ -23,6 +23,7 @@ let () =
       ("oracles", Suite_oracles.suite);
       ("supervision", Suite_supervision.suite);
       ("bisect", Suite_bisect.suite);
+      ("repair", Suite_repair.suite);
       ("extension", Suite_extension.suite);
       ("properties", Suite_properties.suite);
       ("edge-cases", Suite_edge_cases.suite);
