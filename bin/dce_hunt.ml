@@ -292,70 +292,6 @@ let run_root_arg =
            resumes from) the same directory, and two such directories feed \
            $(b,dce_hunt campaign-diff).")
 
-(* Fold a corpus campaign into the cross-run comparison report: per-case
-   missed dead markers per configuration, plus each compiler's level
-   inversions.  Sizes are the oracle campaigns' concern — the slot stays
-   empty here, and campaign-diff simply has no size cells to compare. *)
-let corpus_report ~campaign ~seed ~count (c : Campaign.Corpus.t) =
-  let misses = ref [] and invs = ref [] and rejected = ref [] in
-  let compilers = ref [] in
-  Array.iteri
-    (fun i case ->
-      match case with
-      | Campaign.Corpus.Quarantined _ -> ()
-      | Campaign.Corpus.Case (Core.Analysis.Rejected _, _) -> rejected := i :: !rejected
-      | Campaign.Corpus.Case (Core.Analysis.Analyzed a, _) ->
-        let by_compiler = Hashtbl.create 4 in
-        List.iter
-          (fun pc ->
-            let name = pc.Core.Analysis.cfg_compiler in
-            if not (List.mem name !compilers) then compilers := !compilers @ [ name ];
-            Ir.Iset.iter
-              (fun m ->
-                misses :=
-                  {
-                    Campaign.Run_store.m_case = i;
-                    m_compiler = name;
-                    m_level = pc.Core.Analysis.cfg_level;
-                    m_marker = m;
-                  }
-                  :: !misses)
-              pc.Core.Analysis.missed;
-            Hashtbl.replace by_compiler name
-              ((pc.Core.Analysis.cfg_level, pc.Core.Analysis.missed)
-              :: Option.value ~default:[] (Hashtbl.find_opt by_compiler name)))
-          a.Core.Analysis.configs;
-        let dead = a.Core.Analysis.truth.Core.Ground_truth.dead in
-        Hashtbl.iter
-          (fun name per_level ->
-            List.iter
-              (fun (iv : Core.Differential.inversion) ->
-                invs :=
-                  {
-                    Campaign.Run_store.v_case = i;
-                    v_compiler = name;
-                    v_marker = iv.Core.Differential.iv_marker;
-                    v_low = iv.Core.Differential.iv_low;
-                    v_high = iv.Core.Differential.iv_high;
-                  }
-                  :: !invs)
-              (Core.Differential.inversions ~dead per_level))
-          by_compiler)
-    c.Campaign.Corpus.c_cases;
-  Campaign.Run_store.sort_report
-    {
-      Campaign.Run_store.r_campaign = campaign;
-      r_seed = seed;
-      r_count = count;
-      r_compilers = !compilers;
-      r_misses = !misses;
-      r_sizes = [];
-      r_inversions = !invs;
-      r_rejected = !rejected;
-      r_quarantined =
-        List.map (fun q -> q.Campaign.Engine.q_case) c.Campaign.Corpus.c_quarantine;
-    }
-
 (* ---------- hunt ---------- *)
 
 let hunt_cmd =
@@ -475,7 +411,7 @@ let hunt_cmd =
     match run_root with
     | None -> ()
     | Some root ->
-      let report = corpus_report ~campaign:"hunt" ~seed ~count c in
+      let report = Campaign.Corpus.report ~campaign:"hunt" ~seed ~count c in
       let meta =
         Campaign.Json.Obj
           [
@@ -489,15 +425,7 @@ let hunt_cmd =
               | None -> Campaign.Json.Null );
           ]
       in
-      let report_text =
-        String.concat ""
-          [
-            Dce_report.Stats.prevalence stats; "\n";
-            "Table 1 (% dead blocks missed):\n"; Dce_report.Stats.table1 stats;
-            "Table 2 (% dead blocks primary missed):\n"; Dce_report.Stats.table2 stats;
-            Dce_report.Stats.differential_summary stats;
-          ]
-      in
+      let report_text = Campaign.Corpus.report_text c in
       let dir =
         Campaign.Run_store.write ~report_text ~root ~id:run_id ~meta
           ~metrics:c.Campaign.Corpus.c_metrics report
@@ -1085,6 +1013,386 @@ let explain_cmd =
        ~doc:"Show a configuration's features, schedule, history, and per-program stage trace.")
     Term.(const run $ comp $ level $ history $ trace)
 
+(* ---------- the campaign service: serve + client subcommands ---------- *)
+
+module Serve = Dce_serve
+module Json = Campaign.Json
+
+let spool_arg =
+  Arg.(
+    value & opt string "dce-spool"
+    & info [ "spool" ] ~docv:"DIR"
+        ~doc:
+          "Service spool directory: the job queue ($(docv)/jobs), run artifacts ($(docv)/runs), \
+           the daemon lock, and the default socket ($(docv)/serve.sock).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket path (default: $(b,--spool)/serve.sock).")
+
+let serve_socket spool socket =
+  match socket with Some s -> s | None -> Filename.concat spool "serve.sock"
+
+let json_str k j = Option.bind (Json.member k j) Json.to_str
+let json_int k j = Option.bind (Json.member k j) Json.to_int
+
+let print_job_line j =
+  Printf.printf "%-12s %-10s %-10s %-10s strikes=%d seed=%d count=%d%s%s\n"
+    (Option.value ~default:"?" (json_str "job" j))
+    (Option.value ~default:"?" (json_str "kind" j))
+    (Option.value ~default:"?" (json_str "lane" j))
+    (Option.value ~default:"?" (json_str "state" j))
+    (Option.value ~default:0 (json_int "strikes" j))
+    (Option.value ~default:0 (json_int "seed" j))
+    (Option.value ~default:0 (json_int "count" j))
+    (match json_int "progress" j with
+     | Some p -> Printf.sprintf " progress=%d" p
+     | None -> "")
+    (match json_str "reason" j with Some r -> Printf.sprintf " (%s)" r | None -> "")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc:"Fabric worker processes per job.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains per job.")
+  in
+  let slots =
+    Arg.(value & opt int 1 & info [ "slots" ] ~docv:"N" ~doc:"Jobs running concurrently.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"Drain patience between SIGTERM and SIGKILL for in-flight jobs.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:"Retry backoff base; strike $(i,k) waits $(docv)*2^(k-1).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Service-level fault injection: $(b,kill-job@N) SIGKILLs the running job's process \
+             group once its journal shows N cases; $(b,crash-daemon@N) exits the daemon without \
+             cleanup at that point.  Comma-separate to combine.  Each fires once.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the supervision log.") in
+  let run spool socket workers jobs slots grace backoff chaos quiet =
+    let chaos =
+      Option.map
+        (fun s ->
+          match Serve.Daemon.parse_chaos s with Ok c -> c | Error msg -> failwith msg)
+        chaos
+    in
+    Serve.Daemon.run
+      {
+        (Serve.Daemon.default ~spool) with
+        Serve.Daemon.cf_socket = socket;
+        cf_workers = workers;
+        cf_jobs = jobs;
+        cf_slots = slots;
+        cf_drain_grace = grace;
+        cf_backoff = backoff;
+        cf_chaos = chaos;
+        cf_quiet = quiet;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service daemon: accept jobs over a Unix socket, supervise them in \
+          forked children, journal every queue transition, survive kill -9.")
+    Term.(
+      const run $ spool_arg $ socket_arg $ workers $ jobs $ slots $ grace $ backoff $ chaos
+      $ quiet)
+
+let job_pos_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB")
+
+let submit_cmd =
+  let kind =
+    Arg.(
+      value & opt string "hunt"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Campaign kind: hunt, triage, size-hunt, level-hunt, bisect, or reduce.")
+  in
+  let seed = Arg.(value & opt int 20220228 & info [ "seed" ] ~docv:"N") in
+  let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N") in
+  let lane =
+    Arg.(
+      value & opt string "default"
+      & info [ "lane" ] ~docv:"NAME"
+          ~doc:
+            "Fair-queueing lane.  The daemon round-robins across lanes, so one lane's backlog \
+             cannot starve another's.")
+  in
+  let job_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "job-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Whole-job wall budget, daemon-enforced: the job's process group is killed when it \
+             expires (and the job is failed, not retried — a deadline trips deterministically).")
+  in
+  let case_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-case cooperative Guard deadline.")
+  in
+  let strikes =
+    Arg.(
+      value & opt int 2
+      & info [ "strikes" ] ~docv:"N"
+          ~doc:"Attempts before the job is quarantined (default 2: two strikes).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN" ~doc:"Campaign-level chaos plan (hunt jobs only).")
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "source" ] ~docv:"FILE.c" ~doc:"Reduce jobs: the program to reduce.")
+  in
+  let marker =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "marker" ] ~docv:"N" ~doc:"Reduce jobs: the marker to preserve.")
+  in
+  let run spool socket kind seed count lane job_deadline case_deadline step_budget retries strikes
+      chaos source marker =
+    let kind =
+      match Serve.Job.kind_of_string kind with
+      | Some k -> k
+      | None -> failwith (Printf.sprintf "unknown job kind %S" kind)
+    in
+    let source =
+      Option.map
+        (fun path ->
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s)
+        source
+    in
+    let spec =
+      {
+        Serve.Job.sp_kind = kind;
+        sp_seed = seed;
+        sp_count = count;
+        sp_lane = lane;
+        sp_deadline = job_deadline;
+        sp_case_deadline = case_deadline;
+        sp_step_budget = step_budget;
+        sp_retries = retries;
+        sp_strikes = strikes;
+        sp_chaos = chaos;
+        sp_source = source;
+        sp_marker = marker;
+      }
+    in
+    match Serve.Client.submit ~socket:(serve_socket spool socket) spec with
+    | Ok id -> print_endline id
+    | Error e -> failwith e
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a campaign job to the service; prints the job id.")
+    Term.(
+      const run $ spool_arg $ socket_arg $ kind $ seed $ count $ lane $ job_deadline
+      $ case_deadline $ step_budget_arg $ retries_arg $ strikes $ chaos $ source $ marker)
+
+let status_cmd =
+  let job = Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB") in
+  let run spool socket job =
+    let socket = serve_socket spool socket in
+    match Serve.Client.status ?job ~socket () with
+    | Error e -> failwith e
+    | Ok j -> (
+      match job with
+      | Some _ -> (
+        match Json.member "job_status" j with
+        | Some js -> print_job_line js
+        | None -> failwith "malformed response")
+      | None ->
+        (match Json.member "daemon" j with
+         | Some d ->
+           Printf.printf "daemon: up %.1fs, %d running / %d queued, slots=%d%s\n"
+             (Option.value ~default:0.
+                (Option.bind (Json.member "uptime" d) (function
+                  | Json.Float f -> Some f
+                  | Json.Int i -> Some (float_of_int i)
+                  | _ -> None)))
+             (Option.value ~default:0 (json_int "running" d))
+             (Option.value ~default:0 (json_int "queued" d))
+             (Option.value ~default:0 (json_int "slots" d))
+             (match Json.member "draining" d with
+              | Some (Json.Bool true) -> " (draining)"
+              | _ -> "")
+         | None -> ());
+        (match Json.member "jobs" j with
+         | Some (Json.List js) -> List.iter print_job_line js
+         | _ -> ()))
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show the daemon and its jobs (or one job).")
+    Term.(const run $ spool_arg $ socket_arg $ job)
+
+let watch_cmd =
+  let run spool socket job =
+    let socket = serve_socket spool socket in
+    let on_event ev =
+      match json_str "event" ev with
+      | Some "progress" ->
+        Printf.printf "%s: %d/%d (%s)\n" job
+          (Option.value ~default:0 (json_int "done" ev))
+          (Option.value ~default:0 (json_int "total" ev))
+          (Option.value ~default:"?" (json_str "state" ev));
+        flush stdout
+      | _ -> ()
+    in
+    match Serve.Client.watch ~socket ~job ~on_event with
+    | Ok j ->
+      Printf.printf "%s: %s\n" job (Option.value ~default:"finished" (json_str "state" j))
+    | Error e -> failwith e
+  in
+  Cmd.v
+    (Cmd.info "watch" ~doc:"Stream a job's progress until it finishes.")
+    Term.(const run $ spool_arg $ socket_arg $ job_pos_arg)
+
+let cancel_cmd =
+  let run spool socket job =
+    match Serve.Client.cancel ~socket:(serve_socket spool socket) ~job with
+    | Ok _ -> Printf.printf "%s: cancel requested\n" job
+    | Error e -> failwith e
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a job: dequeue it if still queued, SIGTERM its process group if running.")
+    Term.(const run $ spool_arg $ socket_arg $ job_pos_arg)
+
+let result_cmd =
+  let report = Arg.(value & flag & info [ "report" ] ~doc:"Also print the full report text.") in
+  let run spool socket job report =
+    match Serve.Client.result_ ~socket:(serve_socket spool socket) ~job with
+    | Error e -> failwith e
+    | Ok j ->
+      let state = Option.value ~default:"?" (json_str "state" j) in
+      Printf.printf "%s: %s\n" job state;
+      (match Json.member "outcome" j with
+       | Some (Json.Obj _ as oc) ->
+         let o = Serve.Runjob.outcome_of_json oc in
+         (match o.Serve.Runjob.oc_run_dir with
+          | Some d -> Printf.printf "run dir: %s\n" d
+          | None -> ());
+         Printf.printf "cases=%d resumed=%d quarantined=%d findings=%d\n"
+           o.Serve.Runjob.oc_cases o.Serve.Runjob.oc_resumed o.Serve.Runjob.oc_quarantined
+           o.Serve.Runjob.oc_findings;
+         if o.Serve.Runjob.oc_summary <> "" then print_endline o.Serve.Runjob.oc_summary
+       | _ ->
+         (match Option.bind (Json.member "job_status" j) (json_str "reason") with
+          | Some r -> Printf.printf "reason: %s\n" r
+          | None -> ()));
+      if report then
+        match Json.member "report" j with
+        | Some (Json.String t) -> print_string t
+        | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "result" ~doc:"Fetch a finished job's outcome (and optionally its report).")
+    Term.(const run $ spool_arg $ socket_arg $ job_pos_arg $ report)
+
+let shutdown_cmd =
+  let run spool socket =
+    match Serve.Client.shutdown ~socket:(serve_socket spool socket) with
+    | Ok _ -> print_endline "daemon draining"
+    | Error e -> failwith e
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask the daemon to drain: finish in-flight jobs, persist the queue, exit.")
+    Term.(const run $ spool_arg $ socket_arg)
+
+(* ---------- runs: enumerate and prune the run store ---------- *)
+
+let runs_root_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"ROOT")
+
+let runs_list_cmd =
+  let run root =
+    let entries = Campaign.Run_store.list_runs ~root in
+    if entries = [] then print_endline "no runs"
+    else begin
+      Printf.printf "%-20s %-12s %-10s %6s %6s %8s\n" "RUN" "CAMPAIGN" "SEED" "COUNT" "CASES"
+        "AGE";
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun e ->
+          let age = now -. e.Campaign.Run_store.e_mtime in
+          let age_s =
+            if age > 86400. then Printf.sprintf "%.1fd" (age /. 86400.)
+            else if age > 3600. then Printf.sprintf "%.1fh" (age /. 3600.)
+            else if age > 60. then Printf.sprintf "%.1fm" (age /. 60.)
+            else Printf.sprintf "%.0fs" (Float.max age 0.)
+          in
+          Printf.printf "%-20s %-12s %-10d %6d %6d %8s\n" e.Campaign.Run_store.e_id
+            e.Campaign.Run_store.e_campaign e.Campaign.Run_store.e_seed
+            e.Campaign.Run_store.e_count e.Campaign.Run_store.e_cases age_s)
+        entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List run directories under ROOT, newest first.")
+    Term.(const run $ runs_root_pos)
+
+let runs_gc_cmd =
+  let keep_last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep-last" ] ~docv:"N" ~doc:"Protect the $(docv) newest runs; prune the rest.")
+  in
+  let older_than =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "older-than" ] ~docv:"SECONDS"
+          ~doc:"Prune only candidates whose last write is older than $(docv) seconds.")
+  in
+  let dry_run =
+    Arg.(value & flag & info [ "dry-run" ] ~doc:"Report the victims without deleting them.")
+  in
+  let run root keep_last older_than dry_run =
+    if keep_last = None && older_than = None then
+      failwith "runs gc: give --keep-last and/or --older-than (refusing to guess)";
+    let victims = Campaign.Run_store.gc ~dry_run ?keep_last ?older_than ~root () in
+    if victims = [] then print_endline "nothing to prune"
+    else
+      List.iter
+        (fun id -> Printf.printf "%s %s\n" (if dry_run then "would prune" else "pruned") id)
+        victims
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Prune old run directories by age and/or keep-last-N.")
+    Term.(const run $ runs_root_pos $ keep_last $ older_than $ dry_run)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs" ~doc:"Enumerate and prune the per-run artifact store.")
+    [ runs_list_cmd; runs_gc_cmd ]
+
 let () =
   let doc = "finding missed optimizations through the lens of dead code elimination" in
   let info = Cmd.info "dce_hunt" ~version:"1.0.0" ~doc in
@@ -1105,12 +1413,25 @@ let () =
         repair_cmd;
         campaign_diff_cmd;
         explain_cmd;
+        serve_cmd;
+        submit_cmd;
+        status_cmd;
+        watch_cmd;
+        cancel_cmd;
+        result_cmd;
+        shutdown_cmd;
+        runs_cmd;
       ]
   in
   (* the CLI boundary: argument and input errors surface as one-line usage
      errors naming the offending flag, never as an escaped backtrace *)
   exit
     (try Cmd.eval ~catch:false group with
+     | Campaign.Fabric.Interrupted signo ->
+       (* fleet killed, journal closed — the campaign resumes from the
+          journal on the next run.  Conventional 128+N exit codes. *)
+       prerr_endline "dce_hunt: interrupted — worker fleet stopped, journal closed; re-run to resume";
+       if signo = Sys.sigterm then 143 else 130
      | Failure msg | Sys_error msg ->
        prerr_endline ("dce_hunt: " ^ msg);
        2)

@@ -281,6 +281,83 @@ let quarantine_to_string t =
            q.Engine.q_error)
        t.c_quarantine)
 
+(* Fold a corpus campaign into the cross-run comparison report: per-case
+   missed dead markers per configuration, plus each compiler's level
+   inversions.  Sizes are the oracle campaigns' concern — the slot stays
+   empty here, and campaign-diff simply has no size cells to compare.
+   Lives in the library (not the CLI) so the serve daemon's hunt jobs and
+   `dce_hunt hunt --run-root` persist byte-identical reports. *)
+let report ~campaign ~seed ~count (c : t) =
+  let misses = ref [] and invs = ref [] and rejected = ref [] in
+  let compilers = ref [] in
+  Array.iteri
+    (fun i case ->
+      match case with
+      | Quarantined _ -> ()
+      | Case (Core.Analysis.Rejected _, _) -> rejected := i :: !rejected
+      | Case (Core.Analysis.Analyzed a, _) ->
+        let by_compiler = Hashtbl.create 4 in
+        List.iter
+          (fun pc ->
+            let name = pc.Core.Analysis.cfg_compiler in
+            if not (List.mem name !compilers) then compilers := !compilers @ [ name ];
+            Ir.Iset.iter
+              (fun m ->
+                misses :=
+                  {
+                    Run_store.m_case = i;
+                    m_compiler = name;
+                    m_level = pc.Core.Analysis.cfg_level;
+                    m_marker = m;
+                  }
+                  :: !misses)
+              pc.Core.Analysis.missed;
+            Hashtbl.replace by_compiler name
+              ((pc.Core.Analysis.cfg_level, pc.Core.Analysis.missed)
+              :: Option.value ~default:[] (Hashtbl.find_opt by_compiler name)))
+          a.Core.Analysis.configs;
+        let dead = a.Core.Analysis.truth.Core.Ground_truth.dead in
+        Hashtbl.iter
+          (fun name per_level ->
+            List.iter
+              (fun (iv : Core.Differential.inversion) ->
+                invs :=
+                  {
+                    Run_store.v_case = i;
+                    v_compiler = name;
+                    v_marker = iv.Core.Differential.iv_marker;
+                    v_low = iv.Core.Differential.iv_low;
+                    v_high = iv.Core.Differential.iv_high;
+                  }
+                  :: !invs)
+              (Core.Differential.inversions ~dead per_level))
+          by_compiler)
+    c.c_cases;
+  Run_store.sort_report
+    {
+      Run_store.r_campaign = campaign;
+      r_seed = seed;
+      r_count = count;
+      r_compilers = !compilers;
+      r_misses = !misses;
+      r_sizes = [];
+      r_inversions = !invs;
+      r_rejected = !rejected;
+      r_quarantined = List.map (fun q -> q.Engine.q_case) c.c_quarantine;
+    }
+
+(* The rendered human report persisted as report.txt — one definition so
+   the CLI and the serve daemon agree byte for byte. *)
+let report_text (c : t) =
+  let stats = stats c in
+  String.concat ""
+    [
+      Stats.prevalence stats; "\n";
+      "Table 1 (% dead blocks missed):\n"; Stats.table1 stats;
+      "Table 2 (% dead blocks primary missed):\n"; Stats.table2 stats;
+      Stats.differential_summary stats;
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* §4.4 value-check campaign                                           *)
 (* ------------------------------------------------------------------ *)

@@ -86,6 +86,17 @@ val quarantine_to_string : t -> string
 (** One line per quarantined case: index, seed, fault kind, guilty stage,
     retry count when nonzero, error. *)
 
+val report : campaign:string -> seed:int -> count:int -> t -> Run_store.report
+(** Fold the campaign into the canonical (sorted) cross-run comparison
+    report: per-case missed markers per configuration plus each compiler's
+    level inversions; size rows stay empty (the oracle campaigns' concern).
+    One definition shared by [dce_hunt hunt --run-root] and the serve
+    daemon, so both persist byte-identical [report.json]s. *)
+
+val report_text : t -> string
+(** The rendered human report persisted as [report.txt]: prevalence,
+    Tables 1/2, and the differential summary. *)
+
 (** {1 The §4.4 value-check campaign} *)
 
 type value_case = {

@@ -20,6 +20,8 @@ module Passmgr = Dce_compiler.Passmgr
 let in_worker_flag = ref false
 let in_worker () = !in_worker_flag
 
+exception Interrupted of int
+
 (* ------------------------------------------------------------------ *)
 (* wire helpers (line JSON over the socketpair)                        *)
 (* ------------------------------------------------------------------ *)
@@ -259,6 +261,11 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
        List.iteri (fun p i -> buckets.(p mod workers) <- i :: buckets.(p mod workers)) pending;
        Array.iteri (fun s b -> if b <> [] then Hashtbl.replace pinned s (List.rev b)) buckets);
     let live : wstate list ref = ref [] in
+    (* set from the SIGINT/SIGTERM handler; checked at every dispatch and
+       select round.  One signal drains (in-flight chunks finish, queue
+       stays journaled); a second one hard-kills the fleet. *)
+    let interrupt : int option ref = ref None in
+    let interrupt_count = ref 0 in
     let death_count = Array.make (max count 1) 0 in
     let deaths = ref 0 in
     let respawns = ref 0 in
@@ -317,11 +324,16 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
     in
     let dispatch w =
       let next =
-        match Hashtbl.find_opt pinned w.ws_slot with
-        | Some block ->
-          Hashtbl.remove pinned w.ws_slot;
-          Some block
-        | None -> Queue.take_opt queue
+        if !interrupt <> None then None
+          (* draining on SIGINT/SIGTERM: in-flight chunks finish (their
+             records are already streaming into the journal), but no new
+             chunk leaves the queue — the journal is the persisted queue *)
+        else
+          match Hashtbl.find_opt pinned w.ws_slot with
+          | Some block ->
+            Hashtbl.remove pinned w.ws_slot;
+            Some block
+          | None -> Queue.take_opt queue
       in
       match next with
       | Some cases ->
@@ -399,7 +411,10 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
     in
     let on_death w =
       bury w;
-      if not w.ws_bye then begin
+      if !interrupt <> None then ()
+        (* draining: no requeue, no quarantine, no respawn — unfinished
+           cases stay absent from the journal and re-run on resume *)
+      else if not w.ws_bye then begin
         (* crash containment: only the dead worker's unfinished in-flight
            cases are affected.  Each gets one more chance on another worker;
            a case that kills two workers is the poison pill and is
@@ -424,7 +439,9 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
          already been told to quit (or none survives), fork a replacement —
          within a budget, beyond which the leftovers are quarantined rather
          than looping on a fault that kills every process we throw at it *)
-      let work_remains = (not (Queue.is_empty queue)) || Hashtbl.length pinned > 0 in
+      let work_remains =
+        !interrupt = None && ((not (Queue.is_empty queue)) || Hashtbl.length pinned > 0)
+      in
       let someone_will_ask = List.exists (fun x -> not x.ws_retiring) !live in
       if work_remains && not someone_will_ask then
         if !respawns < max_respawns then begin
@@ -464,6 +481,29 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
     let sigpipe_prev =
       try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
     in
+    (* a Ctrl-C / SIGTERM must not leak the fleet or the journal lock: the
+       handler only sets a flag (select wakes with EINTR); the loop drains,
+       the [~finally] below closes the journal and restores dispositions,
+       and [run] raises {!Interrupted} once everything is released *)
+    let install signo =
+      try
+        Some
+          ( signo,
+            Sys.signal signo
+              (Sys.Signal_handle
+                 (fun s ->
+                   incr interrupt_count;
+                   interrupt := Some s)) )
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let prev_signals = List.filter_map install [ Sys.sigint; Sys.sigterm ] in
+    let jnl_closed = ref false in
+    let close_jnl () =
+      if not !jnl_closed then begin
+        jnl_closed := true;
+        match jnl with Some j -> (try Journal.close j with Sys_error _ -> ()) | None -> ()
+      end
+    in
     let finished = ref false in
     Fun.protect
       ~finally:(fun () ->
@@ -475,6 +515,12 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
               (try Unix.kill w.ws_pid Sys.sigkill with Unix.Unix_error _ -> ());
               bury w)
             !live;
+        (* the journal lock must be released on *every* path — normal
+           return, coordinator exception, and signal drain alike *)
+        close_jnl ();
+        List.iter
+          (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ())
+          prev_signals;
         (match sigpipe_prev with
          | Some b -> (try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
          | None -> ()))
@@ -484,6 +530,15 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
         done;
         while !live <> [] do
           let now = Unix.gettimeofday () in
+          (* impatient shutdown: a second signal stops waiting for in-flight
+             chunks and kills the fleet outright (the journal still holds
+             every record received so far) *)
+          if !interrupt_count >= 2 then
+            List.iter
+              (fun w ->
+                (try Unix.kill w.ws_pid Sys.sigkill with Unix.Unix_error _ -> ());
+                on_death w)
+              !live;
           (* hang containment: a worker past its chunk deadline is killed;
              the death path requeues or quarantines its in-flight cases *)
           List.iter
@@ -512,7 +567,8 @@ let run (type a) ?journal ?(codec : a Engine.codec option) ?(campaign = "campaig
           end
         done;
         finished := true);
-    (match jnl with Some j -> Journal.close j | None -> ());
+    close_jnl ();
+    (match !interrupt with Some signo -> raise (Interrupted signo) | None -> ());
     let outcomes =
       Array.mapi
         (fun i slot ->

@@ -42,7 +42,22 @@
     worker dies twice is the poison pill and is quarantined (stage
     ["fabric"], reusing the {!Engine.fault_kind} machinery) so the campaign
     always terminates.  When every surviving worker has already been told to
-    quit, a replacement is forked, within [max_respawns]. *)
+    quit, a replacement is forked, within [max_respawns].
+
+    {b Signals.}  The coordinator installs SIGINT/SIGTERM handlers for the
+    duration of a multi-process run: the first signal drains — in-flight
+    chunks finish streaming their records, no new chunk is dispatched,
+    workers are told to quit — and a second signal kills the fleet outright.
+    Either way the journal is closed (lock released), the prior signal
+    dispositions are restored, and [run] raises {!Interrupted} carrying the
+    signal number.  Cases not journaled by then simply re-run on resume;
+    nothing is quarantined by a drain. *)
+
+exception Interrupted of int
+(** Raised (after the fleet is dead, the journal closed, and signal
+    dispositions restored) when SIGINT or SIGTERM arrived during a
+    multi-process run.  Carries the OCaml signal number ([Sys.sigint] /
+    [Sys.sigterm]). *)
 
 val run :
   ?journal:string ->

@@ -171,10 +171,10 @@ let report_of_json j =
 (* the artifact directory                                              *)
 (* ------------------------------------------------------------------ *)
 
-let write_file path content =
-  let oc = open_out_bin path in
-  output_string oc content;
-  close_out oc
+(* Atomic replacement (temp + fsync + rename): a crash mid-write — the
+   daemon SIGKILLed between a campaign finishing and its artifacts landing —
+   can never leave a torn report.json behind for campaign-diff to choke on. *)
+let write_file path content = Dce_support.Fsx.write_atomic path content
 
 let read_file path =
   let ic = open_in_bin path in
@@ -209,6 +209,89 @@ let load_report dir =
   if not (Sys.file_exists path) then
     failwith (Printf.sprintf "%s: no report.json — not a run directory?" dir);
   report_of_json (load_json path)
+
+(* ------------------------------------------------------------------ *)
+(* enumeration and garbage collection of the artifact root             *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_id : string;
+  e_dir : string;
+  e_campaign : string;
+  e_seed : int;
+  e_count : int;
+  e_mtime : float;
+  e_cases : int;
+}
+
+(* journal progress = record lines past the header; 0 when absent/empty *)
+let journal_cases dir =
+  let path = journal_path dir in
+  match read_file path with
+  | exception Sys_error _ -> 0
+  | s ->
+    let lines = ref 0 in
+    String.iter (fun c -> if c = '\n' then incr lines) s;
+    max 0 (!lines - 1)
+
+let load_entry ~root id =
+  let dir = dir_of ~root ~id in
+  if not (try Sys.is_directory dir with Sys_error _ -> false) then None
+  else
+    let mtime = try (Unix.stat dir).Unix.st_mtime with Unix.Unix_error _ -> 0. in
+    let campaign, seed, count =
+      match load_json (Filename.concat dir "meta.json") with
+      | exception _ -> ("?", 0, 0)
+      | meta ->
+        ( Option.value ~default:"?" (Option.bind (Json.member "campaign" meta) Json.to_str),
+          Option.value ~default:0 (Option.bind (Json.member "seed" meta) Json.to_int),
+          Option.value ~default:0 (Option.bind (Json.member "count" meta) Json.to_int) )
+    in
+    Some
+      {
+        e_id = id;
+        e_dir = dir;
+        e_campaign = campaign;
+        e_seed = seed;
+        e_count = count;
+        e_mtime = mtime;
+        e_cases = journal_cases dir;
+      }
+
+let list_runs ~root =
+  let ids =
+    match Sys.readdir root with
+    | exception Sys_error _ -> [||]
+    | entries -> entries
+  in
+  Array.to_list ids
+  |> List.filter (fun id -> String.length id > 4 && String.sub id 0 4 = "run-")
+  |> List.filter_map (load_entry ~root)
+  |> List.sort (fun a b ->
+         (* newest first; id as a stable tie-break so listings don't flap
+            when two runs share a second *)
+         compare (b.e_mtime, a.e_id) (a.e_mtime, b.e_id))
+
+let gc ?(dry_run = false) ?keep_last ?older_than ~root () =
+  let now = Unix.time () in
+  let runs = list_runs ~root in
+  let protected i =
+    match keep_last with
+    | Some n -> i < n
+    | None -> false
+  in
+  let too_old e =
+    match older_than with
+    | Some age -> now -. e.e_mtime > age
+    | None -> keep_last <> None
+    (* with only --keep-last, everything beyond the protected prefix goes *)
+  in
+  let victims =
+    List.filteri (fun i e -> (not (protected i)) && too_old e) runs
+  in
+  if not dry_run then
+    List.iter (fun e -> Dce_support.Fsx.rm_rf e.e_dir) victims;
+  List.map (fun e -> e.e_id) victims
 
 (* the per-stage wall totals of a run's metrics.json, for the diff's
    timing-delta table; [] when the file is missing or unreadable — timing

@@ -87,6 +87,31 @@ val load_report : string -> report
 (** Read back [<dir>/report.json]; raises [Failure] naming the path when the
     directory holds no parseable report. *)
 
+(** {1 Enumeration and garbage collection} *)
+
+type entry = {
+  e_id : string;
+  e_dir : string;
+  e_campaign : string;  (** ["?"] when meta.json is missing or unreadable *)
+  e_seed : int;
+  e_count : int;
+  e_mtime : float;      (** directory mtime — last artifact write *)
+  e_cases : int;        (** journal records past the header; 0 when absent *)
+}
+
+val list_runs : root:string -> entry list
+(** Every [run-*] directory under [root], newest first (directory mtime,
+    run id as tie-break).  Unreadable metadata degrades to placeholder
+    fields rather than hiding the run — gc must still be able to see it. *)
+
+val gc :
+  ?dry_run:bool -> ?keep_last:int -> ?older_than:float -> root:string -> unit -> string list
+(** Prune run directories; returns the pruned ids (newest first).  With
+    [keep_last:n] the [n] newest runs are protected and the rest are
+    candidates; with [older_than:secs] only candidates older than that are
+    removed (with {e only} [keep_last], every unprotected run is removed).
+    [dry_run] reports the victims without deleting.  Neither flag — no-op. *)
+
 val load_stage_totals : string -> (string * float) list
 (** The per-stage summed wall seconds of [<dir>/metrics.json], for the
     diff's timing-delta table; [[]] when missing or unreadable (timings are

@@ -1,0 +1,105 @@
+module Json = Dce_campaign.Json
+
+(* One-shot client calls: each request opens a fresh connection, sends one
+   line, reads the response line(s), and closes.  Fresh connections make
+   the pollers (wait) tolerant of daemon restarts — a refused connect just
+   means "try again", which is exactly the crash-recovery story. *)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot reach daemon at %s: %s" socket (Unix.error_message e))
+
+let read_line_fd ic = match input_line ic with s -> Some s | exception End_of_file -> None
+
+let request ~socket req =
+  match connect socket with
+  | Error e -> Error e
+  | Ok fd ->
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () ->
+        if not (Proto.write_json fd req) then Error "daemon hung up"
+        else
+          match read_line_fd ic with
+          | None -> Error "daemon hung up"
+          | Some line -> (
+            match Json.of_string line with
+            | Error e -> Error ("unparseable response: " ^ e)
+            | Ok j -> if Proto.is_ok j then Ok j else Error (Proto.error_of j)))
+
+let submit ~socket spec =
+  match request ~socket (Proto.request "submit" [ ("spec", Job.spec_to_json spec) ]) with
+  | Error e -> Error e
+  | Ok j -> (
+    match Option.bind (Json.member "job" j) Json.to_str with
+    | Some id -> Ok id
+    | None -> Error "daemon accepted the job but returned no id")
+
+let status ?job ~socket () =
+  let fields = match job with Some id -> [ ("job", Json.String id) ] | None -> [] in
+  request ~socket (Proto.request "status" fields)
+
+let cancel ~socket ~job = request ~socket (Proto.request "cancel" [ ("job", Json.String job) ])
+let result_ ~socket ~job = request ~socket (Proto.request "result" [ ("job", Json.String job) ])
+let ping ~socket = request ~socket (Proto.request "ping" [])
+let shutdown ~socket = request ~socket (Proto.request "shutdown" [])
+
+(* watch holds its connection open and forwards event lines until the
+   terminal ok/err line arrives *)
+let watch ~socket ~job ~on_event =
+  match connect socket with
+  | Error e -> Error e
+  | Ok fd ->
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () ->
+        if not (Proto.write_json fd (Proto.request "watch" [ ("job", Json.String job) ])) then
+          Error "daemon hung up"
+        else
+          let rec loop () =
+            match read_line_fd ic with
+            | None -> Error "daemon hung up mid-watch"
+            | Some line -> (
+              match Json.of_string line with
+              | Error e -> Error ("unparseable stream line: " ^ e)
+              | Ok j ->
+                if Proto.is_event j then begin
+                  on_event j;
+                  loop ()
+                end
+                else if Proto.is_ok j then Ok j
+                else Error (Proto.error_of j))
+          in
+          loop ())
+
+let state_of_status j =
+  Option.bind (Json.member "job_status" j) (fun js ->
+      Option.bind (Json.member "state" js) Json.to_str)
+
+(* Poll until the job reaches a terminal state.  Connection failures are
+   retried until the timeout — the daemon may be mid-restart, which is a
+   scenario we explicitly support, not an error. *)
+let wait ?(timeout = 300.) ?(poll = 0.1) ~socket ~job () =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline then
+      Error (Printf.sprintf "timed out after %gs waiting for %s" timeout job)
+    else
+      let next () =
+        ignore (Unix.select [] [] [] poll);
+        loop ()
+      in
+      match status ~job ~socket () with
+      | Error _ -> next ()
+      | Ok j -> (
+        match state_of_status j with
+        | Some ("done" | "failed" | "cancelled") -> Ok j
+        | _ -> next ())
+  in
+  loop ()

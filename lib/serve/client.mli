@@ -1,0 +1,39 @@
+(** One-shot client calls against a running daemon.  Every call opens a
+    fresh connection; [wait] retries refused connections until its
+    timeout, so it rides out daemon restarts — the crash-recovery tests
+    depend on that. *)
+
+val request :
+  socket:string -> Dce_campaign.Json.t -> (Dce_campaign.Json.t, string) result
+(** Send one request line, return the terminal response ([Ok] when
+    ["ok":true], [Error] with the daemon's message otherwise). *)
+
+val submit : socket:string -> Job.spec -> (string, string) result
+(** Returns the allocated job id. *)
+
+val status : ?job:string -> socket:string -> unit -> (Dce_campaign.Json.t, string) result
+val cancel : socket:string -> job:string -> (Dce_campaign.Json.t, string) result
+val result_ : socket:string -> job:string -> (Dce_campaign.Json.t, string) result
+val ping : socket:string -> (Dce_campaign.Json.t, string) result
+val shutdown : socket:string -> (Dce_campaign.Json.t, string) result
+
+val watch :
+  socket:string ->
+  job:string ->
+  on_event:(Dce_campaign.Json.t -> unit) ->
+  (Dce_campaign.Json.t, string) result
+(** Stream progress/heartbeat events to [on_event] until the terminal
+    response. *)
+
+val state_of_status : Dce_campaign.Json.t -> string option
+(** The ["job_status"."state"] field of a [status ~job] response. *)
+
+val wait :
+  ?timeout:float ->
+  ?poll:float ->
+  socket:string ->
+  job:string ->
+  unit ->
+  (Dce_campaign.Json.t, string) result
+(** Poll [status] until the job is done/failed/cancelled (default timeout
+    300s, poll 100ms). *)

@@ -1,0 +1,20 @@
+(** The client/daemon wire protocol: one JSON object per line over a
+    Unix-domain stream socket (the same line-JSON codec as the fabric's
+    coordinator/worker protocol).
+
+    Requests are [{"op":NAME, ...}]; terminal responses are
+    [{"ok":true, ...}] or [{"ok":false,"error":MSG}]; a [watch] streams
+    [{"event":...}] lines before its terminal response. *)
+
+val request : string -> (string * Dce_campaign.Json.t) list -> Dce_campaign.Json.t
+val op_of : Dce_campaign.Json.t -> string option
+
+val ok : (string * Dce_campaign.Json.t) list -> Dce_campaign.Json.t
+val err : string -> Dce_campaign.Json.t
+val is_ok : Dce_campaign.Json.t -> bool
+val error_of : Dce_campaign.Json.t -> string
+val is_event : Dce_campaign.Json.t -> bool
+
+val write_json : Unix.file_descr -> Dce_campaign.Json.t -> bool
+(** Write one line; [false] when the peer is gone (EPIPE/ECONNRESET) —
+    never raises. *)

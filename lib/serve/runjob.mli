@@ -1,0 +1,39 @@
+(** Executing one job inside the forked job child.
+
+    Each {!Job.kind} maps onto the corresponding campaign entry point with
+    the checkpoint journal routed into the job's {!Dce_campaign.Run_store}
+    directory, so a killed attempt (worker death, daemon crash, drain)
+    resumes per-case on the next one.  A [hunt] job's artifacts are
+    byte-identical to [dce_hunt hunt --run-root] with the same parameters:
+    both sides share {!Dce_campaign.Corpus.report},
+    {!Dce_campaign.Corpus.report_text}, and the run-id derivation. *)
+
+val run_id_of : Job.spec -> string option
+(** The stable {!Dce_campaign.Run_store.run_id} this job persists under;
+    [None] for [reduce] (its result is the reduced program, not a run). *)
+
+val run_dir : runs_root:string -> Job.spec -> string option
+val journal_of : runs_root:string -> Job.spec -> string option
+
+val case_deadline : Job.spec -> float option
+(** The per-case Guard deadline: the explicit case budget when set,
+    otherwise the whole-job deadline — a runaway case trips
+    [Guard.Budget_exceeded] cooperatively before the daemon's SIGKILL
+    backstop. *)
+
+type outcome = {
+  oc_run_dir : string option;
+  oc_cases : int;
+  oc_resumed : int;  (** cases restored from the journal on this attempt *)
+  oc_quarantined : int;
+  oc_findings : int;
+  oc_summary : string;
+}
+
+val outcome_to_json : outcome -> Dce_campaign.Json.t
+val outcome_of_json : Dce_campaign.Json.t -> outcome
+
+val execute : runs_root:string -> workers:int -> jobs:int -> Job.spec -> outcome
+(** Run the job to completion in this process (campaigns may fork the
+    fabric underneath when [workers > 1]).  Raises on failure — the caller
+    (the daemon's job-child wrapper) records the error and exit status. *)

@@ -1,0 +1,55 @@
+(* Fair round-robin over lanes, FIFO within a lane — a pure function so the
+   policy is unit-testable without a daemon.  Lanes are ordered by first
+   appearance (lowest submission sequence); the scheduler resumes the
+   rotation after the lane served last, so one lane flooding the queue
+   cannot starve another: with lanes A and B both backlogged, dispatch
+   alternates A B A B regardless of how many As were submitted first. *)
+
+type candidate = { cd_id : string; cd_lane : string; cd_seq : int }
+
+let lanes_of candidates =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc c ->
+      if Hashtbl.mem seen c.cd_lane then acc
+      else begin
+        Hashtbl.add seen c.cd_lane ();
+        c.cd_lane :: acc
+      end)
+    []
+    (List.sort (fun a b -> compare a.cd_seq b.cd_seq) candidates)
+  |> List.rev
+
+let next ?last candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+    let lanes = lanes_of candidates in
+    let n = List.length lanes in
+    let start =
+      match last with
+      | None -> 0
+      | Some l -> (
+        let rec idx i = function
+          | [] -> None
+          | x :: _ when x = l -> Some i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        match idx 0 lanes with
+        | Some i -> (i + 1) mod n
+        | None -> 0 (* the last-served lane has drained: restart the wheel *))
+    in
+    let first_in lane =
+      List.filter (fun c -> c.cd_lane = lane) candidates
+      |> List.sort (fun a b -> compare a.cd_seq b.cd_seq)
+      |> function
+      | [] -> None
+      | c :: _ -> Some c
+    in
+    let rec scan k =
+      if k = n then None
+      else
+        let lane = List.nth lanes ((start + k) mod n) in
+        match first_in lane with Some c -> Some c | None -> scan (k + 1)
+    in
+    scan 0

@@ -1,0 +1,18 @@
+(** The fair-queueing policy, as a pure function (unit-testable without a
+    daemon): round-robin across lanes, FIFO within a lane.
+
+    Lanes are ordered by first appearance (lowest submission sequence); the
+    rotation resumes after the lane served last, so a lane flooding the
+    queue cannot starve the others — with two backlogged lanes, dispatch
+    strictly alternates. *)
+
+type candidate = {
+  cd_id : string;
+  cd_lane : string;
+  cd_seq : int;  (** submission sequence (the numeric part of the job id) *)
+}
+
+val next : ?last:string -> candidate list -> candidate option
+(** [next ?last ready]: the next candidate to dispatch among the ready
+    ones, given the lane served last ([None] at startup or when the wheel
+    should restart).  [None] only when [ready] is empty. *)

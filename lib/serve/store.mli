@@ -1,0 +1,47 @@
+(** The crash-safe on-disk job queue: [<spool>/jobs/job-NNNNNN/] holding
+    [spec.json] (immutable, written atomically at submission),
+    [state.jsonl] (the append-only lifecycle journal, fsync per event), and
+    the job child's [outcome.json] / [error.txt] / [log.txt].
+
+    Single-writer discipline: the daemon writes spec/state, the job child
+    writes outcome/error/log — no file ever has two writers, so recovery
+    after a crash never reconciles anything; it just refolds the journals.
+    A torn trailing line (the event being written when the power went) is
+    skipped by the loader, exactly like the campaign journal's tail. *)
+
+type t
+
+val open_spool : string -> t
+(** Create/open [<spool>/jobs] (parents included). *)
+
+val root : t -> string
+val runs_root : t -> string
+(** Where job campaigns persist their {!Dce_campaign.Run_store} artifact
+    directories: [<spool>/runs]. *)
+
+val seq_of_id : string -> int option
+(** [seq_of_id "job-000042"] is [Some 42]; [None] for foreign names. *)
+
+val job_dir : t -> string -> string
+val spec_path : t -> string -> string
+val state_path : t -> string -> string
+val outcome_path : t -> string -> string
+val error_path : t -> string -> string
+val log_path : t -> string -> string
+
+val submit : t -> time:float -> Job.spec -> string
+(** Allocate the next [job-NNNNNN] id, write the spec atomically, append
+    the [Queued] event.  Returns the id. *)
+
+val append : t -> string -> time:float -> Job.event -> unit
+(** Append one lifecycle event: one [O_APPEND] write plus fsync. *)
+
+val load_events : t -> string -> Job.event list
+(** The parseable events of [state.jsonl], in order; unparsable lines are
+    skipped.  [[]] when the file is missing. *)
+
+val load : t -> string -> (Job.spec * Job.event list) option
+(** Spec + events; [None] when the spec is missing or unreadable. *)
+
+val load_all : t -> (string * Job.spec * Job.event list) list
+(** Every loadable job, ascending id order (= submission order). *)

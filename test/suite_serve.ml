@@ -1,0 +1,537 @@
+(* The campaign service: crash-safe queue replay, fair scheduling,
+   cancellation, deadline enforcement, retry/quarantine, and the chaos
+   soak — kill the job child mid-campaign, kill the whole daemon
+   mid-campaign, restart, and require the resumed job's report to be
+   byte-identical to an uninterrupted run.
+
+   Every daemon here runs in a forked child of the test process, so this
+   suite MUST run before any suite that spawns a domain (OCaml 5 forbids
+   Unix.fork once a domain has ever existed); test_main registers it
+   first, before even the fabric suite's fork-poisoning final test. *)
+
+module Campaign = Dce_campaign
+module Json = Campaign.Json
+module Serve = Dce_serve
+module Job = Serve.Job
+module Store = Serve.Store
+module Sched = Serve.Sched
+module Fsx = Dce_support.Fsx
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* write_atomic (satellite)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_atomic () =
+  let dir = temp_dir "dce_serve_fsx" in
+  let path = Filename.concat dir "out.json" in
+  Fsx.write_atomic path "first";
+  Alcotest.(check string) "written" "first" (read_file path);
+  Fsx.write_atomic path "second, longer than before";
+  Alcotest.(check string) "overwritten atomically" "second, longer than before" (read_file path);
+  let leftovers =
+    Sys.readdir dir |> Array.to_list |> List.filter (fun f -> f <> "out.json")
+  in
+  Alcotest.(check (list string)) "no temp files left behind" [] leftovers;
+  Fsx.rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* runs list / gc (satellite)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fake_run ~root ~id ~campaign ~seed ~count ~cases ~age =
+  let dir = Filename.concat root id in
+  Fsx.mkdir_p dir;
+  Fsx.write_atomic
+    (Filename.concat dir "meta.json")
+    (Json.to_string
+       (Json.Obj
+          [
+            ("campaign", Json.String campaign); ("seed", Json.Int seed); ("count", Json.Int count);
+          ]));
+  if cases > 0 then
+    Fsx.write_atomic
+      (Campaign.Run_store.journal_path dir)
+      (String.concat "" (List.init (cases + 1) (fun i -> Printf.sprintf "{\"line\":%d}\n" i)));
+  let t = Unix.gettimeofday () -. age in
+  Unix.utimes dir t t
+
+let test_runs_list_and_gc () =
+  let root = temp_dir "dce_serve_runs" in
+  fake_run ~root ~id:"run-00000000000000a" ~campaign:"hunt" ~seed:1 ~count:10 ~cases:10
+    ~age:3600.;
+  fake_run ~root ~id:"run-00000000000000b" ~campaign:"triage" ~seed:2 ~count:5 ~cases:0 ~age:60.;
+  fake_run ~root ~id:"run-00000000000000c" ~campaign:"hunt" ~seed:3 ~count:7 ~cases:3 ~age:1.;
+  let entries = Campaign.Run_store.list_runs ~root in
+  Alcotest.(check (list string))
+    "newest first"
+    [ "run-00000000000000c"; "run-00000000000000b"; "run-00000000000000a" ]
+    (List.map (fun e -> e.Campaign.Run_store.e_id) entries);
+  let c = List.hd entries in
+  Alcotest.(check string) "campaign from meta" "hunt" c.Campaign.Run_store.e_campaign;
+  Alcotest.(check int) "cases from journal" 3 c.Campaign.Run_store.e_cases;
+  (* dry run deletes nothing *)
+  let would = Campaign.Run_store.gc ~dry_run:true ~keep_last:1 ~root () in
+  Alcotest.(check (list string))
+    "dry-run victims" [ "run-00000000000000b"; "run-00000000000000a" ] would;
+  Alcotest.(check int) "dry run kept everything" 3
+    (List.length (Campaign.Run_store.list_runs ~root));
+  (* age-gated: only the hour-old run is older than 10 minutes *)
+  let pruned = Campaign.Run_store.gc ~keep_last:1 ~older_than:600. ~root () in
+  Alcotest.(check (list string)) "age-gated victims" [ "run-00000000000000a" ] pruned;
+  (* keep-last alone prunes every unprotected run *)
+  let pruned = Campaign.Run_store.gc ~keep_last:1 ~root () in
+  Alcotest.(check (list string)) "keep-last victims" [ "run-00000000000000b" ] pruned;
+  Alcotest.(check (list string))
+    "survivor" [ "run-00000000000000c" ]
+    (List.map (fun e -> e.Campaign.Run_store.e_id) (Campaign.Run_store.list_runs ~root));
+  Fsx.rm_rf root
+
+(* ------------------------------------------------------------------ *)
+(* job lifecycle fold + store replay                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_replay () =
+  let spool = temp_dir "dce_serve_store" in
+  let st = Store.open_spool spool in
+  let spec = { Job.default_spec with Job.sp_count = 3; sp_lane = "lane-a" } in
+  let id = Store.submit st ~time:1. spec in
+  Alcotest.(check string) "first id" "job-000001" id;
+  let id2 = Store.submit st ~time:2. { Job.default_spec with Job.sp_lane = "lane-b" } in
+  Alcotest.(check string) "second id" "job-000002" id2;
+  (* a full retry history: running -> strike requeue -> running again *)
+  Store.append st id ~time:3. (Job.Running 4242);
+  Store.append st id ~time:4.
+    (Job.Requeued { rq_reason = "worker died"; rq_strike = true; rq_not_before = 5. });
+  Store.append st id ~time:6. (Job.Running 4243);
+  (* torn tail: a half-written record must be skipped, not fatal *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (Store.state_path st id)
+  in
+  output_string oc "{\"t\":7,\"ev\":\"don";
+  close_out oc;
+  (match Store.load st id with
+   | None -> Alcotest.fail "job should load"
+   | Some (loaded_spec, events) ->
+     Alcotest.(check int) "spec round-trips" 3 loaded_spec.Job.sp_count;
+     Alcotest.(check string) "lane round-trips" "lane-a" loaded_spec.Job.sp_lane;
+     let v = Job.view_of_events events in
+     (match v.Job.v_state with
+      | Job.S_running pid -> Alcotest.(check int) "last complete event wins" 4243 pid
+      | s -> Alcotest.failf "expected running, got %s" (Job.state_to_string s));
+     Alcotest.(check int) "strikes survive replay" 1 v.Job.v_strikes);
+  let all = Store.load_all st in
+  Alcotest.(check (list string))
+    "load_all in submission order" [ "job-000001"; "job-000002" ]
+    (List.map (fun (i, _, _) -> i) all);
+  Fsx.rm_rf spool
+
+let test_sched_fair () =
+  let cand id lane seq = { Sched.cd_id = id; cd_lane = lane; cd_seq = seq } in
+  (* lane a has a backlog; lane b has one late job.  Round-robin must
+     alternate instead of draining a first. *)
+  let pool = [ cand "a1" "a" 1; cand "a2" "a" 2; cand "a3" "a" 3; cand "b1" "b" 4 ] in
+  let pick last pool = Option.map (fun c -> c.Sched.cd_id) (Sched.next ?last pool) in
+  Alcotest.(check (option string)) "first pick: lane a, lowest seq" (Some "a1") (pick None pool);
+  let pool = List.filter (fun c -> c.Sched.cd_id <> "a1") pool in
+  Alcotest.(check (option string))
+    "after lane a served, lane b next" (Some "b1")
+    (pick (Some "a") pool);
+  let pool = List.filter (fun c -> c.Sched.cd_id <> "b1") pool in
+  Alcotest.(check (option string)) "back to lane a" (Some "a2") (pick (Some "b") pool);
+  Alcotest.(check (option string)) "empty pool" None (pick (Some "a") []);
+  (* a drained lane in [last] must not wedge the rotation *)
+  Alcotest.(check (option string)) "unknown last lane" (Some "a2") (pick (Some "gone") pool)
+
+(* ------------------------------------------------------------------ *)
+(* the live daemon: forked, driven over the socket                     *)
+(* ------------------------------------------------------------------ *)
+
+let hunt_seed = 4242
+let hunt_count = 6
+
+let test_config ?chaos ~spool () =
+  {
+    (Serve.Daemon.default ~spool) with
+    Serve.Daemon.cf_tick = 0.02;
+    cf_drain_grace = 3.0;
+    cf_backoff = 0.05;
+    cf_chaos = chaos;
+    cf_quiet = true;
+  }
+
+let fork_daemon cf =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try Serve.Daemon.run cf with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid -> pid
+
+let wait_pid pid =
+  match Unix.waitpid [] pid with _, status -> status
+
+let rec wait_socket ?(tries = 200) path =
+  if Sys.file_exists path then ()
+  else if tries = 0 then Alcotest.failf "daemon socket %s never appeared" path
+  else begin
+    ignore (Unix.select [] [] [] 0.05);
+    wait_socket ~tries:(tries - 1) path
+  end
+
+let submit_hunt ?(count = hunt_count) ?deadline ~socket () =
+  match
+    Serve.Client.submit ~socket
+      { Job.default_spec with Job.sp_seed = hunt_seed; sp_count = count; sp_deadline = deadline }
+  with
+  | Ok id -> id
+  | Error e -> Alcotest.failf "submit: %s" e
+
+let wait_terminal ?(timeout = 120.) ~socket job =
+  match Serve.Client.wait ~timeout ~socket ~job () with
+  | Ok j -> Option.value ~default:"?" (Serve.Client.state_of_status j)
+  | Error e -> Alcotest.failf "wait %s: %s" job e
+
+(* poll until the job's campaign journal shows progress — "mid-campaign"
+   made deterministic *)
+let wait_progress ?(min_cases = 1) ~socket job =
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline then Alcotest.failf "%s never made progress" job
+    else
+      match Serve.Client.status ~job ~socket () with
+      | Error _ -> retry ()
+      | Ok j -> (
+        match
+          Option.bind (Json.member "job_status" j) (fun js ->
+              Option.bind (Json.member "progress" js) Json.to_int)
+        with
+        | Some p when p >= min_cases -> ()
+        | _ -> retry ())
+  and retry () =
+    ignore (Unix.select [] [] [] 0.02);
+    loop ()
+  in
+  loop ()
+
+let job_pid ~spool job =
+  let st = Store.open_spool spool in
+  List.fold_left
+    (fun acc ev -> match ev with Job.Running pid -> Some pid | _ -> acc)
+    None (Store.load_events st job)
+
+let alive pid = match Unix.kill pid 0 with () -> true | exception Unix.Unix_error _ -> false
+
+(* the uninterrupted baseline: the same executor the daemon's job child
+   runs, in this process — what `dce_hunt hunt --run-root` produces *)
+let baseline_report () =
+  let root = temp_dir "dce_serve_baseline" in
+  let outcome =
+    Serve.Runjob.execute ~runs_root:root ~workers:1 ~jobs:1
+      { Job.default_spec with Job.sp_seed = hunt_seed; sp_count = hunt_count }
+  in
+  match outcome.Serve.Runjob.oc_run_dir with
+  | None -> Alcotest.fail "baseline hunt produced no run dir"
+  | Some dir ->
+    let r = (read_file (Filename.concat dir "report.json"), read_file (Filename.concat dir "report.txt")) in
+    Fsx.rm_rf root;
+    r
+
+let serve_report ~spool job =
+  let st = Store.open_spool spool in
+  let oc =
+    Serve.Runjob.outcome_of_json
+      (match Json.of_string (String.trim (read_file (Store.outcome_path st job))) with
+       | Ok j -> j
+       | Error e -> Alcotest.failf "outcome.json: %s" e)
+  in
+  match oc.Serve.Runjob.oc_run_dir with
+  | None -> Alcotest.fail "job outcome carries no run dir"
+  | Some dir ->
+    (read_file (Filename.concat dir "report.json"), read_file (Filename.concat dir "report.txt"))
+
+let test_daemon_roundtrip () =
+  let spool = temp_dir "dce_serve_rt" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~socket () in
+  Alcotest.(check string) "job completes" "done" (wait_terminal ~socket job);
+  let base_json, base_txt = baseline_report () in
+  let got_json, got_txt = serve_report ~spool job in
+  Alcotest.(check string) "report.json identical to direct run" base_json got_json;
+  Alcotest.(check string) "report.txt identical to direct run" base_txt got_txt;
+  (match Serve.Client.shutdown ~socket with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "shutdown: %s" e);
+  Alcotest.(check bool) "daemon exits 0" true (wait_pid pid = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket removed on drain" false (Sys.file_exists socket);
+  Fsx.rm_rf spool
+
+let test_daemon_cancel () =
+  let spool = temp_dir "dce_serve_cancel" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~count:60 ~socket () in
+  wait_progress ~socket job;
+  (match Serve.Client.cancel ~socket ~job with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "cancel: %s" e);
+  Alcotest.(check string) "cancelled" "cancelled" (wait_terminal ~socket job);
+  (match job_pid ~spool job with
+   | None -> Alcotest.fail "no pid recorded"
+   | Some jp ->
+     ignore (Unix.select [] [] [] 0.2);
+     Alcotest.(check bool) "job process group is gone" false (alive jp));
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid);
+  Fsx.rm_rf spool
+
+let test_daemon_deadline () =
+  let spool = temp_dir "dce_serve_deadline" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~count:200 ~deadline:0.4 ~socket () in
+  Alcotest.(check string) "deadline trips to failed" "failed" (wait_terminal ~socket job);
+  let st = Store.open_spool spool in
+  let v = Job.view_of_events (Store.load_events st job) in
+  (match v.Job.v_state with
+   | Job.S_failed reason ->
+     Alcotest.(check bool)
+       (Printf.sprintf "reason names the deadline: %s" reason)
+       true
+       (Helpers.contains reason "eadline")
+   | s -> Alcotest.failf "expected failed, got %s" (Job.state_to_string s));
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid);
+  Fsx.rm_rf spool
+
+(* chaos: the daemon SIGKILLs the job child mid-campaign; the retry must
+   resume from the journal and produce the identical report *)
+let test_chaos_kill_job () =
+  let spool = temp_dir "dce_serve_killjob" in
+  let chaos = { Serve.Daemon.kill_job_at = Some 2; crash_daemon_at = None } in
+  let cf = test_config ~chaos ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~socket () in
+  Alcotest.(check string) "retried to completion" "done" (wait_terminal ~socket job);
+  let st = Store.open_spool spool in
+  let v = Job.view_of_events (Store.load_events st job) in
+  Alcotest.(check int) "the kill cost one strike" 1 v.Job.v_strikes;
+  let base_json, base_txt = baseline_report () in
+  let got_json, got_txt = serve_report ~spool job in
+  Alcotest.(check string) "report.json identical after mid-job kill" base_json got_json;
+  Alcotest.(check string) "report.txt identical after mid-job kill" base_txt got_txt;
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid);
+  Fsx.rm_rf spool
+
+(* chaos: the daemon itself dies without any cleanup mid-campaign; a
+   restarted daemon must replay the queue, resume the job, and produce
+   the identical report *)
+let test_chaos_crash_daemon () =
+  let spool = temp_dir "dce_serve_crash" in
+  let chaos = { Serve.Daemon.kill_job_at = None; crash_daemon_at = Some 2 } in
+  let cf = test_config ~chaos ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~socket () in
+  Alcotest.(check bool) "daemon crashed as planned" true (wait_pid pid = Unix.WEXITED 70);
+  (* the restarted daemon inherits the spool — stale socket, running-state
+     journal, possibly a still-running orphan child *)
+  let pid2 = fork_daemon (test_config ~spool ()) in
+  Alcotest.(check string) "job resumed to done" "done" (wait_terminal ~socket job);
+  let base_json, base_txt = baseline_report () in
+  let got_json, got_txt = serve_report ~spool job in
+  Alcotest.(check string) "report.json identical after daemon crash" base_json got_json;
+  Alcotest.(check string) "report.txt identical after daemon crash" base_txt got_txt;
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid2);
+  Fsx.rm_rf spool
+
+(* SIGKILL, not simulated: the strongest form of the acceptance test *)
+let test_sigkill_daemon_mid_campaign () =
+  let spool = temp_dir "dce_serve_sigkill" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~count:40 ~socket () in
+  wait_progress ~min_cases:2 ~socket job;
+  Unix.kill pid Sys.sigkill;
+  ignore (wait_pid pid);
+  (* the orphaned job child keeps its process group; the restarted daemon
+     must kill it before requeueing (single-writer journals) *)
+  let pid2 = fork_daemon (test_config ~spool ()) in
+  Alcotest.(check string) "job resumed to done" "done" (wait_terminal ~timeout:180. ~socket job);
+  let st = Store.open_spool spool in
+  let events = Store.load_events st job in
+  Alcotest.(check bool) "replay recorded the restart requeue" true
+    (List.exists
+       (function
+         | Job.Requeued { rq_reason = "daemon-restart"; rq_strike = false; _ } -> true
+         | _ -> false)
+       events);
+  let oc =
+    Serve.Runjob.outcome_of_json
+      (match Json.of_string (String.trim (read_file (Store.outcome_path st job))) with
+       | Ok j -> j
+       | Error e -> Alcotest.failf "outcome.json: %s" e)
+  in
+  Alcotest.(check bool) "second attempt resumed from the journal" true
+    (oc.Serve.Runjob.oc_resumed > 0);
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid2);
+  Fsx.rm_rf spool
+
+let test_sigterm_drain () =
+  let spool = temp_dir "dce_serve_drain" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  let job = submit_hunt ~count:60 ~socket () in
+  wait_progress ~socket job;
+  let jp = match job_pid ~spool job with Some p -> p | None -> Alcotest.fail "no pid" in
+  Unix.kill pid Sys.sigterm;
+  Alcotest.(check bool) "drain exits 0" true (wait_pid pid = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+  Alcotest.(check bool) "job process group reaped" false (alive jp);
+  let st = Store.open_spool spool in
+  let v = Job.view_of_events (Store.load_events st job) in
+  (match v.Job.v_state with
+   | Job.S_queued -> ()
+   | s -> Alcotest.failf "drained job should be queued, got %s" (Job.state_to_string s));
+  Alcotest.(check int) "drain requeue is strike-free" 0 v.Job.v_strikes;
+  (* the lock is released: a fresh daemon can adopt the spool and finish
+     the requeued job *)
+  let pid2 = fork_daemon (test_config ~spool ()) in
+  Alcotest.(check string) "requeued job finishes after restart" "done"
+    (wait_terminal ~socket job);
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid2);
+  Fsx.rm_rf spool
+
+(* two daemons, one spool: the lock must turn the second away *)
+let test_spool_lock_exclusive () =
+  let spool = temp_dir "dce_serve_lock" in
+  let cf = test_config ~spool () in
+  let pid = fork_daemon cf in
+  let socket = Serve.Daemon.socket_path cf in
+  wait_socket socket;
+  (match Unix.fork () with
+   | 0 ->
+     (* a second daemon on the same spool must refuse, not corrupt *)
+     (try
+        Serve.Daemon.run { cf with Serve.Daemon.cf_socket = Some (spool ^ "/other.sock") };
+        Unix._exit 0
+      with Failure _ -> Unix._exit 81)
+   | pid2 ->
+     Alcotest.(check bool) "second daemon refused the held spool" true
+       (wait_pid pid2 = Unix.WEXITED 81));
+  ignore (Serve.Client.shutdown ~socket);
+  ignore (wait_pid pid);
+  Fsx.rm_rf spool
+
+(* ------------------------------------------------------------------ *)
+(* fabric drain on SIGTERM (satellite)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fabric_sigterm_drain () =
+  let dir = temp_dir "dce_serve_fabterm" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let codec =
+      { Campaign.Engine.encode = (fun i -> Json.Int i); decode = Campaign.Json.int_exn }
+    in
+    let runner _ i =
+      (* every worker advertises its pid so the parent can check the
+         fleet is dead after the drain *)
+      Fsx.write_atomic
+        (Filename.concat dir (Printf.sprintf "worker-%d.pid" (Unix.getpid ())))
+        (string_of_int (Unix.getpid ()));
+      ignore (Unix.select [] [] [] 0.15);
+      i
+    in
+    let code =
+      try
+        ignore (Campaign.Fabric.run ~codec ~workers:2 ~jobs:1 ~chunk:1 ~count:200 runner);
+        0
+      with
+      | Campaign.Fabric.Interrupted signo -> if signo = Sys.sigterm then 77 else 78
+      | _ -> 1
+    in
+    Unix._exit code
+  | pid ->
+    (* wait until at least one worker has checked in, then interrupt *)
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec wait_workers () =
+      let pids = Sys.readdir dir in
+      if Array.length pids > 0 then ()
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.fail "fabric workers never started"
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait_workers ()
+      end
+    in
+    wait_workers ();
+    ignore (Unix.select [] [] [] 0.2);
+    Unix.kill pid Sys.sigterm;
+    Alcotest.(check bool)
+      "coordinator raised Interrupted(SIGTERM)" true
+      (wait_pid pid = Unix.WEXITED 77);
+    ignore (Unix.select [] [] [] 0.3);
+    Array.iter
+      (fun f ->
+        let wp = int_of_string (read_file (Filename.concat dir f)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "worker %d is dead after the drain" wp)
+          false (alive wp))
+      (Sys.readdir dir);
+    Fsx.rm_rf dir
+
+let suite =
+  [
+    Alcotest.test_case "fsx: write_atomic" `Quick test_write_atomic;
+    Alcotest.test_case "run_store: list and gc" `Quick test_runs_list_and_gc;
+    Alcotest.test_case "store: queue replay over a torn journal" `Quick test_queue_replay;
+    Alcotest.test_case "sched: fair round-robin over lanes" `Quick test_sched_fair;
+    Alcotest.test_case "daemon: submit/watch/result roundtrip, byte-identical" `Slow
+      test_daemon_roundtrip;
+    Alcotest.test_case "daemon: cooperative cancellation" `Slow test_daemon_cancel;
+    Alcotest.test_case "daemon: job deadline trips to failed" `Slow test_daemon_deadline;
+    Alcotest.test_case "chaos: kill job child mid-campaign, identical report" `Slow
+      test_chaos_kill_job;
+    Alcotest.test_case "chaos: crash daemon mid-campaign, identical report" `Slow
+      test_chaos_crash_daemon;
+    Alcotest.test_case "chaos: SIGKILL daemon mid-campaign, resume on restart" `Slow
+      test_sigkill_daemon_mid_campaign;
+    Alcotest.test_case "daemon: SIGTERM drains, requeues, releases the lock" `Slow
+      test_sigterm_drain;
+    Alcotest.test_case "daemon: spool lock is exclusive" `Quick test_spool_lock_exclusive;
+    Alcotest.test_case "fabric: SIGTERM drains the fleet and raises" `Quick
+      test_fabric_sigterm_drain;
+  ]

@@ -1,9 +1,12 @@
 let () =
   Alcotest.run "dce-lens"
     [
-      (* fabric first: its multi-process tests fork worker processes, and
-         OCaml forbids Unix.fork once any domain has ever been created in
-         the process — which the later --jobs > 1 suites do *)
+      (* fork-heavy suites first: serve forks daemons and fabric forks
+         worker processes, and OCaml forbids Unix.fork once any domain has
+         ever been created in the process — which suite_fabric's final
+         test and the later --jobs > 1 suites do.  serve must precede
+         fabric because fabric's last test deliberately poisons fork. *)
+      ("serve", Suite_serve.suite);
       ("fabric", Suite_fabric.suite);
       ("support", Suite_support.suite);
       ("minic", Suite_minic.suite);
